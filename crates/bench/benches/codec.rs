@@ -1,0 +1,82 @@
+//! B1 — codec microbenchmarks: Reed–Solomon encode/decode throughput
+//! across `(k, n, D)`, replication as the baseline, and the rateless
+//! fountain's per-block cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsb_coding::{Code, Rateless, ReedSolomon, Replication, Value};
+
+fn bench_rs_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_encode");
+    for (k, n) in [(2usize, 4usize), (4, 8), (8, 16)] {
+        for len in [1024usize, 16 * 1024] {
+            let code = ReedSolomon::new(k, n, len).unwrap();
+            let v = Value::seeded(1, len);
+            group.throughput(Throughput::Bytes(len as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{k}of{n}/{len}B")),
+                &(code, v),
+                |b, (code, v)| b.iter(|| code.encode(std::hint::black_box(v))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_rs_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_decode");
+    for (k, n) in [(2usize, 4usize), (4, 8), (8, 16)] {
+        let len = 4096usize;
+        let code = ReedSolomon::new(k, n, len).unwrap();
+        let v = Value::seeded(1, len);
+        let blocks = code.encode(&v);
+        // Worst case: decode from the parity tail (full matrix inversion).
+        let tail: Vec<_> = blocks[n - k..].to_vec();
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}of{n}/parity")),
+            &(code, tail),
+            |b, (code, tail)| b.iter(|| code.decode(std::hint::black_box(tail)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    let len = 4096usize;
+    let code = Replication::new(5, len).unwrap();
+    let v = Value::seeded(1, len);
+    group.throughput(Throughput::Bytes(len as u64));
+    group.bench_function("encode/5x4096B", |b| {
+        b.iter(|| code.encode(std::hint::black_box(&v)))
+    });
+    let blocks = code.encode(&v);
+    group.bench_function("decode/1block", |b| {
+        b.iter(|| code.decode(std::hint::black_box(&blocks[..1])).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rateless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rateless");
+    let code = Rateless::new(8, 4096).unwrap();
+    let v = Value::seeded(1, 4096);
+    group.throughput(Throughput::Bytes(4096 / 8));
+    group.bench_function("encode_block/high_index", |b| {
+        b.iter(|| code.encode_block(std::hint::black_box(&v), 1_000_000).unwrap())
+    });
+    let blocks: Vec<_> = (1000u32..1008).map(|i| code.encode_block(&v, i).unwrap()).collect();
+    group.bench_function("decode/8_random_blocks", |b| {
+        b.iter(|| code.decode(std::hint::black_box(&blocks)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rs_encode,
+    bench_rs_decode,
+    bench_replication,
+    bench_rateless
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! B2 — protocol microbenchmarks: simulated cost of complete operations
+//! (scheduler events end-to-end) per protocol, and a full concurrent
+//! scenario per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reliable_storage::prelude::*;
+
+fn bench_solo_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solo_write");
+    let cfg = RegisterConfig::paper(2, 2, 1024).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("adaptive"), |b| {
+        let proto = Adaptive::new(cfg);
+        b.iter(|| {
+            let mut sim = proto.new_sim();
+            let w = proto.add_client(&mut sim);
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            assert!(run_to_completion(&mut sim, 1_000_000));
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("safe"), |b| {
+        let proto = Safe::new(cfg);
+        b.iter(|| {
+            let mut sim = proto.new_sim();
+            let w = proto.add_client(&mut sim);
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            assert!(run_to_completion(&mut sim, 1_000_000));
+        })
+    });
+    let abd_cfg = RegisterConfig::new(5, 2, 1, 1024).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("abd"), |b| {
+        let proto = Abd::new(abd_cfg);
+        b.iter(|| {
+            let mut sim = proto.new_sim();
+            let w = proto.add_client(&mut sim);
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            assert!(run_to_completion(&mut sim, 1_000_000));
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("coded"), |b| {
+        let proto = Coded::new(cfg);
+        b.iter(|| {
+            let mut sim = proto.new_sim();
+            let w = proto.add_client(&mut sim);
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            assert!(run_to_completion(&mut sim, 1_000_000));
+        })
+    });
+    group.finish();
+}
+
+fn bench_concurrent_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_4writers_2readers");
+    group.sample_size(20);
+    let cfg = RegisterConfig::paper(2, 2, 256).unwrap();
+    let scenario = Scenario::mixed(4, 2, 2, 11);
+    group.bench_function("adaptive", |b| {
+        let proto = Adaptive::new(cfg);
+        b.iter(|| {
+            let out = run_scenario(&proto, &scenario);
+            assert!(out.completed);
+        })
+    });
+    group.bench_function("safe", |b| {
+        let proto = Safe::new(cfg);
+        b.iter(|| {
+            let out = run_scenario(&proto, &scenario);
+            assert!(out.completed);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo_write, bench_concurrent_scenario);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! B3 — substrate microbenchmarks: storage-accounting cost, lower-bound
+//! snapshot capture, and adversary decision steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reliable_storage::prelude::*;
+use rsb_fpsm::Scheduler;
+
+fn loaded_sim() -> (
+    Adaptive,
+    rsb_fpsm::Simulation<
+        rsb_registers::adaptive::AdaptiveObject,
+        rsb_registers::adaptive::AdaptiveClient,
+    >,
+) {
+    let cfg = RegisterConfig::paper(2, 4, 256).unwrap();
+    let proto = Adaptive::new(cfg);
+    let mut sim = proto.new_sim();
+    for i in 0..6u64 {
+        let w = proto.add_client(&mut sim);
+        sim.invoke(w, OpRequest::Write(Value::seeded(i + 1, 256))).unwrap();
+    }
+    // Advance part-way so state is nontrivial.
+    let mut fair = FairScheduler::new();
+    for _ in 0..40 {
+        if let Some(ev) = Scheduler::<_, _>::next_event(&mut fair, &sim) {
+            sim.step(ev).unwrap();
+        }
+    }
+    (proto, sim)
+}
+
+fn bench_storage_cost(c: &mut Criterion) {
+    let (_p, sim) = loaded_sim();
+    c.bench_function("storage_cost_snapshot", |b| {
+        b.iter(|| std::hint::black_box(&sim).storage_cost())
+    });
+}
+
+fn bench_lowerbound_snapshot(c: &mut Criterion) {
+    let (p, sim) = loaded_sim();
+    let params = AdversaryParams::theorem1(p.config().data_bits(), p.config().f, 6);
+    c.bench_function("lowerbound_snapshot_capture", |b| {
+        b.iter(|| Snapshot::capture(std::hint::black_box(&sim), &params))
+    });
+}
+
+fn bench_adversary_step(c: &mut Criterion) {
+    let (p, sim) = loaded_sim();
+    let params = AdversaryParams::theorem1(p.config().data_bits(), p.config().f, 6);
+    c.bench_function("adversary_next_event", |b| {
+        b.iter(|| {
+            let mut ad = AdversaryAd::new(params);
+            Scheduler::<_, _>::next_event(&mut ad, std::hint::black_box(&sim))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_storage_cost,
+    bench_lowerbound_snapshot,
+    bench_adversary_step
+);
+criterion_main!(benches);

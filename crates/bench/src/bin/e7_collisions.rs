@@ -1,0 +1,67 @@
+//! E7 — Claim 1: as long as the storage holds blocks of a write with
+//! fewer than `D` total bits (distinct indices), two colliding values
+//! exist — found analytically for Reed–Solomon (kernel of the restricted
+//! encoding matrix) and by brute-force enumeration for arbitrary
+//! black-box codes.
+
+use rsb_bench::{banner, print_table};
+use rsb_coding::{Code, Rateless, ReedSolomon, Replication};
+use rsb_lowerbound::{brute_force_collision, rs_colliding_values, verify_collision};
+
+fn main() {
+    banner(
+        "E7 (Claim 1)",
+        "pigeonhole collisions below D stored bits, constructive",
+    );
+
+    // Analytic: RS codes of various shapes, every index-set size below k.
+    let header = vec!["k", "n", "|I|", "stored_bits", "D_bits", "collision", "verified"];
+    let mut rows = Vec::new();
+    for (k, n) in [(2usize, 4usize), (4, 8), (8, 16), (16, 32)] {
+        let code = ReedSolomon::new(k, n, 64).unwrap();
+        let piece = code.block_size_bits(0);
+        for m in 0..=k {
+            let indices: Vec<u32> = (0..m as u32).collect();
+            let result = rs_colliding_values(&code, &indices);
+            let (found, verified) = match &result {
+                Ok(c) => (true, verify_collision(&code, c).unwrap()),
+                Err(_) => (false, false),
+            };
+            rows.push(vec![
+                k.to_string(),
+                n.to_string(),
+                m.to_string(),
+                (m as u64 * piece).to_string(),
+                code.data_bits().to_string(),
+                found.to_string(),
+                verified.to_string(),
+            ]);
+        }
+    }
+    print_table("Reed–Solomon (analytic kernel)", &header, &rows);
+
+    // Brute force: genuine pigeonhole over black-box codes on a tiny V.
+    let header = vec!["code", "|I|", "collision_found"];
+    let mut rows = Vec::new();
+    let rs = ReedSolomon::new(2, 4, 2).unwrap();
+    for m in 0..=2usize {
+        let indices: Vec<u32> = (0..m as u32).collect();
+        let found = brute_force_collision(&rs, &indices).unwrap().is_some();
+        rows.push(vec!["rs 2-of-4".into(), m.to_string(), found.to_string()]);
+    }
+    let rateless = Rateless::new(2, 2).unwrap();
+    for m in 0..=2usize {
+        let indices: Vec<u32> = (0..m as u32).map(|i| 100 + i).collect();
+        let found = brute_force_collision(&rateless, &indices).unwrap().is_some();
+        rows.push(vec!["rateless k=2".into(), m.to_string(), found.to_string()]);
+    }
+    let repl = Replication::new(3, 1).unwrap();
+    for m in 0..=1usize {
+        let indices: Vec<u32> = (0..m as u32).collect();
+        let found = brute_force_collision(&repl, &indices).unwrap().is_some();
+        rows.push(vec!["replication".into(), m.to_string(), found.to_string()]);
+    }
+    print_table("black-box enumeration (|V| = 2^16 or 2^8)", &header, &rows);
+    println!("paper: collisions exist exactly while stored bits < D (|I| < k for MDS codes);");
+    println!("replication (k = 1) collides only on the empty set — why it never blocks reads.");
+}

@@ -1,0 +1,329 @@
+//! Arithmetic in the finite field GF(2⁸).
+//!
+//! All codes in this crate operate over GF(2⁸) with the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11d), the conventional choice for
+//! Reed–Solomon coding (e.g., in RAID-6 and QR codes). Addition is XOR;
+//! multiplication uses compile-time log/antilog tables.
+
+/// The primitive polynomial 0x11d, i.e. `x⁸ + x⁴ + x³ + x² + 1`.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+/// Compile-time generation of the exp/log tables for the field.
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the table so `exp[log a + log b]` needs no modular reduction.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+
+/// Antilog table: `EXP[i] = g^i` for the generator `g = 2`, doubled in
+/// length so that products of logs never need reduction mod 255.
+pub const EXP: [u8; 512] = TABLES.0;
+
+/// Log table: `LOG[x] = log_g x` for `x != 0`. `LOG[0]` is 0 and must not
+/// be used; callers guard against zero operands.
+pub const LOG: [u8; 256] = TABLES.1;
+
+/// Adds two field elements (XOR). Subtraction is identical.
+///
+/// ```
+/// assert_eq!(rsb_coding::gf256::add(0x53, 0xca), 0x99);
+/// ```
+#[inline]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtracts `b` from `a`; in characteristic 2 this equals [`add`].
+#[inline]
+pub const fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+///
+/// ```
+/// use rsb_coding::gf256::mul;
+/// assert_eq!(mul(0, 17), 0);
+/// assert_eq!(mul(1, 17), 17);
+/// assert_eq!(mul(3, 7), 9); // (x+1)(x²+x+1) = x³+2x²+2x+1 ≡ x³+1
+/// ```
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + 255 - LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse of `a`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Raises `a` to the power `e`.
+///
+/// ```
+/// use rsb_coding::gf256::pow;
+/// assert_eq!(pow(2, 8), 0x1d); // x⁸ ≡ x⁴+x³+x²+1 (mod 0x11d)
+/// assert_eq!(pow(0, 0), 1);
+/// ```
+#[inline]
+pub fn pow(a: u8, e: u32) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = LOG[a as usize] as u64 * e as u64 % 255;
+    EXP[l as usize]
+}
+
+/// Computes the dot product `Σ aᵢ·bᵢ` of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[u8], b: &[u8]) -> u8 {
+    assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
+    let mut acc = 0u8;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc ^= mul(x, y);
+    }
+    acc
+}
+
+/// Computes `dst[i] ^= coeff * src[i]` for every byte — the inner loop of
+/// all encode/decode paths.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc on unequal lengths");
+    if coeff == 0 {
+        return;
+    }
+    if coeff == 1 {
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[coeff as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        if s != 0 {
+            *d ^= EXP[lc + LOG[s as usize] as usize];
+        }
+    }
+}
+
+/// Scales every byte of `buf` by `coeff` in place.
+pub fn scale(buf: &mut [u8], coeff: u8) {
+    if coeff == 1 {
+        return;
+    }
+    if coeff == 0 {
+        buf.fill(0);
+        return;
+    }
+    let lc = LOG[coeff as usize] as usize;
+    for b in buf.iter_mut() {
+        if *b != 0 {
+            *b = EXP[lc + LOG[*b as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for x in 1..=255u8 {
+            assert_eq!(EXP[LOG[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 generates the multiplicative group: all 255 powers distinct.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = EXP[i] as usize;
+            assert!(!seen[v], "generator order < 255 at {i}");
+            seen[v] = true;
+        }
+        assert!(!seen[0], "zero must never appear as a power");
+    }
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+            assert_eq!(add(a, 0), a);
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_commutative_exhaustive() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_associative_sampled() {
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(13) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_sampled() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (0..=255u8).step_by(9) {
+                for c in (0..=255u8).step_by(17) {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_exhaustive() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1);
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        for a in (0..=255u8).step_by(3) {
+            for b in 1..=255u8 {
+                assert_eq!(div(a, b), mul(a, inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn inv_of_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [0u8, 1, 2, 3, 5, 87, 255] {
+            let mut acc = 1u8;
+            for e in 0..20u32 {
+                assert_eq!(pow(a, e), acc, "a={a} e={e}");
+                acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_large_exponent_wraps() {
+        // a^255 = 1 for a != 0 (Fermat in GF(256)).
+        for a in 1..=255u8 {
+            assert_eq!(pow(a, 255), 1);
+            assert_eq!(pow(a, 256), a);
+        }
+    }
+
+    #[test]
+    fn dot_product_basics() {
+        assert_eq!(dot(&[1, 2, 3], &[1, 1, 1]), 1 ^ 2 ^ 3);
+        assert_eq!(dot(&[], &[]), 0);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_path() {
+        let src = [1u8, 0, 255, 87, 13];
+        for coeff in [0u8, 1, 2, 200] {
+            let mut dst = [9u8, 9, 9, 9, 9];
+            mul_acc(&mut dst, &src, coeff);
+            for i in 0..src.len() {
+                assert_eq!(dst[i], 9 ^ mul(coeff, src[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_matches_mul() {
+        let mut buf = [3u8, 0, 200, 255];
+        scale(&mut buf, 7);
+        assert_eq!(buf, [mul(3, 7), 0, mul(200, 7), mul(255, 7)]);
+        scale(&mut buf, 0);
+        assert_eq!(buf, [0, 0, 0, 0]);
+    }
+}

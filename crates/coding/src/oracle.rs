@@ -1,0 +1,254 @@
+//! The encoder/decoder oracles of the paper's Definition 1.
+//!
+//! A `write(v)` at client `c` initializes an `oracleE(c, w)` exposing
+//! `get(i) = E(v, i)`; a `read()` initializes an `oracleD(c, w)` exposing
+//! `push(e, i)` and `done(i)`. Oracle state is *not* counted in the storage
+//! cost (the value trivially exists at its source and destination); what the
+//! oracles buy us is bookkeeping: every block ever produced is traceable to
+//! the `(write, index)` pair that produced it, which is the paper's *source
+//! function* (Definition 4) and the backbone of the lower-bound experiments.
+
+use crate::{Block, BlockIndex, Code, CodingError, Value};
+
+/// A record of one oracle interaction, for audit trails and the
+/// lower-bound source function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleEvent {
+    /// `get(i)` returned a block of this many bits.
+    Get {
+        /// The block index requested.
+        index: BlockIndex,
+        /// Size of the returned block, in bits.
+        size_bits: u64,
+    },
+    /// `push(e, i)` accepted a block into decode attempt `i`.
+    Push {
+        /// The decode-attempt tag.
+        attempt: u64,
+        /// Index of the pushed block.
+        index: BlockIndex,
+    },
+    /// `done(i)` was called; `decoded` records success.
+    Done {
+        /// The decode-attempt tag.
+        attempt: u64,
+        /// Whether decoding produced a value (vs the paper's `⊥`).
+        decoded: bool,
+    },
+}
+
+/// The paper's `oracleE(c, w)`: produces code blocks of a single value.
+///
+/// Created at write invocation, expires (dropped) when the write completes.
+///
+/// ```
+/// use rsb_coding::{EncoderOracle, ReedSolomon, Value};
+/// # fn main() -> Result<(), rsb_coding::CodingError> {
+/// let code = ReedSolomon::new(2, 4, 16)?;
+/// let mut oracle = EncoderOracle::new(code, Value::seeded(5, 16))?;
+/// let b = oracle.get(3)?;
+/// assert_eq!(b.index(), 3);
+/// assert_eq!(oracle.produced_indices(), &[3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EncoderOracle<C: Code> {
+    code: C,
+    value: Value,
+    produced: Vec<BlockIndex>,
+    events: Vec<OracleEvent>,
+}
+
+impl<C: Code> EncoderOracle<C> {
+    /// Initializes the oracle for one write operation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value length does not match the code.
+    pub fn new(code: C, value: Value) -> Result<Self, CodingError> {
+        if value.len() != code.value_len() {
+            return Err(CodingError::WrongValueLength {
+                expected: code.value_len(),
+                actual: value.len(),
+            });
+        }
+        Ok(EncoderOracle {
+            code,
+            value,
+            produced: Vec::new(),
+            events: Vec::new(),
+        })
+    }
+
+    /// The oracle's `get(i)`: returns `E(v, i)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for indices outside the code's domain.
+    pub fn get(&mut self, index: BlockIndex) -> Result<Block, CodingError> {
+        let block = self.code.encode_block(&self.value, index)?;
+        self.produced.push(index);
+        self.events.push(OracleEvent::Get {
+            index,
+            size_bits: block.size_bits(),
+        });
+        Ok(block)
+    }
+
+    /// The value being written (visible to the writer only; oracle state is
+    /// cost-free in the paper's model).
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &C {
+        &self.code
+    }
+
+    /// All indices produced so far, in order — the raw material of the
+    /// source function.
+    pub fn produced_indices(&self) -> &[BlockIndex] {
+        &self.produced
+    }
+
+    /// The full interaction log.
+    pub fn events(&self) -> &[OracleEvent] {
+        &self.events
+    }
+}
+
+/// The paper's `oracleD(c, w)`: accumulates pushed blocks per decode
+/// attempt and decodes on `done`.
+///
+/// ```
+/// use rsb_coding::{Code, DecoderOracle, EncoderOracle, ReedSolomon, Value};
+/// # fn main() -> Result<(), rsb_coding::CodingError> {
+/// let code = ReedSolomon::new(2, 4, 16)?;
+/// let v = Value::seeded(5, 16);
+/// let mut enc = EncoderOracle::new(code.clone(), v.clone())?;
+/// let mut dec = DecoderOracle::new(code);
+/// dec.push(enc.get(1)?, 0);
+/// assert_eq!(dec.done(0), None); // only one block: ⊥
+/// dec.push(enc.get(2)?, 0);
+/// assert_eq!(dec.done(0), Some(v));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecoderOracle<C: Code> {
+    code: C,
+    attempts: std::collections::BTreeMap<u64, Vec<Block>>,
+    events: Vec<OracleEvent>,
+}
+
+impl<C: Code> DecoderOracle<C> {
+    /// Initializes the oracle for one read operation.
+    pub fn new(code: C) -> Self {
+        DecoderOracle {
+            code,
+            attempts: std::collections::BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The oracle's `push(e, i)`: adds a block to decode attempt `i`.
+    pub fn push(&mut self, block: Block, attempt: u64) {
+        self.events.push(OracleEvent::Push {
+            attempt,
+            index: block.index(),
+        });
+        self.attempts.entry(attempt).or_default().push(block);
+    }
+
+    /// The oracle's `done(i)`: decodes `D({e | push(e, i)})`, returning
+    /// `None` for the paper's `⊥`.
+    pub fn done(&mut self, attempt: u64) -> Option<Value> {
+        let blocks = self.attempts.get(&attempt).cloned().unwrap_or_default();
+        let result = self.code.decode(&blocks).ok();
+        self.events.push(OracleEvent::Done {
+            attempt,
+            decoded: result.is_some(),
+        });
+        result
+    }
+
+    /// Blocks accumulated in an attempt so far.
+    pub fn pushed(&self, attempt: u64) -> &[Block] {
+        self.attempts
+            .get(&attempt)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The full interaction log.
+    pub fn events(&self) -> &[OracleEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rateless, ReedSolomon, Replication};
+
+    #[test]
+    fn encoder_records_sources() {
+        let code = ReedSolomon::new(2, 5, 10).unwrap();
+        let mut enc = EncoderOracle::new(code, Value::seeded(1, 10)).unwrap();
+        enc.get(4).unwrap();
+        enc.get(0).unwrap();
+        enc.get(4).unwrap();
+        assert_eq!(enc.produced_indices(), &[4, 0, 4]);
+        assert_eq!(enc.events().len(), 3);
+    }
+
+    #[test]
+    fn encoder_rejects_mismatched_value() {
+        let code = ReedSolomon::new(2, 5, 10).unwrap();
+        assert!(EncoderOracle::new(code, Value::zeroed(11)).is_err());
+    }
+
+    #[test]
+    fn decoder_attempts_are_independent() {
+        let code = Replication::new(3, 6).unwrap();
+        let v1 = Value::seeded(1, 6);
+        let v2 = Value::seeded(2, 6);
+        let mut enc1 = EncoderOracle::new(code.clone(), v1.clone()).unwrap();
+        let mut enc2 = EncoderOracle::new(code.clone(), v2.clone()).unwrap();
+        let mut dec = DecoderOracle::new(code);
+        dec.push(enc1.get(0).unwrap(), 0);
+        dec.push(enc2.get(1).unwrap(), 1);
+        assert_eq!(dec.done(0), Some(v1));
+        assert_eq!(dec.done(1), Some(v2));
+        assert_eq!(dec.pushed(0).len(), 1);
+        assert_eq!(dec.pushed(2), &[]);
+    }
+
+    #[test]
+    fn decoder_bottom_on_empty_attempt() {
+        let code = ReedSolomon::new(2, 4, 8).unwrap();
+        let mut dec = DecoderOracle::new(code);
+        assert_eq!(dec.done(7), None);
+        assert!(matches!(
+            dec.events().last(),
+            Some(OracleEvent::Done {
+                attempt: 7,
+                decoded: false
+            })
+        ));
+    }
+
+    #[test]
+    fn rateless_oracle_roundtrip() {
+        let code = Rateless::new(3, 33).unwrap();
+        let v = Value::seeded(9, 33);
+        let mut enc = EncoderOracle::new(code.clone(), v.clone()).unwrap();
+        let mut dec = DecoderOracle::new(code);
+        for i in [100u32, 200, 300, 400] {
+            dec.push(enc.get(i).unwrap(), 0);
+        }
+        assert_eq!(dec.done(0), Some(v));
+    }
+}

@@ -1,0 +1,346 @@
+//! Systematic `k`-of-`n` Reed–Solomon codes over GF(2⁸).
+//!
+//! This is the code family the paper's Section 5 algorithm assumes: `encode`
+//! produces `n` blocks of `D/k` bits each, and `decode` reconstructs the
+//! value from any `k` distinct blocks (the MDS property).
+
+use crate::matrix::Matrix;
+use crate::scheme::{shard, unshard, validate_params};
+use crate::{gf256, Block, BlockIndex, Code, CodeKind, CodingError, Value};
+
+/// A systematic `k`-of-`n` Reed–Solomon code for values of a fixed length.
+///
+/// The encoding matrix is the `n × k` Vandermonde matrix normalized so its
+/// top `k × k` block is the identity; blocks `0..k` are therefore the raw
+/// data shards (systematic form) and blocks `k..n` are parity. Any `k` rows
+/// of the matrix are invertible, so any `k` distinct blocks decode.
+///
+/// ```
+/// use rsb_coding::{Code, ReedSolomon, Value};
+/// # fn main() -> Result<(), rsb_coding::CodingError> {
+/// let code = ReedSolomon::new(3, 7, 300)?;
+/// let v = Value::seeded(9, 300);
+/// let blocks = code.encode(&v);
+/// assert_eq!(blocks.len(), 7);
+/// // Parity-only decoding works too:
+/// assert_eq!(code.decode(&blocks[4..7])?, v);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    n: usize,
+    value_len: usize,
+    shard_len: usize,
+    /// `n × k` systematic encoding matrix.
+    encoding: Matrix,
+}
+
+impl std::fmt::Debug for ReedSolomon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReedSolomon({}-of-{}, {} B values, {} B shards)",
+            self.k, self.n, self.value_len, self.shard_len
+        )
+    }
+}
+
+impl ReedSolomon {
+    /// Creates a `k`-of-`n` code for values of exactly `value_len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k = 0`, `k > n`, `n > 256`, or `value_len = 0`.
+    pub fn new(k: usize, n: usize, value_len: usize) -> Result<Self, CodingError> {
+        validate_params(k, n, value_len)?;
+        let vandermonde = Matrix::vandermonde(n, k);
+        let top = vandermonde.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverse()
+            .expect("square Vandermonde with distinct points is invertible");
+        let encoding = &vandermonde * &top_inv;
+        Ok(ReedSolomon {
+            k,
+            n,
+            value_len,
+            shard_len: value_len.div_ceil(k),
+            encoding,
+        })
+    }
+
+    /// The `n × k` systematic encoding matrix (row `i` produces block `i`).
+    pub fn encoding_matrix(&self) -> &Matrix {
+        &self.encoding
+    }
+
+    /// Shard length in bytes (`⌈D/8k⌉`).
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+
+    fn check_value(&self, value: &Value) -> Result<(), CodingError> {
+        if value.len() != self.value_len {
+            return Err(CodingError::WrongValueLength {
+                expected: self.value_len,
+                actual: value.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Code for ReedSolomon {
+    fn kind(&self) -> CodeKind {
+        CodeKind::ReedSolomon
+    }
+
+    fn reconstruction_threshold(&self) -> usize {
+        self.k
+    }
+
+    fn block_count(&self) -> usize {
+        self.n
+    }
+
+    fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    fn block_size_bits(&self, _index: BlockIndex) -> u64 {
+        8 * self.shard_len as u64
+    }
+
+    fn encode_block(&self, value: &Value, index: BlockIndex) -> Result<Block, CodingError> {
+        self.check_value(value)?;
+        if index as usize >= self.n {
+            return Err(CodingError::UnknownBlockIndex(index));
+        }
+        let shards = shard(value, self.k);
+        let row = self.encoding.row(index as usize);
+        let mut out = vec![0u8; self.shard_len];
+        for (s, coeff) in shards.iter().zip(row.iter()) {
+            gf256::mul_acc(&mut out, s, *coeff);
+        }
+        Ok(Block::new(index, out))
+    }
+
+    fn encode(&self, value: &Value) -> Vec<Block> {
+        self.check_value(value)
+            .expect("value length must match the code");
+        let shards = shard(value, self.k);
+        (0..self.n)
+            .map(|i| {
+                let row = self.encoding.row(i);
+                let mut out = vec![0u8; self.shard_len];
+                for (s, coeff) in shards.iter().zip(row.iter()) {
+                    gf256::mul_acc(&mut out, s, *coeff);
+                }
+                Block::new(i as BlockIndex, out)
+            })
+            .collect()
+    }
+
+    fn decode(&self, blocks: &[Block]) -> Result<Value, CodingError> {
+        // Deduplicate by index, validating as we go.
+        let mut chosen: Vec<&Block> = Vec::with_capacity(self.k);
+        let mut seen = vec![false; self.n];
+        for b in blocks {
+            let i = b.index() as usize;
+            if i >= self.n {
+                return Err(CodingError::UnknownBlockIndex(b.index()));
+            }
+            if b.len() != self.shard_len {
+                return Err(CodingError::WrongBlockSize {
+                    index: b.index(),
+                    expected: self.shard_len,
+                    actual: b.len(),
+                });
+            }
+            if !seen[i] {
+                seen[i] = true;
+                chosen.push(b);
+                if chosen.len() == self.k {
+                    break;
+                }
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(CodingError::NotEnoughBlocks {
+                needed: self.k,
+                got: chosen.len(),
+            });
+        }
+        let indices: Vec<usize> = chosen.iter().map(|b| b.index() as usize).collect();
+        let sub = self.encoding.select_rows(&indices);
+        let sub_inv = sub
+            .inverse()
+            .expect("any k rows of an MDS encoding matrix are invertible");
+        // shard[s] = Σ_j inv[s][j] * block[j]
+        let shards: Vec<Vec<u8>> = (0..self.k)
+            .map(|s| {
+                let mut out = vec![0u8; self.shard_len];
+                for (j, b) in chosen.iter().enumerate() {
+                    gf256::mul_acc(&mut out, b.data(), sub_inv.get(s, j));
+                }
+                out
+            })
+            .collect();
+        Ok(unshard(shards, self.value_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systematic_prefix_is_raw_data() {
+        let code = ReedSolomon::new(4, 9, 64).unwrap();
+        let v = Value::seeded(7, 64);
+        let blocks = code.encode(&v);
+        let shards = shard(&v, 4);
+        for i in 0..4 {
+            assert_eq!(blocks[i].data(), &shards[i][..], "block {i} not systematic");
+        }
+    }
+
+    #[test]
+    fn any_k_blocks_decode() {
+        let code = ReedSolomon::new(3, 6, 50).unwrap();
+        let v = Value::seeded(123, 50);
+        let blocks = code.encode(&v);
+        // All 20 3-subsets of 6 blocks.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let subset = vec![blocks[a].clone(), blocks[b].clone(), blocks[c].clone()];
+                    assert_eq!(code.decode(&subset).unwrap(), v, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_blocks_is_bottom() {
+        let code = ReedSolomon::new(3, 6, 50).unwrap();
+        let v = Value::seeded(5, 50);
+        let blocks = code.encode(&v);
+        let err = code.decode(&blocks[..2]).unwrap_err();
+        assert_eq!(err, CodingError::NotEnoughBlocks { needed: 3, got: 2 });
+    }
+
+    #[test]
+    fn duplicate_indices_do_not_count_twice() {
+        let code = ReedSolomon::new(2, 4, 10).unwrap();
+        let v = Value::seeded(5, 10);
+        let blocks = code.encode(&v);
+        let dup = vec![blocks[1].clone(), blocks[1].clone(), blocks[1].clone()];
+        assert_eq!(
+            code.decode(&dup).unwrap_err(),
+            CodingError::NotEnoughBlocks { needed: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn extra_blocks_are_ignored() {
+        let code = ReedSolomon::new(2, 5, 16).unwrap();
+        let v = Value::seeded(1, 16);
+        let blocks = code.encode(&v);
+        assert_eq!(code.decode(&blocks).unwrap(), v);
+    }
+
+    #[test]
+    fn block_sizes_symmetric_and_d_over_k() {
+        let code = ReedSolomon::new(4, 10, 100).unwrap();
+        // ⌈100/4⌉ = 25 bytes = 200 bits for every index.
+        for i in 0..10 {
+            assert_eq!(code.block_size_bits(i), 200);
+        }
+        // Symmetry across values: sizes never depend on content.
+        for seed in 0..5 {
+            let v = Value::seeded(seed, 100);
+            for b in code.encode(&v) {
+                assert_eq!(b.size_bits(), 200);
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_value_length_pads() {
+        let code = ReedSolomon::new(3, 5, 10).unwrap(); // 10 = 3·3+1
+        let v = Value::seeded(77, 10);
+        let blocks = code.encode(&v);
+        assert!(blocks.iter().all(|b| b.len() == 4));
+        assert_eq!(code.decode(&blocks[2..5]).unwrap(), v);
+    }
+
+    #[test]
+    fn k_equals_n_works() {
+        let code = ReedSolomon::new(4, 4, 32).unwrap();
+        let v = Value::seeded(2, 32);
+        let blocks = code.encode(&v);
+        assert_eq!(code.decode(&blocks).unwrap(), v);
+        assert_eq!(
+            code.decode(&blocks[..3]).unwrap_err(),
+            CodingError::NotEnoughBlocks { needed: 4, got: 3 }
+        );
+    }
+
+    #[test]
+    fn wrong_value_length_rejected() {
+        let code = ReedSolomon::new(2, 4, 16).unwrap();
+        let err = code
+            .encode_block(&Value::zeroed(15), 0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CodingError::WrongValueLength {
+                expected: 16,
+                actual: 15
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_block_size_rejected() {
+        let code = ReedSolomon::new(2, 4, 16).unwrap();
+        let bogus = vec![Block::new(0, vec![0u8; 3]), Block::new(1, vec![0u8; 8])];
+        assert!(matches!(
+            code.decode(&bogus).unwrap_err(),
+            CodingError::WrongBlockSize { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let code = ReedSolomon::new(2, 4, 16).unwrap();
+        let v = Value::zeroed(16);
+        assert_eq!(
+            code.encode_block(&v, 4).unwrap_err(),
+            CodingError::UnknownBlockIndex(4)
+        );
+        let blocks = vec![Block::new(200, vec![0u8; 8])];
+        assert_eq!(
+            code.decode(&blocks).unwrap_err(),
+            CodingError::UnknownBlockIndex(200)
+        );
+    }
+
+    #[test]
+    fn full_set_bits_is_n_over_k_expansion() {
+        let code = ReedSolomon::new(4, 12, 100).unwrap();
+        // n·⌈D/k⌉ in bits: 12 · 25 B = 300 B = 2400 bits.
+        assert_eq!(code.full_set_bits(), 2400);
+    }
+
+    #[test]
+    fn max_field_size_code() {
+        let code = ReedSolomon::new(8, 256, 64).unwrap();
+        let v = Value::seeded(3, 64);
+        let blocks = code.encode(&v);
+        let tail: Vec<Block> = blocks[248..].to_vec();
+        assert_eq!(code.decode(&tail).unwrap(), v);
+    }
+}

@@ -1,0 +1,258 @@
+//! The [`Code`] trait — the paper's encoding scheme `(E, D)` — and errors.
+
+use crate::{Block, BlockIndex, Value};
+
+/// Errors returned by coding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodingError {
+    /// The code parameters are invalid (e.g. `k = 0`, `k > n`, `n > 256`).
+    InvalidParameters(String),
+    /// A value of the wrong length was passed to `encode`.
+    WrongValueLength {
+        /// Length the code was constructed for.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+    /// Decoding failed: fewer than `k` distinct usable blocks (the paper's
+    /// `D(S) = ⊥`).
+    NotEnoughBlocks {
+        /// Blocks required to reconstruct.
+        needed: usize,
+        /// Distinct usable blocks supplied.
+        got: usize,
+    },
+    /// A supplied block has an index this code never produces.
+    UnknownBlockIndex(BlockIndex),
+    /// A supplied block has the wrong size for its index.
+    WrongBlockSize {
+        /// The offending block index.
+        index: BlockIndex,
+        /// Expected payload size in bytes.
+        expected: usize,
+        /// Actual payload size in bytes.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CodingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodingError::InvalidParameters(msg) => write!(f, "invalid code parameters: {msg}"),
+            CodingError::WrongValueLength { expected, actual } => {
+                write!(f, "value length {actual} does not match code length {expected}")
+            }
+            CodingError::NotEnoughBlocks { needed, got } => {
+                write!(f, "cannot decode: need {needed} distinct blocks, got {got}")
+            }
+            CodingError::UnknownBlockIndex(i) => write!(f, "unknown block index {i}"),
+            CodingError::WrongBlockSize {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "block {index} has {actual} bytes, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+/// Which family a code instance belongs to; useful for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeKind {
+    /// Full replication (`k = 1`).
+    Replication,
+    /// Fixed-rate systematic MDS (`k`-of-`n` Reed–Solomon).
+    ReedSolomon,
+    /// Rateless random-linear fountain over unbounded indices.
+    Rateless,
+}
+
+impl std::fmt::Display for CodeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeKind::Replication => write!(f, "replication"),
+            CodeKind::ReedSolomon => write!(f, "reed-solomon"),
+            CodeKind::Rateless => write!(f, "rateless"),
+        }
+    }
+}
+
+/// An encoding scheme: the pair of functions `E : V × N → E` and
+/// `D : 2^E → V ∪ {⊥}` of the paper's Section 3.1.
+///
+/// # Contract
+///
+/// * **Symmetry (Definition 3).** `block_size_bits(i)` must depend only on
+///   `i`; every value encodes to blocks of identical sizes. Property tests
+///   in this crate verify this for all provided codes.
+/// * **Value independence (black-box).** Each value is coded independently
+///   of other values; no method receives more than one value.
+/// * **`k`-reconstruction.** `decode` returns the value from any
+///   `reconstruction_threshold()` distinct blocks of that value.
+///
+/// Implementors are cheap to clone (parameters + precomputed matrices).
+pub trait Code: Clone + std::fmt::Debug + Send + Sync + 'static {
+    /// The family of this code instance.
+    fn kind(&self) -> CodeKind;
+
+    /// `k`: the number of distinct blocks sufficient (and necessary) for
+    /// reconstruction.
+    fn reconstruction_threshold(&self) -> usize;
+
+    /// `n`: the number of *primary* block indices, i.e. `E(v, i)` is defined
+    /// for `0 ≤ i < block_count()`. Rateless codes return `u32::MAX` here.
+    fn block_count(&self) -> usize;
+
+    /// The fixed value length in bytes this instance was constructed for.
+    fn value_len(&self) -> usize;
+
+    /// The paper's `D`: value size in bits.
+    fn data_bits(&self) -> u64 {
+        8 * self.value_len() as u64
+    }
+
+    /// The paper's `size(i) = |E(v, i)|` (symmetric: no value parameter).
+    fn block_size_bits(&self, index: BlockIndex) -> u64;
+
+    /// The encoding function `E(v, i)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `v` has the wrong length or `index` is out of range.
+    fn encode_block(&self, value: &Value, index: BlockIndex) -> Result<Block, CodingError>;
+
+    /// Encodes the full primary block set `{E(v, i) | 0 ≤ i < n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has the wrong length (programmer error at call
+    /// sites that constructed the value for this code); use
+    /// [`Code::encode_block`] for a fallible variant.
+    fn encode(&self, value: &Value) -> Vec<Block> {
+        (0..self.block_count() as BlockIndex)
+            .map(|i| {
+                self.encode_block(value, i)
+                    .expect("value length was validated by caller")
+            })
+            .collect()
+    }
+
+    /// The decoding function `D(S)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::NotEnoughBlocks`] (the paper's `⊥`) when the
+    /// supplied set has fewer than `k` distinct usable blocks, and block
+    /// validation errors for malformed inputs.
+    fn decode(&self, blocks: &[Block]) -> Result<Value, CodingError>;
+
+    /// Total bits across one full primary block set — the per-value storage
+    /// footprint if every produced block is retained.
+    fn full_set_bits(&self) -> u64 {
+        (0..self.block_count() as BlockIndex)
+            .map(|i| self.block_size_bits(i))
+            .sum()
+    }
+}
+
+/// Validates `(k, n, value_len)` parameters shared by the fixed-rate codes.
+pub(crate) fn validate_params(k: usize, n: usize, value_len: usize) -> Result<(), CodingError> {
+    if k == 0 {
+        return Err(CodingError::InvalidParameters("k must be ≥ 1".into()));
+    }
+    if n < k {
+        return Err(CodingError::InvalidParameters(format!(
+            "n ({n}) must be ≥ k ({k})"
+        )));
+    }
+    if n > 256 {
+        return Err(CodingError::InvalidParameters(format!(
+            "n ({n}) must be ≤ 256 over GF(256)"
+        )));
+    }
+    if value_len == 0 {
+        return Err(CodingError::InvalidParameters(
+            "value length must be ≥ 1 byte".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Splits a value into `k` shards of `ceil(len/k)` bytes, zero-padding the
+/// tail shard. Shard size is the paper's `D/k` (rounded up to bytes).
+pub(crate) fn shard(value: &Value, k: usize) -> Vec<Vec<u8>> {
+    let shard_len = value.len().div_ceil(k);
+    let bytes = value.as_bytes();
+    (0..k)
+        .map(|s| {
+            let start = (s * shard_len).min(bytes.len());
+            let end = ((s + 1) * shard_len).min(bytes.len());
+            let mut v = bytes[start..end].to_vec();
+            v.resize(shard_len, 0);
+            v
+        })
+        .collect()
+}
+
+/// Reassembles a value of `value_len` bytes from `k` shards.
+pub(crate) fn unshard(shards: Vec<Vec<u8>>, value_len: usize) -> Value {
+    let mut out = Vec::with_capacity(value_len);
+    for s in shards {
+        out.extend_from_slice(&s);
+    }
+    out.truncate(value_len);
+    Value::from_bytes(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_validation() {
+        assert!(validate_params(0, 3, 10).is_err());
+        assert!(validate_params(4, 3, 10).is_err());
+        assert!(validate_params(2, 300, 10).is_err());
+        assert!(validate_params(2, 3, 0).is_err());
+        assert!(validate_params(2, 3, 10).is_ok());
+        assert!(validate_params(1, 1, 1).is_ok());
+        assert!(validate_params(128, 256, 1024).is_ok());
+    }
+
+    #[test]
+    fn shard_unshard_roundtrip() {
+        for len in [1usize, 7, 8, 9, 100] {
+            for k in [1usize, 2, 3, 5] {
+                let v = Value::seeded(42, len);
+                let shards = shard(&v, k);
+                assert_eq!(shards.len(), k);
+                let shard_len = len.div_ceil(k);
+                assert!(shards.iter().all(|s| s.len() == shard_len));
+                assert_eq!(unshard(shards, len), v, "len={len} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CodingError::NotEnoughBlocks { needed: 3, got: 1 };
+        assert_eq!(e.to_string(), "cannot decode: need 3 distinct blocks, got 1");
+        let e = CodingError::WrongBlockSize {
+            index: 2,
+            expected: 8,
+            actual: 9,
+        };
+        assert!(e.to_string().contains("block 2"));
+    }
+
+    #[test]
+    fn code_kind_display() {
+        assert_eq!(CodeKind::Replication.to_string(), "replication");
+        assert_eq!(CodeKind::ReedSolomon.to_string(), "reed-solomon");
+        assert_eq!(CodeKind::Rateless.to_string(), "rateless");
+    }
+}

@@ -1,0 +1,238 @@
+//! Atomicity (linearizability) checking for register histories.
+//!
+//! The paper's safety condition is regularity, explicitly *weaker than
+//! atomicity* (its Section 2); this module supplies the atomicity checker
+//! so the gap is observable: ABD without reader write-back is strongly
+//! regular yet admits new/old read inversions, which this checker
+//! catches and which the write-back variant eliminates.
+//!
+//! For histories with pairwise-distinct written values the classical
+//! characterization applies: the history is linearizable iff the forced
+//! order — real-time write order, "no write completed before a read may
+//! follow the read's observed write", and "reads ordered in real time
+//! observe writes in a consistent order" — is acyclic.
+
+use crate::history::{History, HistoryOp};
+use crate::regularity::Violation;
+use std::collections::{HashMap, HashSet};
+
+/// Node of the constraint graph (mirrors the regularity checker's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Node {
+    Initial,
+    Write(u64),
+}
+
+/// Checks atomicity (linearizability) of a register history.
+///
+/// Requires pairwise-distinct written values (all workloads in this
+/// repository guarantee it); also implies the strong-regularity check.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the inconsistency.
+pub fn check_atomicity(h: &History) -> Result<(), Violation> {
+    // Atomicity implies strong regularity; run it first for its per-read
+    // value legality diagnostics (unwritten value, stale read, v₀ rules).
+    crate::regularity::check_strong_regularity(h)?;
+
+    let writes: Vec<&HistoryOp> = h.writes().collect();
+    let observed = |rd: &HistoryOp| -> Result<Node, Violation> {
+        let value = rd.read_value.as_ref().expect("completed read has a value");
+        if value == h.initial() {
+            return Ok(Node::Initial);
+        }
+        writes
+            .iter()
+            .find(|w| w.written_value() == Some(value))
+            .map(|w| Node::Write(w.id))
+            .ok_or(Violation::UnwrittenValue { read: rd.id })
+    };
+
+    let mut edges: HashMap<Node, HashSet<Node>> = HashMap::new();
+    let mut add = |a: Node, b: Node| {
+        if a != b {
+            edges.entry(a).or_default().insert(b);
+        }
+    };
+    for w in &writes {
+        add(Node::Initial, Node::Write(w.id));
+    }
+    for w1 in &writes {
+        for w2 in &writes {
+            if h.precedes(w1, w2) {
+                add(Node::Write(w1.id), Node::Write(w2.id));
+            }
+        }
+    }
+    let reads: Vec<&HistoryOp> = h.completed_reads().collect();
+    for rd in &reads {
+        let obs = observed(rd)?;
+        // Every write that completed before the read must not follow the
+        // observed write.
+        for w in &writes {
+            if h.precedes(w, rd) {
+                add(Node::Write(w.id), obs);
+            }
+        }
+    }
+    // Reads ordered in real time must observe writes consistently — the
+    // extra constraint atomicity adds over strong regularity (banning
+    // new/old inversions).
+    for rd1 in &reads {
+        for rd2 in &reads {
+            if h.precedes(rd1, rd2) {
+                add(observed(rd1)?, observed(rd2)?);
+            }
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&edges) {
+        return Err(Violation::InconsistentWriteOrder {
+            cycle: cycle
+                .into_iter()
+                .filter_map(|n| match n {
+                    Node::Write(id) => Some(id),
+                    Node::Initial => None,
+                })
+                .collect(),
+        });
+    }
+    Ok(())
+}
+
+fn find_cycle(edges: &HashMap<Node, HashSet<Node>>) -> Option<Vec<Node>> {
+    fn dfs(
+        node: Node,
+        edges: &HashMap<Node, HashSet<Node>>,
+        state: &mut HashMap<Node, u8>, // 1 = gray, 2 = black
+        path: &mut Vec<Node>,
+    ) -> Option<Vec<Node>> {
+        state.insert(node, 1);
+        path.push(node);
+        let mut succs: Vec<Node> = edges
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        succs.sort();
+        for succ in succs {
+            match state.get(&succ).copied().unwrap_or(0) {
+                1 => {
+                    let pos = path.iter().position(|&n| n == succ).unwrap_or(0);
+                    return Some(path[pos..].to_vec());
+                }
+                0 => {
+                    if let Some(c) = dfs(succ, edges, state, path) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        path.pop();
+        state.insert(node, 2);
+        None
+    }
+
+    let mut nodes: Vec<Node> = edges.keys().copied().collect();
+    for t in edges.values() {
+        nodes.extend(t.iter().copied());
+    }
+    nodes.sort();
+    nodes.dedup();
+    let mut state = HashMap::new();
+    let mut path = Vec::new();
+    for &n in &nodes {
+        if state.get(&n).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(n, edges, &mut state, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryOp, OpKind};
+    use rsb_coding::Value;
+
+    fn write(id: u64, client: usize, seed: u64, inv: u64, ret: u64) -> HistoryOp {
+        HistoryOp {
+            id,
+            client,
+            kind: OpKind::Write(Value::seeded(seed, 4)),
+            invoked_at: inv,
+            returned_at: Some(ret),
+            read_value: None,
+        }
+    }
+
+    fn read(id: u64, client: usize, seed: u64, inv: u64, ret: u64) -> HistoryOp {
+        HistoryOp {
+            id,
+            client,
+            kind: OpKind::Read,
+            invoked_at: inv,
+            returned_at: Some(ret),
+            read_value: Some(Value::seeded(seed, 4)),
+        }
+    }
+
+    fn h(ops: Vec<HistoryOp>) -> History {
+        History::new(Value::zeroed(4), ops).unwrap()
+    }
+
+    #[test]
+    fn sequential_history_is_atomic() {
+        let hist = h(vec![
+            write(0, 0, 1, 1, 2),
+            read(1, 1, 1, 3, 4),
+            write(2, 0, 2, 5, 6),
+            read(3, 1, 2, 7, 8),
+        ]);
+        check_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn new_old_inversion_is_regular_but_not_atomic() {
+        // w1 completed; w2 concurrent with both reads; rd1 sees w2, the
+        // later rd2 sees w1 — legal under (strong) regularity, illegal
+        // under atomicity.
+        let hist = h(vec![
+            write(0, 0, 1, 1, 2),   // w1
+            write(1, 1, 2, 3, 100), // w2, still running
+            read(2, 2, 2, 10, 11),  // sees w2
+            read(3, 3, 1, 12, 13),  // then sees w1: inversion
+        ]);
+        crate::regularity::check_strong_regularity(&hist).unwrap();
+        assert!(matches!(
+            check_atomicity(&hist).unwrap_err(),
+            Violation::InconsistentWriteOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn concurrent_reads_may_disagree_until_ordered() {
+        // Two CONCURRENT reads observing w2 then w1 are fine (no real-time
+        // order between them).
+        let hist = h(vec![
+            write(0, 0, 1, 1, 2),
+            write(1, 1, 2, 3, 100),
+            read(2, 2, 2, 10, 20),
+            read(3, 3, 1, 11, 21), // concurrent with read 2
+        ]);
+        check_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn read_must_not_miss_completed_write() {
+        let hist = h(vec![
+            write(0, 0, 1, 1, 2),
+            read(1, 1, 0 /* v0? no: seed 0 is not zeroed */, 3, 4),
+        ]);
+        // seed-0 value ≠ v0 and unwritten → violation via regularity.
+        assert!(check_atomicity(&hist).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Operation histories: the traces over which consistency is judged.
+
+use rsb_coding::Value;
+use serde::{Deserialize, Serialize};
+
+/// What an operation did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A `write(v)`.
+    Write(Value),
+    /// A `read()`.
+    Read,
+}
+
+/// One operation in a history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryOp {
+    /// Unique operation id.
+    pub id: u64,
+    /// The invoking client.
+    pub client: usize,
+    /// Write or read.
+    pub kind: OpKind,
+    /// Invocation time (logical; must be unique per history).
+    pub invoked_at: u64,
+    /// Return time, if the operation completed.
+    pub returned_at: Option<u64>,
+    /// The value a completed read returned.
+    pub read_value: Option<Value>,
+}
+
+impl HistoryOp {
+    /// Whether the operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.returned_at.is_some()
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, OpKind::Write(_))
+    }
+
+    /// The written value, if a write.
+    pub fn written_value(&self) -> Option<&Value> {
+        match &self.kind {
+            OpKind::Write(v) => Some(v),
+            OpKind::Read => None,
+        }
+    }
+}
+
+/// Errors constructing a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// Two operations share an id.
+    DuplicateId(u64),
+    /// An operation returned before it was invoked.
+    ReturnBeforeInvoke(u64),
+    /// A completed read is missing its value, or a write carries one.
+    MalformedResult(u64),
+    /// One client has two operations outstanding at once (not well-formed).
+    OverlappingClientOps {
+        /// The client.
+        client: usize,
+        /// The two offending operation ids.
+        ops: (u64, u64),
+    },
+}
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryError::DuplicateId(id) => write!(f, "duplicate operation id {id}"),
+            HistoryError::ReturnBeforeInvoke(id) => {
+                write!(f, "operation {id} returned before its invocation")
+            }
+            HistoryError::MalformedResult(id) => {
+                write!(f, "operation {id} has an inconsistent result field")
+            }
+            HistoryError::OverlappingClientOps { client, ops } => write!(
+                f,
+                "client {client} has overlapping operations {} and {}",
+                ops.0, ops.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// A validated operation history with the register's initial value `v₀`.
+///
+/// ```
+/// use rsb_consistency::{History, HistoryOp, OpKind};
+/// use rsb_coding::Value;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let v0 = Value::zeroed(4);
+/// let v1 = Value::seeded(1, 4);
+/// let ops = vec![
+///     HistoryOp { id: 0, client: 0, kind: OpKind::Write(v1.clone()),
+///                 invoked_at: 1, returned_at: Some(2), read_value: None },
+///     HistoryOp { id: 1, client: 1, kind: OpKind::Read,
+///                 invoked_at: 3, returned_at: Some(4), read_value: Some(v1) },
+/// ];
+/// let history = History::new(v0, ops)?;
+/// rsb_consistency::check_weak_regularity(&history)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct History {
+    initial: Value,
+    ops: Vec<HistoryOp>,
+}
+
+impl History {
+    /// Validates and wraps a history.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate ids, returns before invocations, result fields
+    /// inconsistent with the operation kind, and overlapping operations by
+    /// one client.
+    pub fn new(initial: Value, ops: Vec<HistoryOp>) -> Result<Self, HistoryError> {
+        let mut seen = std::collections::HashSet::new();
+        for op in &ops {
+            if !seen.insert(op.id) {
+                return Err(HistoryError::DuplicateId(op.id));
+            }
+            if let Some(ret) = op.returned_at {
+                if ret < op.invoked_at {
+                    return Err(HistoryError::ReturnBeforeInvoke(op.id));
+                }
+            }
+            match (&op.kind, &op.read_value, op.returned_at) {
+                (OpKind::Write(_), Some(_), _) => {
+                    return Err(HistoryError::MalformedResult(op.id))
+                }
+                (OpKind::Read, None, Some(_)) => {
+                    return Err(HistoryError::MalformedResult(op.id))
+                }
+                _ => {}
+            }
+        }
+        // Well-formedness: per client, operation intervals must not overlap.
+        let mut by_client: std::collections::HashMap<usize, Vec<&HistoryOp>> =
+            std::collections::HashMap::new();
+        for op in &ops {
+            by_client.entry(op.client).or_default().push(op);
+        }
+        for (client, mut client_ops) in by_client {
+            client_ops.sort_by_key(|o| o.invoked_at);
+            for pair in client_ops.windows(2) {
+                let earlier_end = pair[0].returned_at;
+                match earlier_end {
+                    Some(end) if end < pair[1].invoked_at => {}
+                    _ => {
+                        return Err(HistoryError::OverlappingClientOps {
+                            client,
+                            ops: (pair[0].id, pair[1].id),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(History { initial, ops })
+    }
+
+    /// Builds a history from `rsb-fpsm` simulation records.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`History::new`] (simulator output always passes).
+    pub fn from_fpsm(
+        initial: Value,
+        records: &[rsb_fpsm::OpRecord],
+    ) -> Result<Self, HistoryError> {
+        let ops = records
+            .iter()
+            .map(|r| HistoryOp {
+                id: r.op.0,
+                client: r.client.0,
+                kind: match &r.request {
+                    rsb_fpsm::OpRequest::Write(v) => OpKind::Write(v.clone()),
+                    rsb_fpsm::OpRequest::Read => OpKind::Read,
+                },
+                invoked_at: r.invoked_at,
+                returned_at: r.returned_at,
+                read_value: r
+                    .result
+                    .as_ref()
+                    .and_then(|res| res.read_value().cloned()),
+            })
+            .collect();
+        History::new(initial, ops)
+    }
+
+    /// The initial value `v₀`.
+    pub fn initial(&self) -> &Value {
+        &self.initial
+    }
+
+    /// All operations.
+    pub fn ops(&self) -> &[HistoryOp] {
+        &self.ops
+    }
+
+    /// The write operations.
+    pub fn writes(&self) -> impl Iterator<Item = &HistoryOp> {
+        self.ops.iter().filter(|o| o.is_write())
+    }
+
+    /// The completed read operations.
+    pub fn completed_reads(&self) -> impl Iterator<Item = &HistoryOp> {
+        self.ops
+            .iter()
+            .filter(|o| !o.is_write() && o.is_complete())
+    }
+
+    /// Whether `a` precedes `b` (the paper's `a ≺ᵣ b`): `a` returned
+    /// before `b` was invoked.
+    pub fn precedes(&self, a: &HistoryOp, b: &HistoryOp) -> bool {
+        matches!(a.returned_at, Some(ret) if ret < b.invoked_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(id: u64, client: usize, seed: u64, inv: u64, ret: Option<u64>) -> HistoryOp {
+        HistoryOp {
+            id,
+            client,
+            kind: OpKind::Write(Value::seeded(seed, 4)),
+            invoked_at: inv,
+            returned_at: ret,
+            read_value: None,
+        }
+    }
+
+    #[test]
+    fn validation_catches_malformed_histories() {
+        let v0 = Value::zeroed(4);
+        // Duplicate id.
+        let err = History::new(
+            v0.clone(),
+            vec![write(0, 0, 1, 1, Some(2)), write(0, 1, 2, 3, Some(4))],
+        )
+        .unwrap_err();
+        assert_eq!(err, HistoryError::DuplicateId(0));
+        // Return before invoke.
+        let err = History::new(v0.clone(), vec![write(0, 0, 1, 5, Some(2))]).unwrap_err();
+        assert_eq!(err, HistoryError::ReturnBeforeInvoke(0));
+        // Overlapping ops of one client.
+        let err = History::new(
+            v0.clone(),
+            vec![write(0, 0, 1, 1, Some(10)), write(1, 0, 2, 5, Some(20))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, HistoryError::OverlappingClientOps { .. }));
+        // Read without a value.
+        let err = History::new(
+            v0,
+            vec![HistoryOp {
+                id: 0,
+                client: 0,
+                kind: OpKind::Read,
+                invoked_at: 1,
+                returned_at: Some(2),
+                read_value: None,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, HistoryError::MalformedResult(0));
+    }
+
+    #[test]
+    fn precedence_is_strict_interval_order() {
+        let v0 = Value::zeroed(4);
+        let a = write(0, 0, 1, 1, Some(2));
+        let b = write(1, 1, 2, 3, Some(4));
+        let c = write(2, 2, 3, 2, Some(5)); // concurrent with both
+        let h = History::new(v0, vec![a.clone(), b.clone(), c.clone()]).unwrap();
+        assert!(h.precedes(&a, &b));
+        assert!(!h.precedes(&b, &a));
+        assert!(!h.precedes(&a, &c));
+        assert!(!h.precedes(&c, &a));
+    }
+
+    #[test]
+    fn incomplete_ops_are_allowed() {
+        let v0 = Value::zeroed(4);
+        let h = History::new(v0, vec![write(0, 0, 1, 1, None)]).unwrap();
+        assert_eq!(h.writes().count(), 1);
+        assert_eq!(h.completed_reads().count(), 0);
+    }
+}

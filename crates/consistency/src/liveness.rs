@@ -1,0 +1,154 @@
+//! Liveness assertions over finished (fairly scheduled) runs.
+//!
+//! The paper's hierarchy (Appendix A): **wait-free** — every correct
+//! client's operation completes; **FW-terminating** — writes are
+//! wait-free, and reads complete if there are finitely many write
+//! invocations; **lock-free** — some outstanding operation always
+//! eventually completes. These are conditions on fair runs; the checkers
+//! here take a history produced by driving a fair scheduler to quiescence
+//! plus the set of crashed clients, and report which ops should have
+//! completed but did not.
+
+use crate::history::{History, HistoryOp};
+
+/// The liveness level to check a quiescent fair run against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivenessLevel {
+    /// Every operation of a correct client must have completed.
+    WaitFree,
+    /// Every write of a correct client must have completed; reads must
+    /// have completed because the history contains finitely many writes.
+    FwTerminating,
+    /// At least one operation must have completed if any was invoked.
+    LockFree,
+}
+
+/// A liveness failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LivenessViolation {
+    /// An operation by a correct client never completed.
+    Incomplete {
+        /// The stuck operation.
+        op: u64,
+        /// Its client.
+        client: usize,
+    },
+    /// Nothing completed although operations were invoked (lock-freedom).
+    NoProgress,
+}
+
+impl std::fmt::Display for LivenessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LivenessViolation::Incomplete { op, client } => {
+                write!(f, "operation {op} of correct client {client} never completed")
+            }
+            LivenessViolation::NoProgress => write!(f, "no operation ever completed"),
+        }
+    }
+}
+
+impl std::error::Error for LivenessViolation {}
+
+/// Checks a quiescent fair run's history against a liveness level.
+///
+/// `crashed_clients` lists clients that crashed during the run; their
+/// incomplete operations are excused at every level.
+///
+/// # Errors
+///
+/// Returns the first [`LivenessViolation`] found.
+pub fn check_liveness(
+    h: &History,
+    level: LivenessLevel,
+    crashed_clients: &[usize],
+) -> Result<(), LivenessViolation> {
+    let correct = |op: &HistoryOp| !crashed_clients.contains(&op.client);
+    match level {
+        LivenessLevel::WaitFree => {
+            for op in h.ops().iter().filter(|o| correct(o)) {
+                if !op.is_complete() {
+                    return Err(LivenessViolation::Incomplete {
+                        op: op.id,
+                        client: op.client,
+                    });
+                }
+            }
+            Ok(())
+        }
+        LivenessLevel::FwTerminating => {
+            // Histories are finite by construction, so reads must have
+            // completed too; the distinction from wait-free shows up in
+            // *infinite* runs, which no finite check can witness.
+            for op in h.ops().iter().filter(|o| correct(o)) {
+                if !op.is_complete() {
+                    return Err(LivenessViolation::Incomplete {
+                        op: op.id,
+                        client: op.client,
+                    });
+                }
+            }
+            Ok(())
+        }
+        LivenessLevel::LockFree => {
+            let any_invoked = h.ops().iter().any(correct);
+            let any_complete = h.ops().iter().any(|o| correct(o) && o.is_complete());
+            if any_invoked && !any_complete {
+                Err(LivenessViolation::NoProgress)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryOp, OpKind};
+    use rsb_coding::Value;
+
+    fn op(id: u64, client: usize, complete: bool) -> HistoryOp {
+        HistoryOp {
+            id,
+            client,
+            kind: OpKind::Write(Value::seeded(id, 4)),
+            invoked_at: 10 * id + 1,
+            returned_at: complete.then_some(10 * id + 2),
+            read_value: None,
+        }
+    }
+
+    fn h(ops: Vec<HistoryOp>) -> History {
+        History::new(Value::zeroed(4), ops).unwrap()
+    }
+
+    #[test]
+    fn wait_free_requires_all_complete() {
+        let hist = h(vec![op(0, 0, true), op(1, 1, false)]);
+        assert!(check_liveness(&hist, LivenessLevel::WaitFree, &[]).is_err());
+        // A crashed client is excused.
+        check_liveness(&hist, LivenessLevel::WaitFree, &[1]).unwrap();
+    }
+
+    #[test]
+    fn lock_free_needs_some_progress() {
+        let none = h(vec![op(0, 0, false), op(1, 1, false)]);
+        assert_eq!(
+            check_liveness(&none, LivenessLevel::LockFree, &[]).unwrap_err(),
+            LivenessViolation::NoProgress
+        );
+        let some = h(vec![op(0, 0, true), op(1, 1, false)]);
+        check_liveness(&some, LivenessLevel::LockFree, &[]).unwrap();
+        let empty = h(vec![]);
+        check_liveness(&empty, LivenessLevel::LockFree, &[]).unwrap();
+    }
+
+    #[test]
+    fn fw_terminating_on_finite_histories() {
+        let hist = h(vec![op(0, 0, true)]);
+        check_liveness(&hist, LivenessLevel::FwTerminating, &[]).unwrap();
+        let stuck = h(vec![op(0, 0, false)]);
+        assert!(check_liveness(&stuck, LivenessLevel::FwTerminating, &[]).is_err());
+    }
+}

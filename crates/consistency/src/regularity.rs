@@ -1,0 +1,505 @@
+//! Checkers for the register consistency conditions of the paper's
+//! Appendix A: weak regularity (MWRegWeak), strong regularity (MWRegWO),
+//! and strong safety.
+//!
+//! All three are decided exactly for histories whose written values are
+//! pairwise distinct (and distinct from `v₀`), which every workload in
+//! this repository guarantees; with duplicated values the observed write
+//! of a read is ambiguous and the strong checks refuse rather than guess.
+
+use crate::history::{History, HistoryOp};
+use rsb_coding::Value;
+use std::collections::{HashMap, HashSet};
+
+/// A consistency violation (or a checker limitation), with enough context
+/// to debug the offending schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A read returned a value that no relevant write wrote.
+    UnwrittenValue {
+        /// The offending read.
+        read: u64,
+    },
+    /// A read returned a write that is overwritten: some other write falls
+    /// strictly between the observed write and the read.
+    StaleRead {
+        /// The offending read.
+        read: u64,
+        /// The write whose value was returned.
+        observed: u64,
+        /// A write proving staleness (`observed ≺ proof ≺ read`).
+        proof: u64,
+    },
+    /// A read returned `v₀` although some write completed before it.
+    InitialAfterWrite {
+        /// The offending read.
+        read: u64,
+        /// A write that completed before the read was invoked.
+        proof: u64,
+    },
+    /// The per-read observations cannot be embedded in one write order
+    /// (strong regularity's inter-read agreement fails).
+    InconsistentWriteOrder {
+        /// Write ids forming a dependency cycle.
+        cycle: Vec<u64>,
+    },
+    /// Written values are not pairwise distinct; the strong checks cannot
+    /// attribute reads to writes unambiguously.
+    AmbiguousValues {
+        /// A value written by more than one operation.
+        writes: Vec<u64>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UnwrittenValue { read } => {
+                write!(f, "read {read} returned a value no relevant write wrote")
+            }
+            Violation::StaleRead {
+                read,
+                observed,
+                proof,
+            } => write!(
+                f,
+                "read {read} returned write {observed}, but write {proof} falls entirely between them"
+            ),
+            Violation::InitialAfterWrite { read, proof } => write!(
+                f,
+                "read {read} returned the initial value although write {proof} completed before it"
+            ),
+            Violation::InconsistentWriteOrder { cycle } => {
+                write!(f, "no single write order satisfies all reads (cycle {cycle:?})")
+            }
+            Violation::AmbiguousValues { writes } => write!(
+                f,
+                "writes {writes:?} wrote identical values; strong checks need distinct values"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// For a completed read, the set of writes whose value it may legally
+/// return under weak regularity, split out for reuse:
+/// `candidates(rd) = {w | ¬(rd ≺ w) ∧ ∄w₂: w ≺ w₂ ≺ rd ∧ value matches}`,
+/// plus `v₀` when no write completes before `rd`'s invocation.
+fn weak_candidates<'h>(h: &'h History, rd: &HistoryOp) -> (bool, Vec<&'h HistoryOp>) {
+    let value = rd.read_value.as_ref().expect("completed read has a value");
+    let v0_allowed =
+        value == h.initial() && !h.writes().any(|w| h.precedes(w, rd));
+    let candidates = h
+        .writes()
+        .filter(|w| w.written_value() == Some(value))
+        .filter(|w| !h.precedes(rd, w))
+        .filter(|w| !h.writes().any(|w2| h.precedes(w, w2) && h.precedes(w2, rd)))
+        .collect();
+    (v0_allowed, candidates)
+}
+
+/// Diagnoses why a read has no weak-regularity candidate.
+fn diagnose(h: &History, rd: &HistoryOp) -> Violation {
+    let value = rd.read_value.as_ref().expect("completed read has a value");
+    if value == h.initial() {
+        if let Some(proof) = h.writes().find(|w| h.precedes(w, rd)) {
+            return Violation::InitialAfterWrite {
+                read: rd.id,
+                proof: proof.id,
+            };
+        }
+    }
+    let matching: Vec<&HistoryOp> = h
+        .writes()
+        .filter(|w| w.written_value() == Some(value) && !h.precedes(rd, w))
+        .collect();
+    if matching.is_empty() {
+        return Violation::UnwrittenValue { read: rd.id };
+    }
+    // Every matching write is overwritten; report the first proof found.
+    for w in matching {
+        if let Some(w2) = h
+            .writes()
+            .find(|w2| h.precedes(w, w2) && h.precedes(w2, rd))
+        {
+            return Violation::StaleRead {
+                read: rd.id,
+                observed: w.id,
+                proof: w2.id,
+            };
+        }
+    }
+    Violation::UnwrittenValue { read: rd.id }
+}
+
+/// Checks weak regularity (MWRegWeak): for every completed read there is a
+/// linearization of that read together with all writes.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_weak_regularity(h: &History) -> Result<(), Violation> {
+    for rd in h.completed_reads() {
+        let (v0_ok, candidates) = weak_candidates(h, rd);
+        if !v0_ok && candidates.is_empty() {
+            return Err(diagnose(h, rd));
+        }
+    }
+    Ok(())
+}
+
+/// Node in the write-order constraint graph: the virtual initial write or
+/// a real write id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Node {
+    Initial,
+    Write(u64),
+}
+
+/// Checks strong regularity (MWRegWO): weak regularity plus agreement of
+/// all reads on the order of shared relevant writes.
+///
+/// Decided by building the forced write-order constraint graph (real-time
+/// edges plus, for each read returning write `w`, an edge `w' → w` for
+/// every write `w'` preceding the read) and testing acyclicity.
+///
+/// # Errors
+///
+/// Returns a [`Violation`]; requires pairwise-distinct written values.
+pub fn check_strong_regularity(h: &History) -> Result<(), Violation> {
+    check_weak_regularity(h)?;
+    ensure_distinct_values(h)?;
+
+    let mut edges: HashMap<Node, HashSet<Node>> = HashMap::new();
+    let mut add = |a: Node, b: Node| {
+        if a != b {
+            edges.entry(a).or_default().insert(b);
+        }
+    };
+    // v₀ precedes every write.
+    for w in h.writes() {
+        add(Node::Initial, Node::Write(w.id));
+    }
+    // Real-time order among writes.
+    let writes: Vec<&HistoryOp> = h.writes().collect();
+    for w1 in &writes {
+        for w2 in &writes {
+            if h.precedes(w1, w2) {
+                add(Node::Write(w1.id), Node::Write(w2.id));
+            }
+        }
+    }
+    // Read observations: the observed write is the last relevant one, so
+    // every write preceding the read must order no later than it.
+    for rd in h.completed_reads() {
+        let value = rd.read_value.as_ref().expect("completed read has a value");
+        let observed = if value == h.initial() {
+            Node::Initial
+        } else {
+            match writes.iter().find(|w| w.written_value() == Some(value)) {
+                Some(w) => Node::Write(w.id),
+                None => return Err(Violation::UnwrittenValue { read: rd.id }),
+            }
+        };
+        for w in &writes {
+            if h.precedes(w, rd) {
+                add(Node::Write(w.id), observed);
+            }
+        }
+    }
+    // Cycle check (iterative DFS with colors).
+    if let Some(cycle) = find_cycle(&edges) {
+        return Err(Violation::InconsistentWriteOrder {
+            cycle: cycle
+                .into_iter()
+                .filter_map(|n| match n {
+                    Node::Write(id) => Some(id),
+                    Node::Initial => None,
+                })
+                .collect(),
+        });
+    }
+    Ok(())
+}
+
+/// Checks strong safety: a write linearization exists into which every
+/// read with no concurrent writes can be inserted.
+///
+/// Reads concurrent with any write are unconstrained; the remaining reads
+/// behave as in strong regularity, so the same graph construction decides
+/// the condition (restricted to those reads).
+///
+/// # Errors
+///
+/// Returns a [`Violation`]; requires pairwise-distinct written values.
+pub fn check_strong_safety(h: &History) -> Result<(), Violation> {
+    ensure_distinct_values(h)?;
+    let quiet_reads: Vec<&HistoryOp> = h
+        .completed_reads()
+        .filter(|rd| {
+            !h.writes()
+                .any(|w| !h.precedes(w, rd) && !h.precedes(rd, w))
+        })
+        .collect();
+    // Per-read value legality (same as weak regularity, but all candidate
+    // writes precede the read since none are concurrent).
+    for rd in &quiet_reads {
+        let (v0_ok, candidates) = weak_candidates(h, rd);
+        if !v0_ok && candidates.is_empty() {
+            return Err(diagnose(h, rd));
+        }
+    }
+    // Agreement across quiet reads: reuse the strong-regularity graph on
+    // the sub-history containing only writes and quiet reads.
+    let sub_ops: Vec<crate::history::HistoryOp> = h
+        .ops()
+        .iter()
+        .filter(|o| o.is_write() || quiet_reads.iter().any(|r| r.id == o.id))
+        .cloned()
+        .collect();
+    let sub = History::new(h.initial().clone(), sub_ops)
+        .expect("sub-history of a valid history is valid");
+    check_strong_regularity(&sub)
+}
+
+fn ensure_distinct_values(h: &History) -> Result<(), Violation> {
+    let mut seen: HashMap<&Value, Vec<u64>> = HashMap::new();
+    for w in h.writes() {
+        let v = w.written_value().expect("writes carry values");
+        seen.entry(v).or_default().push(w.id);
+    }
+    for (v, ids) in seen {
+        if ids.len() > 1 || v == h.initial() {
+            return Err(Violation::AmbiguousValues { writes: ids });
+        }
+    }
+    Ok(())
+}
+
+fn find_cycle(edges: &HashMap<Node, HashSet<Node>>) -> Option<Vec<Node>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+
+    fn dfs(
+        node: Node,
+        edges: &HashMap<Node, HashSet<Node>>,
+        color: &mut HashMap<Node, Color>,
+        path: &mut Vec<Node>,
+    ) -> Option<Vec<Node>> {
+        color.insert(node, Color::Gray);
+        path.push(node);
+        let mut succs: Vec<Node> = edges
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        succs.sort();
+        for succ in succs {
+            match color.get(&succ).copied().unwrap_or(Color::White) {
+                Color::Gray => {
+                    let pos = path.iter().position(|&n| n == succ).unwrap_or(0);
+                    return Some(path[pos..].to_vec());
+                }
+                Color::White => {
+                    if let Some(cycle) = dfs(succ, edges, color, path) {
+                        return Some(cycle);
+                    }
+                }
+                Color::Black => {}
+            }
+        }
+        path.pop();
+        color.insert(node, Color::Black);
+        None
+    }
+
+    let mut nodes: HashSet<Node> = edges.keys().copied().collect();
+    for targets in edges.values() {
+        nodes.extend(targets.iter().copied());
+    }
+    let mut sorted: Vec<Node> = nodes.into_iter().collect();
+    sorted.sort();
+    let mut color: HashMap<Node, Color> = HashMap::new();
+    let mut path = Vec::new();
+    for &start in &sorted {
+        if color.get(&start).copied().unwrap_or(Color::White) == Color::White {
+            if let Some(cycle) = dfs(start, edges, &mut color, &mut path) {
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryOp, OpKind};
+
+    fn write(id: u64, client: usize, seed: u64, inv: u64, ret: u64) -> HistoryOp {
+        HistoryOp {
+            id,
+            client,
+            kind: OpKind::Write(Value::seeded(seed, 4)),
+            invoked_at: inv,
+            returned_at: Some(ret),
+            read_value: None,
+        }
+    }
+
+    fn read(id: u64, client: usize, seed: Option<u64>, inv: u64, ret: u64) -> HistoryOp {
+        HistoryOp {
+            id,
+            client,
+            kind: OpKind::Read,
+            invoked_at: inv,
+            returned_at: Some(ret),
+            read_value: Some(match seed {
+                Some(s) => Value::seeded(s, 4),
+                None => Value::zeroed(4),
+            }),
+        }
+    }
+
+    fn h(ops: Vec<HistoryOp>) -> History {
+        History::new(Value::zeroed(4), ops).unwrap()
+    }
+
+    #[test]
+    fn sequential_write_read_is_strongly_regular() {
+        let hist = h(vec![write(0, 0, 1, 1, 2), read(1, 1, Some(1), 3, 4)]);
+        check_weak_regularity(&hist).unwrap();
+        check_strong_regularity(&hist).unwrap();
+        check_strong_safety(&hist).unwrap();
+    }
+
+    #[test]
+    fn stale_read_is_caught() {
+        // w1 then w2 complete sequentially; a later read returns w1.
+        let hist = h(vec![
+            write(0, 0, 1, 1, 2),
+            write(1, 0, 2, 3, 4),
+            read(2, 1, Some(1), 5, 6),
+        ]);
+        let err = check_weak_regularity(&hist).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::StaleRead {
+                read: 2,
+                observed: 0,
+                proof: 1
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_write_may_be_read_early() {
+        // Read overlaps the write: returning its value is legal.
+        let hist = h(vec![write(0, 0, 1, 1, 10), read(1, 1, Some(1), 2, 3)]);
+        check_weak_regularity(&hist).unwrap();
+        check_strong_regularity(&hist).unwrap();
+    }
+
+    #[test]
+    fn unwritten_value_is_caught() {
+        let hist = h(vec![write(0, 0, 1, 1, 2), read(1, 1, Some(9), 3, 4)]);
+        assert_eq!(
+            check_weak_regularity(&hist).unwrap_err(),
+            Violation::UnwrittenValue { read: 1 }
+        );
+    }
+
+    #[test]
+    fn initial_value_only_before_completed_writes() {
+        // v0 read concurrent with an incomplete write: fine.
+        let ok = h(vec![
+            HistoryOp {
+                id: 0,
+                client: 0,
+                kind: OpKind::Write(Value::seeded(1, 4)),
+                invoked_at: 1,
+                returned_at: None,
+                read_value: None,
+            },
+            read(1, 1, None, 2, 3),
+        ]);
+        check_weak_regularity(&ok).unwrap();
+        // v0 read after a completed write: violation.
+        let bad = h(vec![write(0, 0, 1, 1, 2), read(1, 1, None, 3, 4)]);
+        assert_eq!(
+            check_weak_regularity(&bad).unwrap_err(),
+            Violation::InitialAfterWrite { read: 1, proof: 0 }
+        );
+    }
+
+    #[test]
+    fn new_old_inversion_violates_strong_but_not_weak() {
+        // Two concurrent writes w1, w2; two sequential reads observe them
+        // in opposite orders. Weak regularity allows each read alone;
+        // strong regularity (MWRegWO) forbids the disagreement.
+        let hist = h(vec![
+            write(0, 0, 1, 1, 10), // w1 concurrent with w2
+            write(1, 1, 2, 2, 11),
+            read(2, 2, Some(2), 12, 13), // sees w2 (so w1 ≤ w2... w1 before w2)
+            read(3, 3, Some(1), 14, 15), // then sees w1 — inversion
+        ]);
+        check_weak_regularity(&hist).unwrap();
+        let err = check_strong_regularity(&hist).unwrap_err();
+        assert!(matches!(err, Violation::InconsistentWriteOrder { .. }));
+    }
+
+    #[test]
+    fn safe_register_behaviour_passes_safety_not_regularity() {
+        // A read concurrent with a write returns v0 after an earlier write
+        // completed — violates regularity, allowed by safety.
+        let hist = h(vec![
+            write(0, 0, 1, 1, 2),
+            HistoryOp {
+                id: 1,
+                client: 1,
+                kind: OpKind::Write(Value::seeded(2, 4)),
+                invoked_at: 5,
+                returned_at: Some(20),
+                read_value: None,
+            },
+            read(2, 2, None, 6, 7), // concurrent with write 1, returns v0
+        ]);
+        assert!(check_weak_regularity(&hist).is_err());
+        check_strong_safety(&hist).unwrap();
+    }
+
+    #[test]
+    fn quiet_read_constrained_under_safety() {
+        // No concurrency at all; a stale read violates safety too.
+        let hist = h(vec![
+            write(0, 0, 1, 1, 2),
+            write(1, 0, 2, 3, 4),
+            read(2, 1, Some(1), 5, 6),
+        ]);
+        assert!(check_strong_safety(&hist).is_err());
+    }
+
+    #[test]
+    fn duplicate_values_rejected_by_strong_checks() {
+        let hist = h(vec![write(0, 0, 1, 1, 2), write(1, 1, 1, 3, 4)]);
+        assert!(matches!(
+            check_strong_regularity(&hist).unwrap_err(),
+            Violation::AmbiguousValues { .. }
+        ));
+    }
+
+    #[test]
+    fn reads_agreeing_on_concurrent_writes_pass_strong() {
+        let hist = h(vec![
+            write(0, 0, 1, 1, 10),
+            write(1, 1, 2, 2, 11),
+            read(2, 2, Some(1), 12, 13),
+            read(3, 3, Some(1), 14, 15), // same observation: consistent
+        ]);
+        check_strong_regularity(&hist).unwrap();
+    }
+}

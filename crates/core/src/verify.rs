@@ -1,0 +1,82 @@
+//! Glue between scenario runs and the consistency checkers: assert that a
+//! finished run upholds the protocol's advertised guarantee.
+
+use rsb_consistency::{
+    check_liveness, check_strong_regularity, check_strong_safety, check_weak_regularity, History,
+    LivenessLevel,
+};
+use rsb_registers::RegisterProtocol;
+use rsb_workloads::ScenarioOutcome;
+
+/// The safety level a protocol advertises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guarantee {
+    /// MWRegWeak — what the lower bound assumes.
+    WeaklyRegular,
+    /// MWRegWO — what the adaptive, ABD, and pure-coded protocols provide.
+    StronglyRegular,
+    /// Strong safety — what the Appendix-E register provides.
+    StronglySafe,
+}
+
+/// A verification failure, with the failing check named.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks a scenario outcome against a guarantee and the liveness level.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] naming the violated condition.
+pub fn check_outcome<P: RegisterProtocol>(
+    proto: &P,
+    outcome: &ScenarioOutcome<P>,
+    guarantee: Guarantee,
+    liveness: LivenessLevel,
+) -> Result<(), VerifyError> {
+    let history = History::from_fpsm(proto.config().initial_value(), outcome.sim.history())
+        .map_err(|e| VerifyError(format!("malformed history: {e}")))?;
+    match guarantee {
+        Guarantee::WeaklyRegular => check_weak_regularity(&history)
+            .map_err(|e| VerifyError(format!("weak regularity: {e}")))?,
+        Guarantee::StronglyRegular => check_strong_regularity(&history)
+            .map_err(|e| VerifyError(format!("strong regularity: {e}")))?,
+        Guarantee::StronglySafe => check_strong_safety(&history)
+            .map_err(|e| VerifyError(format!("strong safety: {e}")))?,
+    }
+    check_liveness(&history, liveness, &outcome.crashed_clients)
+        .map_err(|e| VerifyError(format!("liveness: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsb_registers::{Adaptive, RegisterConfig, Safe};
+    use rsb_workloads::{run_scenario, Scenario};
+
+    #[test]
+    fn adaptive_scenario_verifies_strong_regularity() {
+        let proto = Adaptive::new(RegisterConfig::paper(1, 2, 16).unwrap());
+        let out = run_scenario(&proto, &Scenario::mixed(2, 2, 2, 3));
+        assert!(out.completed);
+        check_outcome(&proto, &out, Guarantee::StronglyRegular, LivenessLevel::FwTerminating)
+            .unwrap();
+    }
+
+    #[test]
+    fn safe_scenario_verifies_safety() {
+        let proto = Safe::new(RegisterConfig::paper(1, 2, 16).unwrap());
+        let out = run_scenario(&proto, &Scenario::mixed(2, 2, 2, 8));
+        assert!(out.completed);
+        check_outcome(&proto, &out, Guarantee::StronglySafe, LivenessLevel::WaitFree).unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! Identifiers for the components of the shared-memory model.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the `n` base objects `bo₁ … boₙ`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub usize);
+
+/// Identifies a client from the (conceptually infinite) client set `Π`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub usize);
+
+/// Identifies a high-level (emulated-register) operation instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OpId(pub u64);
+
+/// Identifies one low-level RMW triggered on a base object.
+///
+/// Ids are assigned in trigger order, so ordering by `RmwId` is ordering by
+/// trigger time — which is what the paper's adversary uses to pick "the
+/// longest pending" RMW.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RmwId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bo{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RmwId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rmw{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ObjectId(3).to_string(), "bo3");
+        assert_eq!(ClientId(0).to_string(), "c0");
+        assert_eq!(OpId(12).to_string(), "op12");
+        assert_eq!(RmwId(7).to_string(), "rmw7");
+    }
+
+    #[test]
+    fn ordering_matches_inner() {
+        assert!(RmwId(1) < RmwId(2));
+        assert!(OpId(0) < OpId(10));
+    }
+}

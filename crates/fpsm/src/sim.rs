@@ -1,0 +1,459 @@
+//! The deterministic simulation of the asynchronous fault-prone
+//! shared-memory system.
+
+use crate::client::{ClientLogic, ClientRt, Effects, OpRequest, OpResult};
+use crate::ids::{ClientId, ObjectId, OpId, RmwId};
+use crate::object::{ObjectRt, ObjectState};
+use crate::payload::{BlockInstance, Component, Payload, StorageCost};
+use std::collections::BTreeMap;
+
+/// An internal scheduler-controlled event.
+///
+/// The environment (scheduler) decides when a triggered RMW atomically
+/// takes effect on its base object ([`SimEvent::Apply`]) and when its
+/// response reaches the client ([`SimEvent::Deliver`]) — the two degrees of
+/// asynchrony in the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimEvent {
+    /// Let a triggered RMW take effect on its (non-crashed) base object.
+    Apply(RmwId),
+    /// Deliver the response of an applied RMW to its (non-crashed) client,
+    /// running the client's handler.
+    Deliver(RmwId),
+}
+
+/// Errors from driving the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event references an RMW id that is not in the required phase.
+    InvalidEvent(String),
+    /// An invocation targeted a client that already has an outstanding
+    /// operation (runs must be well-formed).
+    ClientBusy(ClientId),
+    /// An invocation targeted a crashed client.
+    ClientCrashed(ClientId),
+    /// The referenced component does not exist.
+    NoSuchComponent(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidEvent(msg) => write!(f, "invalid event: {msg}"),
+            SimError::ClientBusy(c) => write!(f, "client {c} already has an outstanding operation"),
+            SimError::ClientCrashed(c) => write!(f, "client {c} has crashed"),
+            SimError::NoSuchComponent(msg) => write!(f, "no such component: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Phase of an in-flight RMW.
+#[derive(Debug, Clone)]
+enum RmwPhase<R> {
+    /// Triggered; has not yet taken effect.
+    Triggered,
+    /// Took effect; response not yet delivered.
+    Applied(R),
+}
+
+/// Bookkeeping for one in-flight RMW.
+#[derive(Debug, Clone)]
+struct RmwRt<S: ObjectState> {
+    client: ClientId,
+    op: OpId,
+    object: ObjectId,
+    rmw: S::Rmw,
+    phase: RmwPhase<S::Resp>,
+    triggered_at: u64,
+}
+
+/// Public, copyable summary of an in-flight RMW (for schedulers and the
+/// lower-bound adversary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmwInfo {
+    /// The RMW's id (trigger-ordered).
+    pub rmw: RmwId,
+    /// The triggering client.
+    pub client: ClientId,
+    /// The operation it belongs to.
+    pub op: OpId,
+    /// The target base object.
+    pub object: ObjectId,
+    /// Logical time at which it was triggered.
+    pub triggered_at: u64,
+    /// Whether it has already taken effect (else merely triggered).
+    pub applied: bool,
+}
+
+/// The record of one emulated operation, for histories and checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Operation id.
+    pub op: OpId,
+    /// Invoking client.
+    pub client: ClientId,
+    /// The request.
+    pub request: OpRequest,
+    /// Logical invocation time.
+    pub invoked_at: u64,
+    /// The result, once returned.
+    pub result: Option<OpResult>,
+    /// Logical return time, once returned.
+    pub returned_at: Option<u64>,
+}
+
+impl OpRecord {
+    /// Whether the operation has returned.
+    pub fn is_complete(&self) -> bool {
+        self.returned_at.is_some()
+    }
+}
+
+/// The simulated system: `n` base objects, a growable set of clients, and
+/// in-flight RMWs, advanced one scheduler-chosen event at a time.
+///
+/// Logical time increases by one at every action (invocation, apply,
+/// deliver), matching the paper's notion of time as an action index.
+#[derive(Debug)]
+pub struct Simulation<S: ObjectState, L: ClientLogic<State = S>> {
+    objects: Vec<ObjectRt<S>>,
+    clients: Vec<ClientRt<L>>,
+    rmws: BTreeMap<RmwId, RmwRt<S>>,
+    records: Vec<OpRecord>,
+    time: u64,
+    next_rmw: u64,
+    peak_total_bits: u64,
+    peak_cost: StorageCost,
+    sample_storage: bool,
+    storage_series: Vec<(u64, u64)>,
+}
+
+impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
+    /// Creates a simulation with `n` base objects, each initialized by
+    /// `init` (typically holding blocks of the initial value `v₀`).
+    pub fn new(n: usize, mut init: impl FnMut(ObjectId) -> S) -> Self {
+        let objects = (0..n).map(|i| ObjectRt::new(init(ObjectId(i)))).collect();
+        let mut sim = Simulation {
+            objects,
+            clients: Vec::new(),
+            rmws: BTreeMap::new(),
+            records: Vec::new(),
+            time: 0,
+            next_rmw: 0,
+            peak_total_bits: 0,
+            peak_cost: StorageCost::default(),
+            sample_storage: false,
+            storage_series: Vec::new(),
+        };
+        sim.note_storage();
+        sim
+    }
+
+    /// Enables recording of a `(time, total_bits)` series at every event.
+    pub fn enable_storage_sampling(&mut self) {
+        self.sample_storage = true;
+    }
+
+    /// Adds a client running `logic`, returning its id.
+    pub fn add_client(&mut self, logic: L) -> ClientId {
+        let id = ClientId(self.clients.len());
+        self.clients.push(ClientRt::new(logic));
+        id
+    }
+
+    /// Number of base objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of clients added so far.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Current logical time (number of actions so far).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Invokes an operation on a client.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the client is crashed or already has an outstanding
+    /// operation (runs are well-formed).
+    pub fn invoke(&mut self, client: ClientId, req: OpRequest) -> Result<OpId, SimError> {
+        let rt = self
+            .clients
+            .get(client.0)
+            .ok_or_else(|| SimError::NoSuchComponent(format!("{client}")))?;
+        if rt.crashed {
+            return Err(SimError::ClientCrashed(client));
+        }
+        if rt.outstanding.is_some() {
+            return Err(SimError::ClientBusy(client));
+        }
+        let op = OpId(self.records.len() as u64);
+        self.time += 1;
+        self.records.push(OpRecord {
+            op,
+            client,
+            request: req.clone(),
+            invoked_at: self.time,
+            result: None,
+            returned_at: None,
+        });
+        self.clients[client.0].outstanding = Some(op);
+        let mut eff = Effects::new(self.next_rmw);
+        self.clients[client.0].logic.on_invoke(op, req, &mut eff);
+        self.process_effects(client, op, eff);
+        self.note_storage();
+        Ok(op)
+    }
+
+    /// Executes one scheduler-chosen event.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the event is not currently enabled (wrong phase, crashed
+    /// target, unknown id).
+    pub fn step(&mut self, event: SimEvent) -> Result<(), SimError> {
+        match event {
+            SimEvent::Apply(id) => self.apply_rmw(id),
+            SimEvent::Deliver(id) => self.deliver_rmw(id),
+        }
+    }
+
+    fn apply_rmw(&mut self, id: RmwId) -> Result<(), SimError> {
+        let rt = self
+            .rmws
+            .get_mut(&id)
+            .ok_or_else(|| SimError::InvalidEvent(format!("{id} not in flight")))?;
+        if !matches!(rt.phase, RmwPhase::Triggered) {
+            return Err(SimError::InvalidEvent(format!("{id} already applied")));
+        }
+        let obj = rt.object;
+        if self.objects[obj.0].crashed {
+            return Err(SimError::InvalidEvent(format!("{obj} has crashed")));
+        }
+        let client = rt.client;
+        let resp = self.objects[obj.0].state.apply(client, &rt.rmw);
+        rt.phase = RmwPhase::Applied(resp);
+        self.time += 1;
+        self.note_storage();
+        Ok(())
+    }
+
+    fn deliver_rmw(&mut self, id: RmwId) -> Result<(), SimError> {
+        let rt = self
+            .rmws
+            .get(&id)
+            .ok_or_else(|| SimError::InvalidEvent(format!("{id} not in flight")))?;
+        if !matches!(rt.phase, RmwPhase::Applied(_)) {
+            return Err(SimError::InvalidEvent(format!("{id} not applied yet")));
+        }
+        let client = rt.client;
+        if self.clients[client.0].crashed {
+            return Err(SimError::InvalidEvent(format!("{client} has crashed")));
+        }
+        let rt = self.rmws.remove(&id).expect("checked above");
+        let resp = match rt.phase {
+            RmwPhase::Applied(r) => r,
+            RmwPhase::Triggered => unreachable!(),
+        };
+        self.time += 1;
+        let mut eff = Effects::new(self.next_rmw);
+        self.clients[client.0]
+            .logic
+            .on_response(rt.op, id, resp, &mut eff);
+        self.process_effects(client, rt.op, eff);
+        self.note_storage();
+        Ok(())
+    }
+
+    fn process_effects(&mut self, client: ClientId, op: OpId, eff: Effects<S>) {
+        let (triggers, completion) = eff.into_parts();
+        for (id, obj, rmw) in triggers {
+            debug_assert_eq!(id.0, self.next_rmw);
+            self.next_rmw = id.0 + 1;
+            self.rmws.insert(
+                id,
+                RmwRt {
+                    client,
+                    op,
+                    object: obj,
+                    rmw,
+                    phase: RmwPhase::Triggered,
+                    triggered_at: self.time,
+                },
+            );
+        }
+        if let Some(result) = completion {
+            let rec = &mut self.records[op.0 as usize];
+            debug_assert!(rec.result.is_none(), "operation {op} returned twice");
+            rec.result = Some(result);
+            rec.returned_at = Some(self.time);
+            self.clients[client.0].outstanding = None;
+        }
+    }
+
+    /// Crashes a base object: pending RMWs on it never take effect and it
+    /// accepts no further RMWs. Idempotent.
+    pub fn crash_object(&mut self, obj: ObjectId) {
+        self.objects[obj.0].crashed = true;
+    }
+
+    /// Crashes a client: no responses are delivered to it and it takes no
+    /// further steps. Idempotent.
+    pub fn crash_client(&mut self, client: ClientId) {
+        self.clients[client.0].crashed = true;
+    }
+
+    /// Whether the object has crashed.
+    pub fn object_crashed(&self, obj: ObjectId) -> bool {
+        self.objects[obj.0].crashed
+    }
+
+    /// Whether the client has crashed.
+    pub fn client_crashed(&self, client: ClientId) -> bool {
+        self.clients[client.0].crashed
+    }
+
+    /// Read access to a base object's protocol state (for assertions and
+    /// adversaries; a real client could not do this without an RMW).
+    pub fn object_state(&self, obj: ObjectId) -> &S {
+        &self.objects[obj.0].state
+    }
+
+    /// Read access to a client's protocol logic.
+    pub fn client_logic(&self, client: ClientId) -> &L {
+        &self.clients[client.0].logic
+    }
+
+    /// The outstanding operation of a client, if any.
+    pub fn outstanding_op(&self, client: ClientId) -> Option<OpId> {
+        self.clients[client.0].outstanding
+    }
+
+    /// All operations with an invocation but no return yet.
+    pub fn outstanding_ops(&self) -> Vec<&OpRecord> {
+        self.records.iter().filter(|r| !r.is_complete()).collect()
+    }
+
+    /// The record of an operation.
+    pub fn op_record(&self, op: OpId) -> &OpRecord {
+        &self.records[op.0 as usize]
+    }
+
+    /// The full operation history so far.
+    pub fn history(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Summaries of all in-flight RMWs, in trigger order.
+    pub fn inflight_rmws(&self) -> Vec<RmwInfo> {
+        self.rmws
+            .iter()
+            .map(|(&rmw, rt)| RmwInfo {
+                rmw,
+                client: rt.client,
+                op: rt.op,
+                object: rt.object,
+                triggered_at: rt.triggered_at,
+                applied: matches!(rt.phase, RmwPhase::Applied(_)),
+            })
+            .collect()
+    }
+
+    /// Events currently enabled: applies on live objects, deliveries to
+    /// live clients, in trigger order.
+    pub fn enabled_events(&self) -> Vec<SimEvent> {
+        self.rmws
+            .iter()
+            .filter_map(|(&id, rt)| match &rt.phase {
+                RmwPhase::Triggered if !self.objects[rt.object.0].crashed => {
+                    Some(SimEvent::Apply(id))
+                }
+                RmwPhase::Applied(_) if !self.clients[rt.client.0].crashed => {
+                    Some(SimEvent::Deliver(id))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The storage cost right now (Definition 2), broken down by site.
+    pub fn storage_cost(&self) -> StorageCost {
+        let mut cost = StorageCost::default();
+        for o in &self.objects {
+            cost.object_bits += o.state.block_bits();
+        }
+        for c in &self.clients {
+            cost.client_bits += c.logic.stored_blocks().iter().map(|b| b.bits).sum::<u64>();
+        }
+        for rt in self.rmws.values() {
+            match &rt.phase {
+                RmwPhase::Triggered => cost.inflight_param_bits += rt.rmw.block_bits(),
+                RmwPhase::Applied(r) => cost.inflight_resp_bits += r.block_bits(),
+            }
+        }
+        cost
+    }
+
+    /// Every block instance in the system, tagged by component — the raw
+    /// material for the lower-bound quantities `‖S(t, w)‖` and `F(t)`.
+    pub fn component_blocks(&self) -> Vec<(Component, Vec<BlockInstance>)> {
+        let mut out = Vec::new();
+        for (i, o) in self.objects.iter().enumerate() {
+            out.push((Component::Object(ObjectId(i)), o.state.blocks()));
+        }
+        for (i, c) in self.clients.iter().enumerate() {
+            out.push((Component::Client(ClientId(i)), c.logic.stored_blocks()));
+        }
+        for (&id, rt) in &self.rmws {
+            match &rt.phase {
+                RmwPhase::Triggered => out.push((
+                    Component::RmwParam {
+                        rmw: id,
+                        client: rt.client,
+                    },
+                    rt.rmw.blocks(),
+                )),
+                RmwPhase::Applied(r) => out.push((
+                    Component::RmwResponse {
+                        rmw: id,
+                        object: rt.object,
+                    },
+                    r.blocks(),
+                )),
+            }
+        }
+        out
+    }
+
+    /// Peak total storage cost observed so far (bits).
+    pub fn peak_storage_bits(&self) -> u64 {
+        self.peak_total_bits
+    }
+
+    /// Per-category peaks observed so far.
+    pub fn peak_storage_cost(&self) -> StorageCost {
+        self.peak_cost
+    }
+
+    /// The sampled `(time, total_bits)` series, if sampling was enabled.
+    pub fn storage_series(&self) -> &[(u64, u64)] {
+        &self.storage_series
+    }
+
+    fn note_storage(&mut self) {
+        let cost = self.storage_cost();
+        self.peak_total_bits = self.peak_total_bits.max(cost.total());
+        self.peak_cost = self.peak_cost.max(cost);
+        if self.sample_storage {
+            self.storage_series.push((self.time, cost.total()));
+        }
+    }
+}

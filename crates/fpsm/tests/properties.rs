@@ -1,0 +1,170 @@
+//! Property tests of the simulation substrate: determinism, conservation
+//! of RMWs, and storage-accounting consistency along arbitrary schedules.
+
+use proptest::prelude::*;
+use rsb_coding::Value;
+use rsb_fpsm::{
+    BlockInstance, ClientId, ClientLogic, Effects, ObjectId, ObjectState, OpId, OpRequest,
+    OpResult, Payload, RandomScheduler, RmwId, Scheduler, Simulation,
+};
+
+/// Toy protocol: object keeps the largest (op, bits) block it has seen;
+/// client stores one block per object then completes.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    held: Option<BlockInstance>,
+}
+
+#[derive(Debug, Clone)]
+struct Put(BlockInstance);
+
+impl Payload for Put {
+    fn blocks(&self) -> Vec<BlockInstance> {
+        vec![self.0]
+    }
+}
+
+impl Payload for Cell {
+    fn blocks(&self) -> Vec<BlockInstance> {
+        self.held.into_iter().collect()
+    }
+}
+
+impl ObjectState for Cell {
+    type Rmw = Put;
+    type Resp = rsb_fpsm::MetadataOnly;
+
+    fn apply(&mut self, _c: ClientId, rmw: &Put) -> rsb_fpsm::MetadataOnly {
+        if self.held.map_or(true, |b| b.source_op <= rmw.0.source_op) {
+            self.held = Some(rmw.0);
+        }
+        rsb_fpsm::MetadataOnly
+    }
+}
+
+#[derive(Debug)]
+struct Writer {
+    n: usize,
+    bits: u64,
+    acks: usize,
+}
+
+impl ClientLogic for Writer {
+    type State = Cell;
+
+    fn on_invoke(&mut self, op: OpId, _req: OpRequest, eff: &mut Effects<Cell>) {
+        for i in 0..self.n {
+            eff.trigger(ObjectId(i), Put(BlockInstance::new(op, i as u32, self.bits)));
+        }
+        self.acks = 0;
+    }
+
+    fn on_response(
+        &mut self,
+        _op: OpId,
+        _rmw: RmwId,
+        _resp: rsb_fpsm::MetadataOnly,
+        eff: &mut Effects<Cell>,
+    ) {
+        self.acks += 1;
+        if self.acks == self.n {
+            eff.complete(OpResult::Write);
+        }
+    }
+}
+
+fn build(n: usize, clients: usize, bits: u64) -> Simulation<Cell, Writer> {
+    let mut sim = Simulation::new(n, |_| Cell::default());
+    for _ in 0..clients {
+        let c = sim.add_client(Writer { n, bits, acks: 0 });
+        sim.invoke(c, OpRequest::Write(Value::zeroed(1))).unwrap();
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same seed yields byte-identical histories and storage series.
+    #[test]
+    fn schedules_are_deterministic(seed in any::<u64>(), n in 1usize..6, clients in 1usize..5) {
+        let runs: Vec<(Vec<Option<u64>>, u64)> = (0..2)
+            .map(|_| {
+                let mut sim = build(n, clients, 64);
+                sim.enable_storage_sampling();
+                let mut sched = RandomScheduler::new(seed);
+                while let Some(ev) = Scheduler::<_, _>::next_event(&mut sched, &sim) {
+                    sim.step(ev).unwrap();
+                }
+                (
+                    sim.history().iter().map(|r| r.returned_at).collect(),
+                    sim.peak_storage_bits(),
+                )
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+
+    /// Conservation: every triggered RMW is applied and delivered exactly
+    /// once in a drained run; objects end with exactly one block.
+    #[test]
+    fn rmw_conservation(seed in any::<u64>(), n in 1usize..6, clients in 1usize..5) {
+        let mut sim = build(n, clients, 32);
+        let mut sched = RandomScheduler::new(seed);
+        while let Some(ev) = Scheduler::<_, _>::next_event(&mut sched, &sim) {
+            sim.step(ev).unwrap();
+        }
+        prop_assert!(sim.inflight_rmws().is_empty());
+        prop_assert!(sim.history().iter().all(|r| r.is_complete()));
+        let cost = sim.storage_cost();
+        prop_assert_eq!(cost.object_bits, (n as u64) * 32);
+        prop_assert_eq!(cost.inflight_param_bits, 0);
+        prop_assert_eq!(cost.inflight_resp_bits, 0);
+    }
+
+    /// The storage series never jumps by more than one RMW payload per
+    /// event, and the peak is the max of the series.
+    #[test]
+    fn storage_series_is_coherent(seed in any::<u64>(), clients in 1usize..5) {
+        let bits = 128u64;
+        let n = 3usize;
+        let mut sim = build(n, clients, bits);
+        sim.enable_storage_sampling();
+        let mut sched = RandomScheduler::new(seed);
+        while let Some(ev) = Scheduler::<_, _>::next_event(&mut sched, &sim) {
+            sim.step(ev).unwrap();
+        }
+        let series = sim.storage_series();
+        let max = series.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        prop_assert_eq!(max, sim.peak_storage_bits());
+        for w in series.windows(2) {
+            let delta = w[1].1.abs_diff(w[0].1);
+            prop_assert!(delta <= bits * n as u64, "jump of {delta} bits in one event");
+        }
+    }
+
+    /// Crashing objects mid-run never panics and leaves their RMWs pending.
+    #[test]
+    fn crashes_are_safe(seed in any::<u64>(), crash_at in 0usize..10) {
+        let mut sim = build(3, 2, 16);
+        let mut sched = RandomScheduler::new(seed);
+        let mut steps = 0usize;
+        loop {
+            if steps == crash_at {
+                sim.crash_object(ObjectId(0));
+            }
+            match Scheduler::<_, _>::next_event(&mut sched, &sim) {
+                Some(ev) => {
+                    sim.step(ev).unwrap();
+                    steps += 1;
+                }
+                None => break,
+            }
+        }
+        // All remaining in-flight RMWs target the crashed object.
+        for info in sim.inflight_rmws() {
+            prop_assert!(!info.applied);
+            prop_assert_eq!(info.object, ObjectId(0));
+        }
+    }
+}

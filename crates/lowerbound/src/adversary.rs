@@ -1,0 +1,221 @@
+//! The adversary `Ad` of the paper's Definition 7, as a scheduler.
+//!
+//! At every decision point `Ad`:
+//!
+//! 1. if some triggered RMW targets a non-frozen base object (`∉ F(t)`)
+//!    and belongs to a client whose outstanding write is in `C⁻(t)`, lets
+//!    the **longest-pending** such RMW take effect and schedules its
+//!    response;
+//! 2. otherwise schedules other client actions in a fair order — in this
+//!    simulation, delivering already-applied responses (client-side steps
+//!    such as triggering RMWs and oracle calls happen inside handlers and
+//!    never "affect a base object");
+//!
+//! and it stops — declaring victory — once `|C⁺(t)| = c` or `|F(t)| > f`,
+//! the dichotomy of Lemma 3 whose storage consequence (Observation 1) is
+//! `min((f+1)·ℓ, c·(D−ℓ+1))` bits.
+
+use crate::tracking::{AdversaryParams, Snapshot};
+use rsb_fpsm::{
+    ClientLogic, ObjectState, RmwId, Scheduler, SimEvent, Simulation, StorageCost,
+};
+
+/// Why an adversary-driven run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdOutcome {
+    /// `|C⁺(t)| ≥ c`: every one of the `c` concurrent writes has pushed
+    /// more than `D − ℓ` bits into the storage.
+    ConcurrencySaturated,
+    /// `|F(t)| > f`: more than `f` base objects each hold at least `ℓ`
+    /// bits.
+    FrozenExceedsF,
+    /// No event was schedulable and the stopping condition did not hold
+    /// (the algorithm made all its writes return — possible only when the
+    /// theorem's premises are not met, e.g. `ℓ` close to `D`).
+    Stalled,
+    /// The step budget ran out first.
+    BudgetExhausted,
+}
+
+/// The adversary scheduler.
+#[derive(Debug)]
+pub struct AdversaryAd {
+    params: AdversaryParams,
+    /// The response of a rule-1 apply, to be delivered as the next event.
+    pending_delivery: Option<RmwId>,
+    outcome: Option<AdOutcome>,
+}
+
+impl AdversaryAd {
+    /// Creates the adversary for the given parameters.
+    pub fn new(params: AdversaryParams) -> Self {
+        AdversaryAd {
+            params,
+            pending_delivery: None,
+            outcome: None,
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &AdversaryParams {
+        &self.params
+    }
+
+    /// The outcome, once the adversary stopped.
+    pub fn outcome(&self) -> Option<AdOutcome> {
+        self.outcome
+    }
+}
+
+impl<S, L> Scheduler<S, L> for AdversaryAd
+where
+    S: ObjectState,
+    L: ClientLogic<State = S>,
+{
+    fn next_event(&mut self, sim: &Simulation<S, L>) -> Option<SimEvent> {
+        // Complete a rule-1 apply with its response delivery (the paper's
+        // rule 1 performs both).
+        if let Some(id) = self.pending_delivery.take() {
+            let still_deliverable = sim
+                .inflight_rmws()
+                .iter()
+                .any(|i| i.rmw == id && i.applied && !sim.client_crashed(i.client));
+            if still_deliverable {
+                return Some(SimEvent::Deliver(id));
+            }
+        }
+
+        let snap = Snapshot::capture(sim, &self.params);
+        if snap.cplus.len() >= self.params.concurrency {
+            self.outcome = Some(AdOutcome::ConcurrencySaturated);
+            return None;
+        }
+        if snap.frozen.len() > self.params.f {
+            self.outcome = Some(AdOutcome::FrozenExceedsF);
+            return None;
+        }
+
+        let inflight = sim.inflight_rmws();
+
+        // Rule 1: the longest-pending RMW on a non-frozen object whose
+        // client's outstanding operation is not in C⁺ (reads contribute no
+        // blocks and count as C⁻). Ids are trigger-ordered, so the first
+        // match is the longest pending.
+        for info in &inflight {
+            if info.applied
+                || sim.object_crashed(info.object)
+                || snap.frozen.contains(&info.object)
+                || snap.cplus.contains(&info.op)
+            {
+                continue;
+            }
+            // Only RMWs of still-outstanding operations are client steps.
+            if sim.op_record(info.op).is_complete() {
+                continue;
+            }
+            self.pending_delivery = Some(info.rmw);
+            return Some(SimEvent::Apply(info.rmw));
+        }
+
+        // Rule 2: fair order among remaining client actions — deliver the
+        // oldest applied response to a live client.
+        for info in &inflight {
+            if info.applied && !sim.client_crashed(info.client) {
+                return Some(SimEvent::Deliver(info.rmw));
+            }
+        }
+
+        self.outcome = Some(AdOutcome::Stalled);
+        None
+    }
+}
+
+/// The report of one adversary-driven run.
+#[derive(Debug, Clone)]
+pub struct BlowupReport {
+    /// Why the run stopped.
+    pub outcome: AdOutcome,
+    /// Events executed.
+    pub steps: u64,
+    /// The parameters used.
+    pub params: AdversaryParams,
+    /// Storage cost at the stopping point.
+    pub storage_at_stop: StorageCost,
+    /// Peak storage cost over the run.
+    pub peak_bits: u64,
+    /// `|F|` at the stopping point.
+    pub frozen_count: usize,
+    /// `|C⁺|` at the stopping point.
+    pub cplus_count: usize,
+    /// The dichotomy's guaranteed bits, `min((f+1)·ℓ, c·(D−ℓ+1))`.
+    pub guaranteed_bits: u64,
+    /// The Observation-1 quantity actually measured at the stop: the bits
+    /// across frozen objects (for `|F| > f`) or across `C⁺` contributions
+    /// (for `|C⁺| = c`). Excludes each writer's own client-side state, so
+    /// it never over-counts.
+    pub certified_bits: u64,
+}
+
+impl BlowupReport {
+    /// The bound the winning arm promises: `(f+1)·ℓ` for frozen objects,
+    /// `c·(D−ℓ+1)` for saturated concurrency.
+    pub fn winning_side_bound(&self) -> Option<u64> {
+        match self.outcome {
+            AdOutcome::FrozenExceedsF => {
+                Some((self.params.f as u64 + 1) * self.params.ell_bits)
+            }
+            AdOutcome::ConcurrencySaturated => Some(
+                self.params.concurrency as u64
+                    * (self.params.data_bits - self.params.ell_bits + 1),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Whether the run certified the lower bound: the adversary won and
+    /// the measured Observation-1 bits reach the winning side's promise
+    /// (which is at least `min((f+1)ℓ, c(D−ℓ+1))`).
+    pub fn certifies_bound(&self) -> bool {
+        match self.winning_side_bound() {
+            Some(bound) => self.certified_bits >= bound && bound >= self.guaranteed_bits,
+            None => false,
+        }
+    }
+}
+
+/// Drives `sim` (with `c` writes already invoked) under the adversary
+/// until it stops or `max_steps` pass, and reports the storage blow-up.
+pub fn run_blowup<S, L>(
+    sim: &mut Simulation<S, L>,
+    params: AdversaryParams,
+    max_steps: u64,
+) -> BlowupReport
+where
+    S: ObjectState,
+    L: ClientLogic<State = S>,
+{
+    let mut ad = AdversaryAd::new(params);
+    let mut steps = 0u64;
+    while steps < max_steps {
+        match Scheduler::<S, L>::next_event(&mut ad, sim) {
+            None => break,
+            Some(ev) => {
+                sim.step(ev).expect("adversary chose an enabled event");
+                steps += 1;
+            }
+        }
+    }
+    let snap = Snapshot::capture(sim, &params);
+    let outcome = ad.outcome().unwrap_or(AdOutcome::BudgetExhausted);
+    BlowupReport {
+        outcome,
+        steps,
+        params,
+        storage_at_stop: sim.storage_cost(),
+        peak_bits: sim.peak_storage_bits(),
+        frozen_count: snap.frozen.len(),
+        cplus_count: snap.cplus.len(),
+        guaranteed_bits: params.guaranteed_bits(),
+        certified_bits: snap.certified_bits(&params),
+    }
+}

@@ -1,0 +1,203 @@
+//! The lower-bound bookkeeping: the paper's Definition 6 quantities
+//! `‖S(t, w)‖`, the frozen-object set `F_ℓ(t)`, and the write classes
+//! `C⁻ℓ(t)` / `C⁺ℓ(t)`.
+
+use rsb_fpsm::{ClientLogic, Component, ObjectId, ObjectState, OpId, Simulation};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Parameters of the adversary construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryParams {
+    /// The freezing threshold `ℓ` in bits (`0 < ℓ ≤ D`; Theorem 1 uses
+    /// `ℓ = D/2`).
+    pub ell_bits: u64,
+    /// The data size `D` in bits.
+    pub data_bits: u64,
+    /// The failure budget `f`: the adversary wins when `|F(t)| > f`.
+    pub f: usize,
+    /// The concurrency level `c`: the adversary wins when `|C⁺(t)| = c`.
+    pub concurrency: usize,
+}
+
+impl AdversaryParams {
+    /// The canonical Theorem-1 instantiation: `ℓ = D/2`.
+    pub fn theorem1(data_bits: u64, f: usize, concurrency: usize) -> Self {
+        AdversaryParams {
+            ell_bits: data_bits / 2,
+            data_bits,
+            f,
+            concurrency,
+        }
+    }
+
+    /// The storage the dichotomy guarantees at the stopping point:
+    /// `min((f+1)·ℓ, c·(D − ℓ + 1))` bits (Observation 1 + Lemma 3).
+    pub fn guaranteed_bits(&self) -> u64 {
+        let frozen_side = (self.f as u64 + 1) * self.ell_bits;
+        let concurrency_side =
+            self.concurrency as u64 * (self.data_bits - self.ell_bits + 1);
+        frozen_side.min(concurrency_side)
+    }
+}
+
+/// A point-in-time view of the lower-bound quantities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `F(t)`: base objects storing at least `ℓ` bits (their state plus
+    /// applied-but-undelivered responses, which the paper's Definition 2
+    /// charges to the object).
+    pub frozen: BTreeSet<ObjectId>,
+    /// Stored bits per base object (the summands behind `F(t)`).
+    pub object_bits: BTreeMap<ObjectId, u64>,
+    /// `‖S(t, w)‖` for every outstanding write `w`: the bits in
+    /// distinct-index blocks sourced to `w` held outside `w`'s client.
+    pub contributed: BTreeMap<OpId, u64>,
+    /// `C⁺(t)`: outstanding writes with `‖S(t, w)‖ > D − ℓ`.
+    pub cplus: BTreeSet<OpId>,
+    /// `C⁻(t)`: the remaining outstanding writes.
+    pub cminus: BTreeSet<OpId>,
+}
+
+impl Snapshot {
+    /// Computes the snapshot for the current simulation state.
+    pub fn capture<S, L>(sim: &Simulation<S, L>, params: &AdversaryParams) -> Self
+    where
+        S: ObjectState,
+        L: ClientLogic<State = S>,
+    {
+        let blocks = sim.component_blocks();
+
+        // Bits per object: object state + undelivered responses on it.
+        let mut object_bits: HashMap<ObjectId, u64> = HashMap::new();
+        // Per write: distinct block indices seen outside the writer's
+        // client, with the size of each index.
+        let mut index_bits: HashMap<OpId, HashMap<u32, u64>> = HashMap::new();
+
+        // The client performing each outstanding write.
+        let outstanding: Vec<(OpId, rsb_fpsm::ClientId)> = sim
+            .outstanding_ops()
+            .iter()
+            .filter(|r| r.request.is_write())
+            .map(|r| (r.op, r.client))
+            .collect();
+        let writer_of: HashMap<OpId, rsb_fpsm::ClientId> = outstanding.iter().copied().collect();
+
+        for (component, instances) in &blocks {
+            let charged_object = match component {
+                Component::Object(o) => Some(*o),
+                Component::RmwResponse { object, .. } => Some(*object),
+                _ => None,
+            };
+            if let Some(o) = charged_object {
+                *object_bits.entry(o).or_default() +=
+                    instances.iter().map(|b| b.bits).sum::<u64>();
+            }
+            // The client holding this component, for the "outside the
+            // writer's client" exclusion.
+            let holder = match component {
+                Component::Client(c) => Some(*c),
+                Component::RmwParam { client, .. } => Some(*client),
+                _ => None,
+            };
+            for inst in instances {
+                if let Some(&writer) = writer_of.get(&inst.source_op) {
+                    if holder == Some(writer) {
+                        continue; // the writer's own copy is excluded
+                    }
+                    index_bits
+                        .entry(inst.source_op)
+                        .or_default()
+                        .entry(inst.index)
+                        .or_insert(inst.bits);
+                }
+            }
+        }
+
+        let frozen: BTreeSet<ObjectId> = object_bits
+            .iter()
+            .filter(|(_, &bits)| bits >= params.ell_bits)
+            .map(|(&o, _)| o)
+            .collect();
+
+        let mut contributed = BTreeMap::new();
+        let mut cplus = BTreeSet::new();
+        let mut cminus = BTreeSet::new();
+        for (op, _) in outstanding {
+            let total: u64 = index_bits
+                .get(&op)
+                .map(|m| m.values().sum())
+                .unwrap_or(0);
+            contributed.insert(op, total);
+            if total > params.data_bits - params.ell_bits {
+                cplus.insert(op);
+            } else {
+                cminus.insert(op);
+            }
+        }
+
+        Snapshot {
+            frozen,
+            object_bits: object_bits.into_iter().collect(),
+            contributed,
+            cplus,
+            cminus,
+        }
+    }
+
+    /// The bits Observation 1 certifies at this point: over frozen objects
+    /// if `|F| > f`, over `C⁺` contributions if `|C⁺| ≥ c` (the larger
+    /// side if both hold; zero if neither).
+    pub fn certified_bits(&self, params: &AdversaryParams) -> u64 {
+        let frozen_side: u64 = if self.frozen.len() > params.f {
+            self.frozen
+                .iter()
+                .map(|o| self.object_bits.get(o).copied().unwrap_or(0))
+                .sum()
+        } else {
+            0
+        };
+        let cplus_side: u64 = if self.cplus.len() >= params.concurrency {
+            self.cplus
+                .iter()
+                .map(|w| self.contributed.get(w).copied().unwrap_or(0))
+                .sum()
+        } else {
+            0
+        };
+        frozen_side.max(cplus_side)
+    }
+
+    /// Whether the adversary's stopping condition holds.
+    pub fn adversary_wins(&self, params: &AdversaryParams) -> bool {
+        self.cplus.len() >= params.concurrency || self.frozen.len() > params.f
+    }
+}
+
+/// The distinct sources present in the storage right now — a view of the
+/// paper's source function (Definition 4) restricted to live blocks.
+pub fn live_sources<S, L>(sim: &Simulation<S, L>) -> BTreeSet<(OpId, u32)>
+where
+    S: ObjectState,
+    L: ClientLogic<State = S>,
+{
+    let mut out = BTreeSet::new();
+    for (_, instances) in sim.component_blocks() {
+        for inst in instances {
+            out.insert((inst.source_op, inst.index));
+        }
+    }
+    out
+}
+
+/// Convenience: `HashSet` of op ids currently outstanding as writes.
+pub fn outstanding_writes<S, L>(sim: &Simulation<S, L>) -> HashSet<OpId>
+where
+    S: ObjectState,
+    L: ClientLogic<State = S>,
+{
+    sim.outstanding_ops()
+        .iter()
+        .filter(|r| r.request.is_write())
+        .map(|r| r.op)
+        .collect()
+}

@@ -1,0 +1,170 @@
+//! Integration tests of the Lemma-3 dichotomy: under the adversary `Ad`
+//! every protocol ends with `|F| > f` (replication-priced) or `|C⁺| = c`
+//! (concurrency-priced), and the measured storage certifies Theorem 1.
+
+use rsb_coding::Value;
+use rsb_fpsm::OpRequest;
+use rsb_lowerbound::{run_blowup, AdOutcome, AdversaryParams, Snapshot};
+use rsb_registers::{Abd, Adaptive, Coded, RegisterConfig, RegisterProtocol, Safe};
+
+const MAX_STEPS: u64 = 2_000_000;
+
+fn invoke_writers<P: RegisterProtocol>(
+    proto: &P,
+    c: usize,
+) -> rsb_fpsm::Simulation<P::Object, P::Client> {
+    let mut sim = proto.new_sim();
+    let len = proto.config().value_len;
+    for i in 0..c {
+        let w = proto.add_client(&mut sim);
+        sim.invoke(w, OpRequest::Write(Value::seeded(i as u64 + 1, len)))
+            .expect("fresh clients accept writes");
+    }
+    sim
+}
+
+#[test]
+fn abd_exceeds_f_frozen_objects_when_c_is_large() {
+    // Replication: every applied store freezes its object (D ≥ ℓ).
+    let cfg = RegisterConfig::new(5, 2, 1, 64).unwrap(); // D = 512
+    let proto = Abd::new(cfg);
+    let c = 5; // > f + 1 writers available to freeze f + 1 objects
+    let mut sim = invoke_writers(&proto, c);
+    let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, c);
+    let report = run_blowup(&mut sim, params, MAX_STEPS);
+    assert_eq!(report.outcome, AdOutcome::FrozenExceedsF, "{report:?}");
+    assert!(report.certifies_bound(), "{report:?}");
+    // (f+1) full replicas stored: at least (f+1)·D bits on frozen objects.
+    assert!(report.certified_bits >= 3 * 512);
+}
+
+#[test]
+fn abd_is_frozen_from_the_start() {
+    // Corollary 2's flip side: replication stores D bits (a full replica)
+    // in every object from the initial configuration, so |F| > f holds at
+    // time 0 for any ℓ ≤ D — replication always pays ≥ (f+1)·ℓ, which is
+    // why its cost never grows with concurrency.
+    let cfg = RegisterConfig::new(7, 3, 1, 64).unwrap();
+    let proto = Abd::new(cfg);
+    let c = 2;
+    let mut sim = invoke_writers(&proto, c);
+    let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, c);
+    let report = run_blowup(&mut sim, params, MAX_STEPS);
+    assert_eq!(report.outcome, AdOutcome::FrozenExceedsF, "{report:?}");
+    assert_eq!(report.steps, 0, "the initial state already certifies");
+    assert!(report.certified_bits >= (cfg.f as u64 + 1) * params.ell_bits);
+}
+
+#[test]
+fn coded_pays_concurrency_with_fine_pieces() {
+    // k = 8 pieces of D/8 bits: objects freeze slowly, writers saturate
+    // C⁺ first when c is small relative to f.
+    let cfg = RegisterConfig::paper(4, 8, 128).unwrap(); // n = 16, D = 1024
+    let proto = Coded::new(cfg);
+    let c = 3;
+    let mut sim = invoke_writers(&proto, c);
+    let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, c);
+    let report = run_blowup(&mut sim, params, MAX_STEPS);
+    assert_eq!(report.outcome, AdOutcome::ConcurrencySaturated, "{report:?}");
+    assert!(report.certifies_bound(), "{report:?}");
+    // Each of the c writers contributed > D − ℓ = D/2 bits.
+    assert!(report.certified_bits >= 3 * 513);
+}
+
+#[test]
+fn adaptive_hits_one_arm_and_certifies() {
+    for (f, k, c) in [(2usize, 2usize, 2usize), (2, 2, 6), (3, 4, 3)] {
+        let cfg = RegisterConfig::paper(f, k, 96).unwrap();
+        let proto = Adaptive::new(cfg);
+        let mut sim = invoke_writers(&proto, c);
+        let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, c);
+        let report = run_blowup(&mut sim, params, MAX_STEPS);
+        assert!(
+            matches!(
+                report.outcome,
+                AdOutcome::FrozenExceedsF | AdOutcome::ConcurrencySaturated
+            ),
+            "f={f} k={k} c={c}: {report:?}"
+        );
+        assert!(report.certifies_bound(), "f={f} k={k} c={c}: {report:?}");
+    }
+}
+
+#[test]
+fn safe_register_escapes_the_dichotomy() {
+    // Appendix E: the safe register is NOT a regular register, and indeed
+    // the adversary cannot drive it to either arm — writes complete (the
+    // run stalls with all writes returned) while object storage stays at
+    // exactly n·D/k bits. This is Corollary 7 made visible.
+    let cfg = RegisterConfig::paper(2, 2, 64).unwrap(); // n = 6, D = 512
+    let proto = Safe::new(cfg);
+    let c = 4;
+    let mut sim = invoke_writers(&proto, c);
+    // Use ℓ larger than one piece so single pieces never freeze objects.
+    let params = AdversaryParams {
+        ell_bits: 300, // piece = 256 bits < ℓ
+        data_bits: 512,
+        f: cfg.f,
+        concurrency: c,
+    };
+    let report = run_blowup(&mut sim, params, MAX_STEPS);
+    // The adversary gives up: neither |F| > f nor |C⁺| = c is reachable
+    // (timestamp overwrites keep bouncing writers back into C⁻, and one
+    // piece per object can never reach ℓ).
+    assert_eq!(report.outcome, AdOutcome::Stalled, "{report:?}");
+    assert!(!report.certifies_bound());
+    // Object storage stayed at the constant n·D/k throughout.
+    assert_eq!(sim.storage_cost().object_bits, 6 * 256);
+    assert_eq!(sim.peak_storage_cost().object_bits, 6 * 256);
+}
+
+#[test]
+fn snapshot_quantities_are_consistent() {
+    let cfg = RegisterConfig::paper(2, 4, 64).unwrap();
+    let proto = Coded::new(cfg);
+    let c = 3;
+    let mut sim = invoke_writers(&proto, c);
+    let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, c);
+    // Take snapshots along the run and check invariants.
+    let mut ad = rsb_lowerbound::AdversaryAd::new(params);
+    for _ in 0..200 {
+        let snap = Snapshot::capture(&sim, &params);
+        // C⁺ and C⁻ partition the outstanding writes.
+        let outstanding = rsb_lowerbound::outstanding_writes(&sim);
+        let union: std::collections::HashSet<_> =
+            snap.cplus.union(&snap.cminus).copied().collect();
+        assert_eq!(union, outstanding.into_iter().collect());
+        // Frozen objects hold at least ℓ bits.
+        for o in &snap.frozen {
+            assert!(snap.object_bits[o] >= params.ell_bits);
+        }
+        match rsb_fpsm::Scheduler::<_, _>::next_event(&mut ad, &sim) {
+            Some(ev) => sim.step(ev).unwrap(),
+            None => break,
+        }
+    }
+}
+
+#[test]
+fn frozen_objects_stay_frozen_under_ad() {
+    // Observation 2: under Ad the frozen set only grows.
+    let cfg = RegisterConfig::new(5, 2, 1, 32).unwrap();
+    let proto = Abd::new(cfg);
+    let mut sim = invoke_writers(&proto, 4);
+    let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, 4);
+    let mut ad = rsb_lowerbound::AdversaryAd::new(params);
+    let mut prev: std::collections::BTreeSet<_> = Default::default();
+    for _ in 0..500 {
+        let snap = Snapshot::capture(&sim, &params);
+        assert!(
+            prev.is_subset(&snap.frozen),
+            "a frozen object thawed: {prev:?} → {:?}",
+            snap.frozen
+        );
+        prev = snap.frozen;
+        match rsb_fpsm::Scheduler::<_, _>::next_event(&mut ad, &sim) {
+            Some(ev) => sim.step(ev).unwrap(),
+            None => break,
+        }
+    }
+}

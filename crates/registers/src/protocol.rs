@@ -1,0 +1,26 @@
+//! A uniform handle over the four register emulations, so experiments and
+//! benchmarks can be written once and run against every protocol.
+
+use crate::common::RegisterConfig;
+use rsb_fpsm::{ClientId, ClientLogic, ObjectState, Simulation};
+
+/// A register emulation: a way to build the base objects and clients of
+/// one protocol over the shared-memory substrate.
+pub trait RegisterProtocol {
+    /// The protocol's base-object state.
+    type Object: ObjectState;
+    /// The protocol's client automaton.
+    type Client: ClientLogic<State = Self::Object>;
+
+    /// Short stable name for reports (e.g. `"adaptive"`).
+    fn name(&self) -> &'static str;
+
+    /// The configuration this instance was built with.
+    fn config(&self) -> &RegisterConfig;
+
+    /// Creates a fresh simulation with the `n` initialized base objects.
+    fn new_sim(&self) -> Simulation<Self::Object, Self::Client>;
+
+    /// Adds one client to the simulation, returning its id.
+    fn add_client(&self, sim: &mut Simulation<Self::Object, Self::Client>) -> ClientId;
+}

@@ -1,0 +1,282 @@
+//! A thread-based runtime: run any [`RegisterProtocol`] with real
+//! concurrent clients.
+//!
+//! The deterministic simulator is the right tool for experiments (it can
+//! realize adversarial schedules), but it is also useful to see the
+//! protocols run under genuine parallelism. [`ThreadedRegister`] hosts the
+//! simulation behind a lock; a background *network driver* thread plays a
+//! fair scheduler, while any number of application threads perform
+//! blocking `read`/`write` operations through [`ClientHandle`]s.
+//!
+//! Asynchrony is real here: the interleaving of RMW applies/deliveries
+//! against invocations depends on OS scheduling — but safety never does
+//! (that is the point of the protocols).
+//!
+//! # Example
+//!
+//! ```
+//! use rsb_registers::{Adaptive, RegisterConfig};
+//! use rsb_registers::threaded::ThreadedRegister;
+//! use rsb_coding::Value;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let reg = ThreadedRegister::start(Adaptive::new(RegisterConfig::paper(1, 2, 64)?));
+//! let w = reg.client();
+//! let r = reg.client();
+//! let v = Value::seeded(1, 64);
+//! w.write(v.clone())?;
+//! assert_eq!(r.read()?, v);
+//! reg.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::protocol::RegisterProtocol;
+use parking_lot::{Condvar, Mutex};
+use rsb_coding::Value;
+use rsb_fpsm::{ClientId, OpId, OpRequest, OpResult, Simulation};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadedError {
+    /// The runtime has been shut down.
+    ShutDown,
+    /// The underlying simulation rejected the invocation.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadedError::ShutDown => write!(f, "register runtime has shut down"),
+            ThreadedError::Rejected(msg) => write!(f, "invocation rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
+struct Shared<P: RegisterProtocol + 'static> {
+    sim: Mutex<Simulation<P::Object, P::Client>>,
+    progress: Condvar,
+    stop: AtomicBool,
+}
+
+/// A live register service backed by a driver thread.
+pub struct ThreadedRegister<P: RegisterProtocol + 'static> {
+    proto: P,
+    shared: Arc<Shared<P>>,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<P: RegisterProtocol + 'static> ThreadedRegister<P> {
+    /// Starts the service: builds the simulation and spawns the driver.
+    pub fn start(proto: P) -> Self {
+        let sim = proto.new_sim();
+        let shared = Arc::new(Shared {
+            sim: Mutex::new(sim),
+            progress: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let driver_shared = Arc::clone(&shared);
+        let driver = std::thread::Builder::new()
+            .name("register-driver".into())
+            .spawn(move || {
+                while !driver_shared.stop.load(Ordering::Acquire) {
+                    let mut sim = driver_shared.sim.lock();
+                    let events = sim.enabled_events();
+                    if let Some(&ev) = events.first() {
+                        sim.step(ev).expect("enabled event applies");
+                        driver_shared.progress.notify_all();
+                        drop(sim);
+                    } else {
+                        // Nothing to do: sleep until an invocation arrives.
+                        driver_shared
+                            .progress
+                            .wait_for(&mut sim, Duration::from_millis(1));
+                    }
+                }
+            })
+            .expect("spawning the driver thread");
+        ThreadedRegister {
+            proto,
+            shared,
+            driver: Some(driver),
+        }
+    }
+
+    /// Creates a new client handle (usable from any thread).
+    pub fn client(&self) -> ClientHandle<P> {
+        let mut sim = self.shared.sim.lock();
+        let id = self.proto.add_client(&mut sim);
+        drop(sim);
+        ClientHandle {
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+
+    /// Crashes a base object (fault injection).
+    pub fn crash_object(&self, obj: rsb_fpsm::ObjectId) {
+        self.shared.sim.lock().crash_object(obj);
+    }
+
+    /// Current storage cost snapshot.
+    pub fn storage_cost(&self) -> rsb_fpsm::StorageCost {
+        self.shared.sim.lock().storage_cost()
+    }
+
+    /// Peak total storage in bits observed so far.
+    pub fn peak_storage_bits(&self) -> u64 {
+        self.shared.sim.lock().peak_storage_bits()
+    }
+
+    /// Stops the driver thread. Idempotent; also called on drop.
+    pub fn shutdown(mut self) {
+        self.stop_driver();
+    }
+
+    fn stop_driver(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.progress.notify_all();
+        if let Some(h) = self.driver.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<P: RegisterProtocol + 'static> Drop for ThreadedRegister<P> {
+    fn drop(&mut self) {
+        self.stop_driver();
+    }
+}
+
+/// A blocking client of a [`ThreadedRegister`].
+pub struct ClientHandle<P: RegisterProtocol + 'static> {
+    shared: Arc<Shared<P>>,
+    id: ClientId,
+}
+
+impl<P: RegisterProtocol + 'static> ClientHandle<P> {
+    /// The client id inside the simulation.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Performs a blocking `write(v)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the runtime is shut down or the invocation is rejected
+    /// (e.g., re-entrant use of one handle from two threads).
+    pub fn write(&self, value: Value) -> Result<(), ThreadedError> {
+        self.run_op(OpRequest::Write(value)).map(|_| ())
+    }
+
+    /// Performs a blocking `read()`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClientHandle::write`].
+    pub fn read(&self) -> Result<Value, ThreadedError> {
+        match self.run_op(OpRequest::Read)? {
+            OpResult::Read(v) => Ok(v),
+            OpResult::Write => unreachable!("read returned a write ack"),
+        }
+    }
+
+    fn run_op(&self, req: OpRequest) -> Result<OpResult, ThreadedError> {
+        let mut sim = self.shared.sim.lock();
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(ThreadedError::ShutDown);
+        }
+        let op: OpId = sim
+            .invoke(self.id, req)
+            .map_err(|e| ThreadedError::Rejected(e.to_string()))?;
+        // Wake the driver and wait for completion.
+        self.shared.progress.notify_all();
+        loop {
+            if let Some(result) = sim.op_record(op).result.clone() {
+                return Ok(result);
+            }
+            if self.shared.stop.load(Ordering::Acquire) {
+                return Err(ThreadedError::ShutDown);
+            }
+            self.shared
+                .progress
+                .wait_for(&mut sim, Duration::from_millis(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Abd, Adaptive, RegisterConfig, Safe};
+
+    #[test]
+    fn concurrent_threads_adaptive() {
+        let reg = ThreadedRegister::start(Adaptive::new(
+            RegisterConfig::paper(1, 2, 32).unwrap(),
+        ));
+        let writers: Vec<_> = (0..4).map(|_| reg.client()).collect();
+        let handles: Vec<_> = writers
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                std::thread::spawn(move || {
+                    for round in 0..5u64 {
+                        c.write(Value::seeded(i as u64 * 100 + round, 32)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let reader = reg.client();
+        let got = reader.read().unwrap();
+        assert_eq!(got.len(), 32);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn abd_roundtrip_threaded() {
+        let reg = ThreadedRegister::start(Abd::new(
+            RegisterConfig::new(3, 1, 1, 16).unwrap(),
+        ));
+        let c = reg.client();
+        let v = Value::seeded(9, 16);
+        c.write(v.clone()).unwrap();
+        assert_eq!(c.read().unwrap(), v);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn safe_register_with_crash_threaded() {
+        let reg = ThreadedRegister::start(Safe::new(
+            RegisterConfig::paper(1, 2, 16).unwrap(),
+        ));
+        reg.crash_object(rsb_fpsm::ObjectId(0));
+        let c = reg.client();
+        let v = Value::seeded(2, 16);
+        c.write(v.clone()).unwrap();
+        let got = c.read().unwrap();
+        // Safe semantics: with no concurrent writes the value must match.
+        assert_eq!(got, v);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_ops() {
+        let reg = ThreadedRegister::start(Abd::new(
+            RegisterConfig::new(3, 1, 1, 8).unwrap(),
+        ));
+        let c = reg.client();
+        reg.shutdown();
+        assert_eq!(c.read().unwrap_err(), ThreadedError::ShutDown);
+    }
+}

@@ -1,0 +1,16 @@
+//! Workload generation for the register emulations: deterministic value
+//! streams, concurrency scenarios, and failure-injection plans.
+//!
+//! Everything is seeded and reproducible: a [`Scenario`] plus a seed fully
+//! determines the run (the simulator is deterministic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scenario;
+mod seeds;
+mod values;
+
+pub use scenario::{run_scenario, FailurePlan, Scenario, ScenarioOutcome};
+pub use seeds::SeedSequence;
+pub use values::ValueStream;

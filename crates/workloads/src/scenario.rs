@@ -1,0 +1,271 @@
+//! Closed-loop concurrency scenarios with failure injection.
+
+use crate::seeds::SeedSequence;
+use crate::values::ValueStream;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsb_fpsm::{
+    ClientId, ObjectId, OpRequest, RandomScheduler, Scheduler, Simulation, StorageCost,
+};
+use rsb_registers::RegisterProtocol;
+
+/// When to crash which components during a scenario run.
+///
+/// Steps count executed scheduler events; crashes fire the first time the
+/// step counter reaches the given value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// `(step, object)` crash points.
+    pub object_crashes: Vec<(u64, ObjectId)>,
+    /// `(step, client index)` crash points (index into the scenario's
+    /// client list, writers first, then readers).
+    pub client_crashes: Vec<(u64, usize)>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Crash `count` objects (ids `0..count`) at evenly spread steps up
+    /// to `horizon`.
+    pub fn spread_object_crashes(count: usize, horizon: u64) -> Self {
+        let gap = horizon / (count.max(1) as u64 + 1);
+        FailurePlan {
+            object_crashes: (0..count)
+                .map(|i| ((i as u64 + 1) * gap, ObjectId(i)))
+                .collect(),
+            client_crashes: Vec::new(),
+        }
+    }
+}
+
+/// A closed-loop scenario: `writers` clients each performing
+/// `writes_per_writer` writes and `readers` clients each performing
+/// `reads_per_reader` reads, all eagerly re-invoking, under a seeded
+/// random schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Number of writer clients (the scenario's concurrency level `c`).
+    pub writers: usize,
+    /// Number of reader clients.
+    pub readers: usize,
+    /// Writes each writer performs.
+    pub writes_per_writer: usize,
+    /// Reads each reader performs.
+    pub reads_per_reader: usize,
+    /// Master seed (scheduler, values, interleaving).
+    pub seed: u64,
+    /// Failure injection plan.
+    pub failures: FailurePlan,
+    /// Event budget.
+    pub max_steps: u64,
+}
+
+impl Scenario {
+    /// A write-only scenario at concurrency `c` — the shape of every
+    /// storage experiment in the paper.
+    pub fn write_burst(c: usize, writes_each: usize, seed: u64) -> Self {
+        Scenario {
+            writers: c,
+            readers: 0,
+            writes_per_writer: writes_each,
+            reads_per_reader: 0,
+            seed,
+            failures: FailurePlan::none(),
+            max_steps: 5_000_000,
+        }
+    }
+
+    /// A mixed read/write scenario.
+    pub fn mixed(writers: usize, readers: usize, ops_each: usize, seed: u64) -> Self {
+        Scenario {
+            writers,
+            readers,
+            writes_per_writer: ops_each,
+            reads_per_reader: ops_each,
+            seed,
+            failures: FailurePlan::none(),
+            max_steps: 5_000_000,
+        }
+    }
+}
+
+/// What a scenario run produced.
+#[derive(Debug)]
+pub struct ScenarioOutcome<P: RegisterProtocol> {
+    /// The simulation in its final state (history, storage, …).
+    pub sim: Simulation<P::Object, P::Client>,
+    /// Whether every operation of a non-crashed client completed within
+    /// the budget.
+    pub completed: bool,
+    /// Events executed.
+    pub steps: u64,
+    /// Peak total storage cost in bits over the run.
+    pub peak_bits: u64,
+    /// Per-category peaks.
+    pub peak_cost: StorageCost,
+    /// The clients that were crashed by the failure plan.
+    pub crashed_clients: Vec<usize>,
+}
+
+/// Runs a scenario against a protocol.
+///
+/// Clients re-invoke eagerly: whenever a client is idle and has budget
+/// left, its next operation is invoked before the next scheduler event,
+/// so the scenario sustains its nominal concurrency level throughout.
+pub fn run_scenario<P: RegisterProtocol>(proto: &P, scenario: &Scenario) -> ScenarioOutcome<P> {
+    let mut seeds = SeedSequence::new(scenario.seed);
+    let mut sim = proto.new_sim();
+    let total_clients = scenario.writers + scenario.readers;
+    let clients: Vec<ClientId> = (0..total_clients).map(|_| proto.add_client(&mut sim)).collect();
+    let mut budgets: Vec<usize> = (0..total_clients)
+        .map(|i| {
+            if i < scenario.writers {
+                scenario.writes_per_writer
+            } else {
+                scenario.reads_per_reader
+            }
+        })
+        .collect();
+    let mut values = ValueStream::new(seeds.next_seed(), proto.config().value_len.max(8));
+    let mut sched = RandomScheduler::new(seeds.next_seed());
+    let mut invoke_rng = StdRng::seed_from_u64(seeds.next_seed());
+
+    let mut object_crashes = scenario.failures.object_crashes.clone();
+    let mut client_crashes = scenario.failures.client_crashes.clone();
+    object_crashes.sort_by_key(|&(s, _)| s);
+    client_crashes.sort_by_key(|&(s, _)| s);
+    let mut crashed_clients = Vec::new();
+
+    let mut steps = 0u64;
+    loop {
+        // Fire due failures.
+        while let Some(&(at, obj)) = object_crashes.first() {
+            if at <= steps {
+                sim.crash_object(obj);
+                object_crashes.remove(0);
+            } else {
+                break;
+            }
+        }
+        while let Some(&(at, idx)) = client_crashes.first() {
+            if at <= steps {
+                if idx < clients.len() {
+                    sim.crash_client(clients[idx]);
+                    crashed_clients.push(idx);
+                }
+                client_crashes.remove(0);
+            } else {
+                break;
+            }
+        }
+        // Eagerly invoke on idle clients with budget (random order).
+        let mut order: Vec<usize> = (0..total_clients).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, invoke_rng.gen_range(0..=i));
+        }
+        for idx in order {
+            if budgets[idx] > 0
+                && !sim.client_crashed(clients[idx])
+                && sim.outstanding_op(clients[idx]).is_none()
+            {
+                let req = if idx < scenario.writers {
+                    OpRequest::Write(values.next_value())
+                } else {
+                    OpRequest::Read
+                };
+                sim.invoke(clients[idx], req).expect("idle live client");
+                budgets[idx] -= 1;
+            }
+        }
+        // Done?
+        let all_quiet = (0..total_clients).all(|idx| {
+            sim.client_crashed(clients[idx])
+                || (budgets[idx] == 0 && sim.outstanding_op(clients[idx]).is_none())
+        });
+        if all_quiet || steps >= scenario.max_steps {
+            break;
+        }
+        // One scheduler event.
+        match Scheduler::<P::Object, P::Client>::next_event(&mut sched, &sim) {
+            Some(ev) => {
+                sim.step(ev).expect("scheduler picks enabled events");
+                steps += 1;
+            }
+            None => {
+                // Nothing enabled: if invocations are still possible the
+                // loop continues; otherwise the system is stuck.
+                if !all_quiet {
+                    break;
+                }
+            }
+        }
+    }
+
+    let completed = sim
+        .history()
+        .iter()
+        .all(|r| r.is_complete() || sim.client_crashed(r.client));
+    ScenarioOutcome {
+        completed,
+        steps,
+        peak_bits: sim.peak_storage_bits(),
+        peak_cost: sim.peak_storage_cost(),
+        crashed_clients,
+        sim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsb_registers::{Abd, Adaptive, RegisterConfig};
+
+    #[test]
+    fn write_burst_completes_and_is_deterministic() {
+        let proto = Adaptive::new(RegisterConfig::paper(1, 2, 16).unwrap());
+        let scenario = Scenario::write_burst(3, 2, 11);
+        let a = run_scenario(&proto, &scenario);
+        let b = run_scenario(&proto, &scenario);
+        assert!(a.completed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.peak_bits, b.peak_bits);
+        assert_eq!(a.sim.history().len(), 6);
+    }
+
+    #[test]
+    fn mixed_scenario_with_reads() {
+        let proto = Adaptive::new(RegisterConfig::paper(1, 2, 16).unwrap());
+        let scenario = Scenario::mixed(2, 2, 2, 5);
+        let out = run_scenario(&proto, &scenario);
+        assert!(out.completed, "steps: {}", out.steps);
+        assert_eq!(out.sim.history().len(), 8);
+    }
+
+    #[test]
+    fn object_failures_do_not_block_completion() {
+        let proto = Abd::new(RegisterConfig::new(5, 2, 1, 16).unwrap());
+        let mut scenario = Scenario::write_burst(2, 3, 9);
+        scenario.failures = FailurePlan {
+            object_crashes: vec![(5, ObjectId(0)), (20, ObjectId(1))],
+            client_crashes: vec![],
+        };
+        let out = run_scenario(&proto, &scenario);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn client_crash_is_excused() {
+        let proto = Abd::new(RegisterConfig::new(3, 1, 1, 16).unwrap());
+        let mut scenario = Scenario::write_burst(2, 5, 13);
+        scenario.failures = FailurePlan {
+            object_crashes: vec![],
+            client_crashes: vec![(10, 0)],
+        };
+        let out = run_scenario(&proto, &scenario);
+        assert!(out.completed); // crashed client's ops are excused
+        assert_eq!(out.crashed_clients, vec![0]);
+    }
+}

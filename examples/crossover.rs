@@ -1,0 +1,36 @@
+//! The Θ(min(f, c)·D) crossover, measured: peak base-object storage as
+//! the number of concurrent writers grows, for replication (flat, O(fD)),
+//! pure coding (linear, O(cD)), and the paper's adaptive algorithm
+//! (tracks the minimum of the two).
+//!
+//! ```sh
+//! cargo run --release --example crossover
+//! ```
+
+use reliable_storage::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f = 4;
+    let k = f; // the paper's choice k = f makes the crossover land at c ≈ f
+    let value_len = 256; // D = 2048 bits
+    let abd = Abd::new(RegisterConfig::new(2 * f + 1, f, 1, value_len)?);
+    let coded = Coded::new(RegisterConfig::paper(f, k, value_len)?);
+    let adaptive = Adaptive::new(RegisterConfig::paper(f, k, value_len)?);
+
+    let cs: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16];
+    println!("peak base-object storage (bits), f = {f}, k = {k}, D = {} bits", 8 * value_len);
+    println!("{:>4} {:>12} {:>12} {:>12}", "c", "abd", "coded", "adaptive");
+    for &c in &cs {
+        let a = experiments::measure_storage(&abd, c, 2, 100 + c as u64);
+        let o = experiments::measure_storage(&coded, c, 2, 200 + c as u64);
+        let d = experiments::measure_storage(&adaptive, c, 2, 300 + c as u64);
+        println!(
+            "{:>4} {:>12} {:>12} {:>12}",
+            c, a.peak_object_bits, o.peak_object_bits, d.peak_object_bits
+        );
+    }
+    println!();
+    println!("expected shape: 'abd' flat at (2f+1)·D; 'coded' grows ~linearly in c;");
+    println!("'adaptive' follows 'coded' while c ≲ k and flattens afterwards.");
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace root package.
+//!
+//! This thin crate exists so the repository's top-level `examples/` and
+//! `tests/` directories can exercise the public API of the workspace crates.
+//! The actual library lives in [`reliable_storage`] (crate `crates/core`),
+//! which re-exports every subsystem.
+
+pub use reliable_storage::*;

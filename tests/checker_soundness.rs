@@ -1,0 +1,129 @@
+//! Soundness of the regularity checker against a brute-force oracle: on
+//! tiny random histories, the MWRegWeak verdict must match an explicit
+//! enumeration of all linearizations of {writes} ∪ {read}.
+
+use proptest::prelude::*;
+use rsb_coding::Value;
+use rsb_consistency::{check_weak_regularity, History, HistoryOp, OpKind};
+
+/// Brute force: does a linearization of all writes plus this read exist?
+fn brute_force_read_ok(h: &History, rd: &HistoryOp) -> bool {
+    let writes: Vec<&HistoryOp> = h.writes().collect();
+    let k = writes.len();
+    let mut perm: Vec<usize> = (0..k).collect();
+    // Heap's algorithm over write orders; read inserted at every slot.
+    fn respects_rt(h: &History, order: &[&HistoryOp]) -> bool {
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                if h.precedes(order[j], order[i]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+    let value = rd.read_value.as_ref().expect("completed read");
+    let mut stack = vec![0usize; k];
+    let mut i = 0;
+    loop {
+        let order: Vec<&HistoryOp> = perm.iter().map(|&p| writes[p]).collect();
+        if respects_rt(h, &order) {
+            // Try the read at every position: after slot s (s = 0 → before
+            // all writes, returning v₀).
+            for s in 0..=k {
+                let expected = if s == 0 {
+                    h.initial()
+                } else {
+                    order[s - 1].written_value().expect("write")
+                };
+                if expected != value {
+                    continue;
+                }
+                // Real-time: the read must not precede anything placed
+                // before it, nor follow anything placed after it.
+                let ok_before = order[..s].iter().all(|w| !h.precedes(rd, w));
+                let ok_after = order[s..].iter().all(|w| !h.precedes(w, rd));
+                if ok_before && ok_after {
+                    return true;
+                }
+            }
+        }
+        // Next permutation (Heap's algorithm, iterative).
+        if k == 0 {
+            return false;
+        }
+        loop {
+            if i >= k {
+                return false;
+            }
+            if stack[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(stack[i], i);
+                }
+                stack[i] += 1;
+                i = 0;
+                break;
+            } else {
+                stack[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+fn arbitrary_history(
+    write_spans: Vec<(u8, u8)>,
+    read_span: (u8, u8),
+    read_seed: u8,
+) -> Option<(History, HistoryOp)> {
+    let mut ops = Vec::new();
+    let t = |x: u8| x as u64;
+    for (i, (a, b)) in write_spans.iter().enumerate() {
+        let (inv, ret) = (t(*a % 16) * 2 + 1, t(*a % 16) * 2 + 1 + t(*b % 8) * 2 + 1);
+        ops.push(HistoryOp {
+            id: i as u64,
+            client: i, // distinct clients: always well-formed
+            kind: OpKind::Write(Value::seeded(i as u64 + 1, 4)),
+            invoked_at: inv,
+            returned_at: Some(ret),
+            read_value: None,
+        });
+    }
+    let (a, b) = read_span;
+    let rd = HistoryOp {
+        id: 100,
+        client: 90,
+        kind: OpKind::Read,
+        invoked_at: t(a % 16) * 2 + 2,
+        returned_at: Some(t(a % 16) * 2 + 2 + t(b % 8) * 2 + 2),
+        read_value: Some(if read_seed as usize % (write_spans.len() + 1) == 0 {
+            Value::zeroed(4)
+        } else {
+            Value::seeded((read_seed as usize % (write_spans.len() + 1)) as u64, 4)
+        }),
+    };
+    let mut all = ops.clone();
+    all.push(rd.clone());
+    History::new(Value::zeroed(4), all).ok().map(|h| (h, rd))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The checker agrees with brute-force enumeration on 1–4 writes plus
+    /// one read.
+    #[test]
+    fn weak_regularity_matches_brute_force(
+        spans in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..5),
+        read_span in (any::<u8>(), any::<u8>()),
+        read_seed in any::<u8>(),
+    ) {
+        if let Some((h, rd)) = arbitrary_history(spans, read_span, read_seed) {
+            let checker = check_weak_regularity(&h).is_ok();
+            let brute = brute_force_read_ok(&h, &rd);
+            prop_assert_eq!(checker, brute, "history: {:?}", h);
+        }
+    }
+}

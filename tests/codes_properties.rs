@@ -1,0 +1,113 @@
+//! Property-based tests of the coding substrate (proptest): MDS
+//! reconstruction, symmetric encoding, linearity, and oracle round-trips.
+
+use proptest::prelude::*;
+use rsb_coding::{gf256, Code, DecoderOracle, EncoderOracle, Rateless, ReedSolomon, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any k distinct blocks of an RS code reconstruct the value.
+    #[test]
+    fn rs_any_k_subset_decodes(
+        k in 1usize..6,
+        extra in 1usize..6,
+        len in 1usize..200,
+        seed in any::<u64>(),
+        subset_seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let code = ReedSolomon::new(k, n, len).unwrap();
+        let v = Value::seeded(seed, len);
+        let blocks = code.encode(&v);
+        // Pick a pseudo-random k-subset.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = subset_seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let subset: Vec<_> = order[..k].iter().map(|&i| blocks[i].clone()).collect();
+        prop_assert_eq!(code.decode(&subset).unwrap(), v);
+    }
+
+    /// Fewer than k distinct blocks never decode (the paper's ⊥).
+    #[test]
+    fn rs_below_k_is_bottom(k in 2usize..6, len in 1usize..100, seed in any::<u64>()) {
+        let code = ReedSolomon::new(k, k + 2, len).unwrap();
+        let v = Value::seeded(seed, len);
+        let blocks = code.encode(&v);
+        prop_assert!(code.decode(&blocks[..k - 1]).is_err());
+    }
+
+    /// Symmetric encoding (Definition 3): block sizes are independent of
+    /// the value.
+    #[test]
+    fn rs_symmetry(k in 1usize..5, len in 1usize..100, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let code = ReedSolomon::new(k, k + 2, len).unwrap();
+        let a = code.encode(&Value::seeded(s1, len));
+        let b = code.encode(&Value::seeded(s2, len));
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.size_bits(), y.size_bits());
+            prop_assert_eq!(x.size_bits(), code.block_size_bits(x.index()));
+        }
+    }
+
+    /// RS encoding is linear over GF(256): E(u ⊕ v, i) = E(u, i) ⊕ E(v, i).
+    #[test]
+    fn rs_linearity(k in 1usize..5, len in 1usize..64, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let code = ReedSolomon::new(k, k + 3, len).unwrap();
+        let u = Value::seeded(s1, len);
+        let v = Value::seeded(s2, len);
+        let sum = Value::from_bytes(
+            u.as_bytes().iter().zip(v.as_bytes()).map(|(a, b)| a ^ b).collect::<Vec<_>>(),
+        );
+        for i in 0..code.block_count() as u32 {
+            let eu = code.encode_block(&u, i).unwrap();
+            let ev = code.encode_block(&v, i).unwrap();
+            let esum = code.encode_block(&sum, i).unwrap();
+            let xor: Vec<u8> = eu.data().iter().zip(ev.data()).map(|(a, b)| a ^ b).collect();
+            prop_assert_eq!(esum.data(), &xor[..]);
+        }
+    }
+
+    /// Rateless: any rank-k block set decodes; systematic prefix always has
+    /// full rank.
+    #[test]
+    fn rateless_roundtrip(k in 1usize..5, len in 1usize..100, seed in any::<u64>(), hi in 0u32..1_000_000) {
+        let code = Rateless::new(k, len).unwrap();
+        let v = Value::seeded(seed, len);
+        // k systematic + a few high-index blocks: always decodable.
+        let mut blocks: Vec<_> = (0..k as u32).map(|i| code.encode_block(&v, i).unwrap()).collect();
+        blocks.push(code.encode_block(&v, hi + k as u32).unwrap());
+        prop_assert_eq!(code.decode(&blocks).unwrap(), v);
+    }
+
+    /// GF(256) field axioms on random triples.
+    #[test]
+    fn gf256_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        if a != 0 {
+            prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+        }
+    }
+
+    /// Oracle round-trip (Definition 1): pushes followed by done decode.
+    #[test]
+    fn oracle_roundtrip(k in 1usize..5, len in 1usize..100, seed in any::<u64>()) {
+        let code = ReedSolomon::new(k, k + 2, len).unwrap();
+        let v = Value::seeded(seed, len);
+        let mut enc = EncoderOracle::new(code.clone(), v.clone()).unwrap();
+        let mut dec = DecoderOracle::new(code);
+        // Push parity-heavy selection.
+        for i in (2..k as u32 + 2).rev() {
+            dec.push(enc.get(i).unwrap(), 0);
+        }
+        prop_assert_eq!(dec.done(0), Some(v));
+    }
+}
