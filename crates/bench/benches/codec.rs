@@ -48,11 +48,11 @@ fn bench_replication(c: &mut Criterion) {
     let v = Value::seeded(1, len);
     group.throughput(Throughput::Bytes(len as u64));
     group.bench_function("encode/5x4096B", |b| {
-        b.iter(|| code.encode(std::hint::black_box(&v)))
+        b.iter(|| code.encode(std::hint::black_box(&v)));
     });
     let blocks = code.encode(&v);
     group.bench_function("decode/1block", |b| {
-        b.iter(|| code.decode(std::hint::black_box(&blocks[..1])).unwrap())
+        b.iter(|| code.decode(std::hint::black_box(&blocks[..1])).unwrap());
     });
     group.finish();
 }
@@ -63,11 +63,16 @@ fn bench_rateless(c: &mut Criterion) {
     let v = Value::seeded(1, 4096);
     group.throughput(Throughput::Bytes(4096 / 8));
     group.bench_function("encode_block/high_index", |b| {
-        b.iter(|| code.encode_block(std::hint::black_box(&v), 1_000_000).unwrap())
+        b.iter(|| {
+            code.encode_block(std::hint::black_box(&v), 1_000_000)
+                .unwrap()
+        });
     });
-    let blocks: Vec<_> = (1000u32..1008).map(|i| code.encode_block(&v, i).unwrap()).collect();
+    let blocks: Vec<_> = (1000u32..1008)
+        .map(|i| code.encode_block(&v, i).unwrap())
+        .collect();
     group.bench_function("decode/8_random_blocks", |b| {
-        b.iter(|| code.decode(std::hint::black_box(&blocks)).unwrap())
+        b.iter(|| code.decode(std::hint::black_box(&blocks)).unwrap());
     });
     group.finish();
 }

@@ -13,18 +13,20 @@ fn bench_solo_write(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = proto.new_sim();
             let w = proto.add_client(&mut sim);
-            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024)))
+                .unwrap();
             assert!(run_to_completion(&mut sim, 1_000_000));
-        })
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("safe"), |b| {
         let proto = Safe::new(cfg);
         b.iter(|| {
             let mut sim = proto.new_sim();
             let w = proto.add_client(&mut sim);
-            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024)))
+                .unwrap();
             assert!(run_to_completion(&mut sim, 1_000_000));
-        })
+        });
     });
     let abd_cfg = RegisterConfig::new(5, 2, 1, 1024).unwrap();
     group.bench_function(BenchmarkId::from_parameter("abd"), |b| {
@@ -32,18 +34,20 @@ fn bench_solo_write(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = proto.new_sim();
             let w = proto.add_client(&mut sim);
-            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024)))
+                .unwrap();
             assert!(run_to_completion(&mut sim, 1_000_000));
-        })
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("coded"), |b| {
         let proto = Coded::new(cfg);
         b.iter(|| {
             let mut sim = proto.new_sim();
             let w = proto.add_client(&mut sim);
-            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024))).unwrap();
+            sim.invoke(w, OpRequest::Write(Value::seeded(1, 1024)))
+                .unwrap();
             assert!(run_to_completion(&mut sim, 1_000_000));
-        })
+        });
     });
     group.finish();
 }
@@ -58,14 +62,14 @@ fn bench_concurrent_scenario(c: &mut Criterion) {
         b.iter(|| {
             let out = run_scenario(&proto, &scenario);
             assert!(out.completed);
-        })
+        });
     });
     group.bench_function("safe", |b| {
         let proto = Safe::new(cfg);
         b.iter(|| {
             let out = run_scenario(&proto, &scenario);
             assert!(out.completed);
-        })
+        });
     });
     group.finish();
 }

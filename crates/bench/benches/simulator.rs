@@ -17,7 +17,8 @@ fn loaded_sim() -> (
     let mut sim = proto.new_sim();
     for i in 0..6u64 {
         let w = proto.add_client(&mut sim);
-        sim.invoke(w, OpRequest::Write(Value::seeded(i + 1, 256))).unwrap();
+        sim.invoke(w, OpRequest::Write(Value::seeded(i + 1, 256)))
+            .unwrap();
     }
     // Advance part-way so state is nontrivial.
     let mut fair = FairScheduler::new();
@@ -32,7 +33,7 @@ fn loaded_sim() -> (
 fn bench_storage_cost(c: &mut Criterion) {
     let (_p, sim) = loaded_sim();
     c.bench_function("storage_cost_snapshot", |b| {
-        b.iter(|| std::hint::black_box(&sim).storage_cost())
+        b.iter(|| std::hint::black_box(&sim).storage_cost());
     });
 }
 
@@ -40,7 +41,7 @@ fn bench_lowerbound_snapshot(c: &mut Criterion) {
     let (p, sim) = loaded_sim();
     let params = AdversaryParams::theorem1(p.config().data_bits(), p.config().f, 6);
     c.bench_function("lowerbound_snapshot_capture", |b| {
-        b.iter(|| Snapshot::capture(std::hint::black_box(&sim), &params))
+        b.iter(|| Snapshot::capture(std::hint::black_box(&sim), &params));
     });
 }
 
@@ -51,7 +52,7 @@ fn bench_adversary_step(c: &mut Criterion) {
         b.iter(|| {
             let mut ad = AdversaryAd::new(params);
             Scheduler::<_, _>::next_event(&mut ad, std::hint::black_box(&sim))
-        })
+        });
     });
 }
 

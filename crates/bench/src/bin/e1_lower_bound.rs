@@ -31,7 +31,14 @@ fn main() {
         "adversary Ad drives storage to Ω(min(f,c)·D); ℓ = D/2",
     );
     let header = vec![
-        "protocol", "c", "outcome", "|F|", "|C+|", "certified", "Θ-bound", "certified≥bound",
+        "protocol",
+        "c",
+        "outcome",
+        "|F|",
+        "|C+|",
+        "certified",
+        "Θ-bound",
+        "certified≥bound",
     ];
     let cs = [1usize, 2, 4, 8, 16];
 

@@ -11,7 +11,15 @@ fn main() {
         "E3 (Lemma 8)",
         "finite writes ⇒ storage shrinks to (2f+k)·D/k bits",
     );
-    let header = vec!["f", "k", "c", "peak_obj_bits", "resting_obj_bits", "bound_bits", "within"];
+    let header = vec![
+        "f",
+        "k",
+        "c",
+        "peak_obj_bits",
+        "resting_obj_bits",
+        "bound_bits",
+        "within",
+    ];
     let mut rows = Vec::new();
     for (f, k) in [(1usize, 2usize), (2, 2), (2, 4), (3, 3)] {
         let cfg = RegisterConfig::paper(f, k, 128).unwrap();

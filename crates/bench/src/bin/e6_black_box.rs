@@ -9,7 +9,9 @@ use rsb_lowerbound::substitution_experiment;
 
 fn run_for<P: RegisterProtocol>(proto: &P, writers: usize, seeds: &[u64]) -> Vec<Vec<String>> {
     let len = proto.config().value_len;
-    let values: Vec<Value> = (1..=writers as u64).map(|s| Value::seeded(s, len)).collect();
+    let values: Vec<Value> = (1..=writers as u64)
+        .map(|s| Value::seeded(s, len))
+        .collect();
     seeds
         .iter()
         .map(|&seed| {
@@ -45,6 +47,10 @@ fn main() {
     rows.extend(run_for(&Coded::new(cfg), 3, &seeds));
     rows.extend(run_for(&Safe::new(cfg), 3, &seeds));
     rows.extend(run_for(&Abd::new(cfg), 3, &seeds));
-    print_table("three concurrent writers, one value substituted", &header, &rows);
+    print_table(
+        "three concurrent writers, one value substituted",
+        &header,
+        &rows,
+    );
     println!("paper: all four protocols are black-box coding algorithms — every row true/true.");
 }

@@ -15,7 +15,15 @@ fn main() {
     );
 
     // Analytic: RS codes of various shapes, every index-set size below k.
-    let header = vec!["k", "n", "|I|", "stored_bits", "D_bits", "collision", "verified"];
+    let header = vec![
+        "k",
+        "n",
+        "|I|",
+        "stored_bits",
+        "D_bits",
+        "collision",
+        "verified",
+    ];
     let mut rows = Vec::new();
     for (k, n) in [(2usize, 4usize), (4, 8), (8, 16), (16, 32)] {
         let code = ReedSolomon::new(k, n, 64).unwrap();
@@ -52,8 +60,14 @@ fn main() {
     let rateless = Rateless::new(2, 2).unwrap();
     for m in 0..=2usize {
         let indices: Vec<u32> = (0..m as u32).map(|i| 100 + i).collect();
-        let found = brute_force_collision(&rateless, &indices).unwrap().is_some();
-        rows.push(vec!["rateless k=2".into(), m.to_string(), found.to_string()]);
+        let found = brute_force_collision(&rateless, &indices)
+            .unwrap()
+            .is_some();
+        rows.push(vec![
+            "rateless k=2".into(),
+            m.to_string(),
+            found.to_string(),
+        ]);
     }
     let repl = Replication::new(3, 1).unwrap();
     for m in 0..=1usize {

@@ -36,17 +36,21 @@ fn main() {
     let mut ad = AdversaryAd::new(params);
     let mut step = 0u64;
     let mut last = Snapshot::capture(&sim, &params);
-    loop {
-        let ev = match Scheduler::<_, _>::next_event(&mut ad, &sim) {
-            Some(ev) => ev,
-            None => break,
-        };
+    while let Some(ev) = Scheduler::<_, _>::next_event(&mut ad, &sim) {
         sim.step(ev).expect("adversary picks enabled events");
         step += 1;
         let snap = Snapshot::capture(&sim, &params);
         if snap.frozen != last.frozen || snap.cplus != last.cplus {
-            let frozen: Vec<String> = snap.frozen.iter().map(|o| o.to_string()).collect();
-            let cplus: Vec<String> = snap.cplus.iter().map(|w| w.to_string()).collect();
+            let frozen: Vec<String> = snap
+                .frozen
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
+            let cplus: Vec<String> = snap
+                .cplus
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             let contributed: Vec<String> = snap
                 .contributed
                 .iter()

@@ -13,12 +13,15 @@ use std::fmt::Display;
 /// Panics if a row's arity differs from the header's.
 pub fn print_table<H: Display, C: Display>(title: &str, header: &[H], rows: &[Vec<C>]) {
     println!("### {title}");
-    let header: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    let header: Vec<String> = header
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     let rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             assert_eq!(r.len(), header.len(), "row arity mismatch");
-            r.iter().map(|c| c.to_string()).collect()
+            r.iter().map(std::string::ToString::to_string).collect()
         })
         .collect();
     let widths: Vec<usize> = header
@@ -41,7 +44,10 @@ pub fn print_table<H: Display, C: Display>(title: &str, header: &[H], rows: &[Ve
             .join("  ")
     };
     println!("{}", fmt_row(&header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for r in &rows {
         println!("{}", fmt_row(r));
     }

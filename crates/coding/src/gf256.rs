@@ -194,8 +194,8 @@ mod tests {
     fn generator_has_full_order() {
         // 2 generates the multiplicative group: all 255 powers distinct.
         let mut seen = [false; 256];
-        for i in 0..255 {
-            let v = EXP[i] as usize;
+        for (i, &e) in EXP.iter().enumerate().take(255) {
+            let v = e as usize;
             assert!(!seen[v], "generator order < 255 at {i}");
             seen[v] = true;
         }

@@ -397,14 +397,8 @@ mod tests {
         let b = Matrix::from_rows(vec![vec![5, 6], vec![7, 8]]);
         let c = &a * &b;
         // c[0][0] = 1*5 + 2*7 (in GF(256))
-        assert_eq!(
-            c.get(0, 0),
-            gf256::mul(1, 5) ^ gf256::mul(2, 7)
-        );
-        assert_eq!(
-            c.get(1, 1),
-            gf256::mul(3, 6) ^ gf256::mul(4, 8)
-        );
+        assert_eq!(c.get(0, 0), gf256::mul(1, 5) ^ gf256::mul(2, 7));
+        assert_eq!(c.get(1, 1), gf256::mul(3, 6) ^ gf256::mul(4, 8));
     }
 
     #[test]

@@ -176,10 +176,7 @@ impl<C: Code> DecoderOracle<C> {
 
     /// Blocks accumulated in an attempt so far.
     pub fn pushed(&self, attempt: u64) -> &[Block] {
-        self.attempts
-            .get(&attempt)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.attempts.get(&attempt).map_or(&[], Vec::as_slice)
     }
 
     /// The full interaction log.

@@ -168,7 +168,7 @@ impl Code for Rateless {
         // Pick k linearly independent rows by rank-extending greedily.
         let mut chosen_rows: Vec<Vec<u8>> = Vec::with_capacity(self.k);
         let mut chosen_blocks: Vec<&Block> = Vec::with_capacity(self.k);
-        for (row, b) in rows.into_iter().zip(payloads.into_iter()) {
+        for (row, b) in rows.into_iter().zip(payloads) {
             let mut candidate = chosen_rows.clone();
             candidate.push(row.clone());
             if Matrix::from_rows(candidate.clone()).rank() == candidate.len() {
@@ -252,7 +252,7 @@ mod tests {
 
     #[test]
     fn insufficient_rank_reports_bottom() {
-        let code = Rateless::new(2, 8) .unwrap();
+        let code = Rateless::new(2, 8).unwrap();
         let v = Value::seeded(1, 8);
         let b0 = code.encode_block(&v, 0).unwrap();
         assert!(matches!(

@@ -291,9 +291,7 @@ mod tests {
     #[test]
     fn wrong_value_length_rejected() {
         let code = ReedSolomon::new(2, 4, 16).unwrap();
-        let err = code
-            .encode_block(&Value::zeroed(15), 0)
-            .unwrap_err();
+        let err = code.encode_block(&Value::zeroed(15), 0).unwrap_err();
         assert_eq!(
             err,
             CodingError::WrongValueLength {

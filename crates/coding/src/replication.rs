@@ -29,7 +29,11 @@ pub struct Replication {
 
 impl std::fmt::Debug for Replication {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Replication({} copies, {} B values)", self.n, self.value_len)
+        write!(
+            f,
+            "Replication({} copies, {} B values)",
+            self.n, self.value_len
+        )
     }
 }
 
@@ -81,20 +85,20 @@ impl Code for Replication {
     }
 
     fn decode(&self, blocks: &[Block]) -> Result<Value, CodingError> {
-        for b in blocks {
-            if b.index() as usize >= self.n {
-                return Err(CodingError::UnknownBlockIndex(b.index()));
-            }
-            if b.len() != self.value_len {
-                return Err(CodingError::WrongBlockSize {
-                    index: b.index(),
-                    expected: self.value_len,
-                    actual: b.len(),
-                });
-            }
-            return Ok(Value::from_bytes(b.data().to_vec()));
+        let Some(b) = blocks.first() else {
+            return Err(CodingError::NotEnoughBlocks { needed: 1, got: 0 });
+        };
+        if b.index() as usize >= self.n {
+            return Err(CodingError::UnknownBlockIndex(b.index()));
         }
-        Err(CodingError::NotEnoughBlocks { needed: 1, got: 0 })
+        if b.len() != self.value_len {
+            return Err(CodingError::WrongBlockSize {
+                index: b.index(),
+                expected: self.value_len,
+                actual: b.len(),
+            });
+        }
+        Ok(Value::from_bytes(b.data().to_vec()))
     }
 }
 
@@ -144,8 +148,6 @@ mod tests {
         let code = Replication::new(2, 4).unwrap();
         assert!(code.encode_block(&Value::zeroed(4), 2).is_err());
         assert!(code.encode_block(&Value::zeroed(5), 0).is_err());
-        assert!(code
-            .decode(&[Block::new(0, vec![1, 2, 3])])
-            .is_err());
+        assert!(code.decode(&[Block::new(0, vec![1, 2, 3])]).is_err());
     }
 }

@@ -40,7 +40,10 @@ impl std::fmt::Display for CodingError {
         match self {
             CodingError::InvalidParameters(msg) => write!(f, "invalid code parameters: {msg}"),
             CodingError::WrongValueLength { expected, actual } => {
-                write!(f, "value length {actual} does not match code length {expected}")
+                write!(
+                    f,
+                    "value length {actual} does not match code length {expected}"
+                )
             }
             CodingError::NotEnoughBlocks { needed, got } => {
                 write!(f, "cannot decode: need {needed} distinct blocks, got {got}")
@@ -50,10 +53,7 @@ impl std::fmt::Display for CodingError {
                 index,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "block {index} has {actual} bytes, expected {expected}"
-            ),
+            } => write!(f, "block {index} has {actual} bytes, expected {expected}"),
         }
     }
 }
@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn error_display() {
         let e = CodingError::NotEnoughBlocks { needed: 3, got: 1 };
-        assert_eq!(e.to_string(), "cannot decode: need 3 distinct blocks, got 1");
+        assert_eq!(
+            e.to_string(),
+            "cannot decode: need 3 distinct blocks, got 1"
+        );
         let e = CodingError::WrongBlockSize {
             index: 2,
             expected: 8,

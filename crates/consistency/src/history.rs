@@ -133,11 +133,10 @@ impl History {
                     return Err(HistoryError::ReturnBeforeInvoke(op.id));
                 }
             }
+            // Malformed: a write carrying a read value, or a completed
+            // read without one.
             match (&op.kind, &op.read_value, op.returned_at) {
-                (OpKind::Write(_), Some(_), _) => {
-                    return Err(HistoryError::MalformedResult(op.id))
-                }
-                (OpKind::Read, None, Some(_)) => {
+                (OpKind::Write(_), Some(_), _) | (OpKind::Read, None, Some(_)) => {
                     return Err(HistoryError::MalformedResult(op.id))
                 }
                 _ => {}
@@ -172,10 +171,7 @@ impl History {
     /// # Errors
     ///
     /// Same validation as [`History::new`] (simulator output always passes).
-    pub fn from_fpsm(
-        initial: Value,
-        records: &[rsb_fpsm::OpRecord],
-    ) -> Result<Self, HistoryError> {
+    pub fn from_fpsm(initial: Value, records: &[rsb_fpsm::OpRecord]) -> Result<Self, HistoryError> {
         let ops = records
             .iter()
             .map(|r| HistoryOp {
@@ -187,10 +183,7 @@ impl History {
                 },
                 invoked_at: r.invoked_at,
                 returned_at: r.returned_at,
-                read_value: r
-                    .result
-                    .as_ref()
-                    .and_then(|res| res.read_value().cloned()),
+                read_value: r.result.as_ref().and_then(|res| res.read_value().cloned()),
             })
             .collect();
         History::new(initial, ops)
@@ -213,9 +206,7 @@ impl History {
 
     /// The completed read operations.
     pub fn completed_reads(&self) -> impl Iterator<Item = &HistoryOp> {
-        self.ops
-            .iter()
-            .filter(|o| !o.is_write() && o.is_complete())
+        self.ops.iter().filter(|o| !o.is_write() && o.is_complete())
     }
 
     /// Whether `a` precedes `b` (the paper's `a ≺ᵣ b`): `a` returned

@@ -41,7 +41,10 @@ impl std::fmt::Display for LivenessViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LivenessViolation::Incomplete { op, client } => {
-                write!(f, "operation {op} of correct client {client} never completed")
+                write!(
+                    f,
+                    "operation {op} of correct client {client} never completed"
+                )
             }
             LivenessViolation::NoProgress => write!(f, "no operation ever completed"),
         }

@@ -88,8 +88,7 @@ impl std::error::Error for Violation {}
 /// plus `v₀` when no write completes before `rd`'s invocation.
 fn weak_candidates<'h>(h: &'h History, rd: &HistoryOp) -> (bool, Vec<&'h HistoryOp>) {
     let value = rd.read_value.as_ref().expect("completed read has a value");
-    let v0_allowed =
-        value == h.initial() && !h.writes().any(|w| h.precedes(w, rd));
+    let v0_allowed = value == h.initial() && !h.writes().any(|w| h.precedes(w, rd));
     let candidates = h
         .writes()
         .filter(|w| w.written_value() == Some(value))
@@ -237,10 +236,7 @@ pub fn check_strong_safety(h: &History) -> Result<(), Violation> {
     ensure_distinct_values(h)?;
     let quiet_reads: Vec<&HistoryOp> = h
         .completed_reads()
-        .filter(|rd| {
-            !h.writes()
-                .any(|w| !h.precedes(w, rd) && !h.precedes(rd, w))
-        })
+        .filter(|rd| !h.writes().any(|w| !h.precedes(w, rd) && !h.precedes(rd, w)))
         .collect();
     // Per-read value legality (same as weak regularity, but all candidate
     // writes precede the read since none are concurrent).

@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn bounds_formulae() {
         let cfg = RegisterConfig::paper(1, 4, 64).unwrap(); // n=6, D=512
-        // piece = 128 bits; coded side (c=1 < k−1): 2·6·128 = 1536.
+                                                            // piece = 128 bits; coded side (c=1 < k−1): 2·6·128 = 1536.
         assert_eq!(theorem2_bound_bits(&cfg, 1), 1536);
         // Saturated side (c ≥ k−1): 2·n·D = 6144.
         assert_eq!(theorem2_bound_bits(&cfg, 5), 6144);

@@ -49,8 +49,10 @@ pub fn check_outcome<P: RegisterProtocol>(
             .map_err(|e| VerifyError(format!("weak regularity: {e}")))?,
         Guarantee::StronglyRegular => check_strong_regularity(&history)
             .map_err(|e| VerifyError(format!("strong regularity: {e}")))?,
-        Guarantee::StronglySafe => check_strong_safety(&history)
-            .map_err(|e| VerifyError(format!("strong safety: {e}")))?,
+        Guarantee::StronglySafe => {
+            check_strong_safety(&history)
+                .map_err(|e| VerifyError(format!("strong safety: {e}")))?;
+        }
     }
     check_liveness(&history, liveness, &outcome.crashed_clients)
         .map_err(|e| VerifyError(format!("liveness: {e}")))?;
@@ -68,8 +70,13 @@ mod tests {
         let proto = Adaptive::new(RegisterConfig::paper(1, 2, 16).unwrap());
         let out = run_scenario(&proto, &Scenario::mixed(2, 2, 2, 3));
         assert!(out.completed);
-        check_outcome(&proto, &out, Guarantee::StronglyRegular, LivenessLevel::FwTerminating)
-            .unwrap();
+        check_outcome(
+            &proto,
+            &out,
+            Guarantee::StronglyRegular,
+            LivenessLevel::FwTerminating,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -77,6 +84,12 @@ mod tests {
         let proto = Safe::new(RegisterConfig::paper(1, 2, 16).unwrap());
         let out = run_scenario(&proto, &Scenario::mixed(2, 2, 2, 8));
         assert!(out.completed);
-        check_outcome(&proto, &out, Guarantee::StronglySafe, LivenessLevel::WaitFree).unwrap();
+        check_outcome(
+            &proto,
+            &out,
+            Guarantee::StronglySafe,
+            LivenessLevel::WaitFree,
+        )
+        .unwrap();
     }
 }

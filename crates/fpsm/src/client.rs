@@ -51,6 +51,9 @@ impl OpResult {
     }
 }
 
+/// RMWs triggered by a handler, in trigger order: `(id, target, payload)`.
+pub(crate) type Triggers<S> = Vec<(RmwId, ObjectId, <S as ObjectState>::Rmw)>;
+
 /// Effects a client handler may produce: triggering RMWs and/or completing
 /// the outstanding operation.
 ///
@@ -59,7 +62,7 @@ impl OpResult {
 #[derive(Debug)]
 pub struct Effects<S: ObjectState> {
     next_rmw: u64,
-    triggers: Vec<(RmwId, ObjectId, S::Rmw)>,
+    triggers: Triggers<S>,
     completion: Option<OpResult>,
 }
 
@@ -93,7 +96,7 @@ impl<S: ObjectState> Effects<S> {
         self.completion = Some(result);
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<(RmwId, ObjectId, S::Rmw)>, Option<OpResult>) {
+    pub(crate) fn into_parts(self) -> (Triggers<S>, Option<OpResult>) {
         (self.triggers, self.completion)
     }
 }
@@ -153,8 +156,8 @@ impl<L> ClientRt<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::payload::MetadataOnly;
     use crate::ids::ClientId;
+    use crate::payload::MetadataOnly;
 
     #[derive(Debug, Clone, Default)]
     struct Nop;

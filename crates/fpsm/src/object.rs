@@ -46,8 +46,8 @@ impl<S: ObjectState> ObjectRt<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::payload::{BlockInstance, MetadataOnly};
     use crate::ids::OpId;
+    use crate::payload::{BlockInstance, MetadataOnly};
 
     /// A toy register storing one opaque block.
     #[derive(Debug, Clone, Default)]

@@ -149,6 +149,6 @@ where
 {
     let mut fair = FairScheduler::new();
     run_until(sim, &mut fair, max_steps, |s| {
-        s.history().iter().all(|r| r.is_complete())
+        s.history().iter().all(super::sim::OpRecord::is_complete)
     })
 }

@@ -35,7 +35,7 @@ impl ObjectState for Cell {
     type Resp = rsb_fpsm::MetadataOnly;
 
     fn apply(&mut self, _c: ClientId, rmw: &Put) -> rsb_fpsm::MetadataOnly {
-        if self.held.map_or(true, |b| b.source_op <= rmw.0.source_op) {
+        if self.held.is_none_or(|b| b.source_op <= rmw.0.source_op) {
             self.held = Some(rmw.0);
         }
         rsb_fpsm::MetadataOnly
@@ -54,7 +54,10 @@ impl ClientLogic for Writer {
 
     fn on_invoke(&mut self, op: OpId, _req: OpRequest, eff: &mut Effects<Cell>) {
         for i in 0..self.n {
-            eff.trigger(ObjectId(i), Put(BlockInstance::new(op, i as u32, self.bits)));
+            eff.trigger(
+                ObjectId(i),
+                Put(BlockInstance::new(op, i as u32, self.bits)),
+            );
         }
         self.acks = 0;
     }
@@ -115,7 +118,7 @@ proptest! {
             sim.step(ev).unwrap();
         }
         prop_assert!(sim.inflight_rmws().is_empty());
-        prop_assert!(sim.history().iter().all(|r| r.is_complete()));
+        prop_assert!(sim.history().iter().all(rsb_fpsm::OpRecord::is_complete));
         let cost = sim.storage_cost();
         prop_assert_eq!(cost.object_bits, (n as u64) * 32);
         prop_assert_eq!(cost.inflight_param_bits, 0);

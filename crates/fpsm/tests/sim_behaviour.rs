@@ -7,7 +7,7 @@ use rsb_fpsm::{
     FairScheduler, ObjectId, ObjectState, OpId, OpRequest, OpResult, Payload, RandomScheduler,
     RmwId, SimEvent, Simulation,
 };
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// Base object: stores one tagged full copy of a value.
 #[derive(Debug, Clone, Default)]
@@ -74,12 +74,21 @@ impl ObjectState for Store {
     }
 }
 
+/// One in-progress operation of [`Client`].
+#[derive(Debug)]
+struct Pending {
+    op: OpId,
+    mine: HashSet<RmwId>,
+    acks: usize,
+    best: Option<(OpId, Value)>,
+}
+
 /// Client: writes put to all objects and await a majority of acks; reads
 /// get from all objects and return the value of the newest op seen.
 #[derive(Debug)]
 struct Client {
     n: usize,
-    current: Option<(OpId, HashMap<RmwId, ()>, usize, Option<(OpId, Value)>)>,
+    current: Option<Pending>,
 }
 
 impl Client {
@@ -95,7 +104,7 @@ impl ClientLogic for Client {
     type State = Store;
 
     fn on_invoke(&mut self, op: OpId, req: OpRequest, eff: &mut Effects<Store>) {
-        let mut mine = HashMap::new();
+        let mut mine = HashSet::new();
         for i in 0..self.n {
             let rmw = match &req {
                 OpRequest::Write(v) => Rmw::Put {
@@ -104,43 +113,36 @@ impl ClientLogic for Client {
                 },
                 OpRequest::Read => Rmw::Get,
             };
-            let id = eff.trigger(ObjectId(i), rmw);
-            mine.insert(id, ());
+            mine.insert(eff.trigger(ObjectId(i), rmw));
         }
-        self.current = Some((op, mine, 0, None));
+        self.current = Some(Pending {
+            op,
+            mine,
+            acks: 0,
+            best: None,
+        });
     }
 
     fn on_response(&mut self, op: OpId, rmw: RmwId, resp: Resp, eff: &mut Effects<Store>) {
         let majority = self.majority();
-        let Some((cur, mine, acks, best)) = self.current.as_mut() else {
+        let Some(cur) = self.current.as_mut() else {
             return; // stale response after completion
         };
-        if *cur != op || !mine.contains_key(&rmw) {
+        if cur.op != op || !cur.mine.contains(&rmw) {
             return; // stale response from a previous operation
         }
-        *acks += 1;
+        cur.acks += 1;
         if let Resp::Data(Some((src, v))) = resp {
-            if best.as_ref().map_or(true, |(b, _)| src > *b) {
-                *best = Some((src, v));
+            if cur.best.as_ref().is_none_or(|(b, _)| src > *b) {
+                cur.best = Some((src, v));
             }
         }
-        if *acks >= majority {
-            let result = match best.take() {
+        if cur.acks >= majority {
+            let result = match cur.best.take() {
                 Some((_, v)) => OpResult::Read(v),
                 None => OpResult::Write, // writes and empty reads
             };
-            let was_read = matches!(result, OpResult::Read(_));
-            // A read with no data returns the zero value.
-            if was_read || !was_read {
-                eff.complete(if was_read {
-                    result
-                } else {
-                    match result {
-                        OpResult::Write => OpResult::Write,
-                        r => r,
-                    }
-                });
-            }
+            eff.complete(result);
             self.current = None;
         }
     }
@@ -148,7 +150,9 @@ impl ClientLogic for Client {
 
 fn new_sim(n: usize, clients: usize) -> (Simulation<Store, Client>, Vec<ClientId>) {
     let mut sim = Simulation::new(n, |_| Store::default());
-    let ids = (0..clients).map(|_| sim.add_client(Client::new(n))).collect();
+    let ids = (0..clients)
+        .map(|_| sim.add_client(Client::new(n)))
+        .collect();
     (sim, ids)
 }
 
@@ -176,7 +180,7 @@ fn random_scheduler_also_completes_and_is_deterministic() {
                 }
                 let mut sched = RandomScheduler::new(seed);
                 run_until(&mut sim, &mut sched, 10_000, |s| {
-                    s.history().iter().all(|r| r.is_complete())
+                    s.history().iter().all(rsb_fpsm::OpRecord::is_complete)
                 });
                 sim.history()
                     .iter()

@@ -16,9 +16,7 @@
 //! `min((f+1)·ℓ, c·(D−ℓ+1))` bits.
 
 use crate::tracking::{AdversaryParams, Snapshot};
-use rsb_fpsm::{
-    ClientLogic, ObjectState, RmwId, Scheduler, SimEvent, Simulation, StorageCost,
-};
+use rsb_fpsm::{ClientLogic, ObjectState, RmwId, Scheduler, SimEvent, Simulation, StorageCost};
 
 /// Why an adversary-driven run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,12 +159,9 @@ impl BlowupReport {
     /// `c·(D−ℓ+1)` for saturated concurrency.
     pub fn winning_side_bound(&self) -> Option<u64> {
         match self.outcome {
-            AdOutcome::FrozenExceedsF => {
-                Some((self.params.f as u64 + 1) * self.params.ell_bits)
-            }
+            AdOutcome::FrozenExceedsF => Some((self.params.f as u64 + 1) * self.params.ell_bits),
             AdOutcome::ConcurrencySaturated => Some(
-                self.params.concurrency as u64
-                    * (self.params.data_bits - self.params.ell_bits + 1),
+                self.params.concurrency as u64 * (self.params.data_bits - self.params.ell_bits + 1),
             ),
             _ => None,
         }

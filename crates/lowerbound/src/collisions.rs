@@ -66,10 +66,9 @@ pub fn rs_colliding_values(
     distinct.sort_unstable();
     distinct.dedup();
     if distinct.iter().any(|&i| i >= code.block_count()) {
-        return Err(CodingError::UnknownBlockIndex(
-            *indices.iter().max().expect("nonempty"),
-        )
-        .into());
+        return Err(
+            CodingError::UnknownBlockIndex(*indices.iter().max().expect("nonempty")).into(),
+        );
     }
     if distinct.len() >= k {
         return Err(CollisionError::FullyDetermined);
@@ -100,7 +99,10 @@ pub fn rs_colliding_values(
     }
     let u = Value::zeroed(code.value_len());
     let u_prime = Value::from_bytes(delta);
-    debug_assert_ne!(u, u_prime, "kernel with all-padding support is impossible here");
+    debug_assert_ne!(
+        u, u_prime,
+        "kernel with all-padding support is impossible here"
+    );
     let collision = Collision {
         u,
         u_prime,
@@ -116,10 +118,7 @@ pub fn rs_colliding_values(
 /// # Errors
 ///
 /// Propagates coding errors on malformed indices.
-pub fn verify_collision<C: Code>(
-    code: &C,
-    collision: &Collision,
-) -> Result<bool, CodingError> {
+pub fn verify_collision<C: Code>(code: &C, collision: &Collision) -> Result<bool, CodingError> {
     if collision.u == collision.u_prime {
         return Ok(false);
     }
@@ -153,7 +152,9 @@ pub fn brute_force_collision<C: Code>(
     let domain = 1u64 << (8 * code.value_len());
     let mut seen: std::collections::HashMap<Vec<u8>, Value> = std::collections::HashMap::new();
     for raw in 0..domain {
-        let bytes: Vec<u8> = (0..code.value_len()).map(|b| (raw >> (8 * b)) as u8).collect();
+        let bytes: Vec<u8> = (0..code.value_len())
+            .map(|b| (raw >> (8 * b)) as u8)
+            .collect();
         let v = Value::from_bytes(bytes);
         let mut projection = Vec::new();
         for &i in indices {

@@ -10,10 +10,10 @@
 //! structural traces (per-component block instances — source, index, size
 //! — at every step) and operation histories.
 
+use rsb_coding::Value;
 use rsb_fpsm::{
     ClientId, ClientLogic, ObjectState, OpRequest, RandomScheduler, Scheduler, Simulation,
 };
-use rsb_coding::Value;
 use rsb_registers::RegisterProtocol;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -96,8 +96,14 @@ pub fn substitution_experiment<P: RegisterProtocol>(
 
     let mut sim_a = proto.new_sim();
     let mut sim_b = proto.new_sim();
-    let clients_a: Vec<ClientId> = values.iter().map(|_| proto.add_client(&mut sim_a)).collect();
-    let clients_b: Vec<ClientId> = values.iter().map(|_| proto.add_client(&mut sim_b)).collect();
+    let clients_a: Vec<ClientId> = values
+        .iter()
+        .map(|_| proto.add_client(&mut sim_a))
+        .collect();
+    let clients_b: Vec<ClientId> = values
+        .iter()
+        .map(|_| proto.add_client(&mut sim_b))
+        .collect();
     for (i, (&ca, &cb)) in clients_a.iter().zip(&clients_b).enumerate() {
         sim_a
             .invoke(ca, OpRequest::Write(values[i].clone()))
@@ -114,9 +120,8 @@ pub fn substitution_experiment<P: RegisterProtocol>(
     let mut structural_match = true;
     while steps < max_steps {
         // The schedule is chosen against run A and replayed on run B.
-        let ev = match Scheduler::<P::Object, P::Client>::next_event(&mut sched, &sim_a) {
-            Some(ev) => ev,
-            None => break,
+        let Some(ev) = Scheduler::<P::Object, P::Client>::next_event(&mut sched, &sim_a) else {
+            break;
         };
         sim_a.step(ev).expect("enabled in run A");
         if sim_b.step(ev).is_err() {
@@ -176,14 +181,8 @@ mod tests {
         let proto = Adaptive::new(RegisterConfig::paper(1, 2, 24).unwrap());
         let values: Vec<Value> = (1..=3).map(|s| Value::seeded(s, 24)).collect();
         for seed in 0..3 {
-            let report = substitution_experiment(
-                &proto,
-                &values,
-                1,
-                Value::seeded(99, 24),
-                seed,
-                50_000,
-            );
+            let report =
+                substitution_experiment(&proto, &values, 1, Value::seeded(99, 24), seed, 50_000);
             assert!(report.structural_match, "seed {seed}: {report:?}");
             assert!(report.trace_match, "seed {seed}");
         }
@@ -193,14 +192,8 @@ mod tests {
     fn abd_safe_coded_are_black_box() {
         let cfg = RegisterConfig::paper(1, 2, 16).unwrap();
         let values: Vec<Value> = (1..=2).map(|s| Value::seeded(s, 16)).collect();
-        let r = substitution_experiment(
-            &Abd::new(cfg),
-            &values,
-            0,
-            Value::seeded(50, 16),
-            7,
-            20_000,
-        );
+        let r =
+            substitution_experiment(&Abd::new(cfg), &values, 0, Value::seeded(50, 16), 7, 20_000);
         assert!(r.structural_match && r.trace_match, "abd: {r:?}");
         let r = substitution_experiment(
             &Safe::new(cfg),

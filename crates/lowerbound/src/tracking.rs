@@ -34,8 +34,7 @@ impl AdversaryParams {
     /// `min((f+1)·ℓ, c·(D − ℓ + 1))` bits (Observation 1 + Lemma 3).
     pub fn guaranteed_bits(&self) -> u64 {
         let frozen_side = (self.f as u64 + 1) * self.ell_bits;
-        let concurrency_side =
-            self.concurrency as u64 * (self.data_bits - self.ell_bits + 1);
+        let concurrency_side = self.concurrency as u64 * (self.data_bits - self.ell_bits + 1);
         frozen_side.min(concurrency_side)
     }
 }
@@ -89,8 +88,7 @@ impl Snapshot {
                 _ => None,
             };
             if let Some(o) = charged_object {
-                *object_bits.entry(o).or_default() +=
-                    instances.iter().map(|b| b.bits).sum::<u64>();
+                *object_bits.entry(o).or_default() += instances.iter().map(|b| b.bits).sum::<u64>();
             }
             // The client holding this component, for the "outside the
             // writer's client" exclusion.
@@ -123,10 +121,7 @@ impl Snapshot {
         let mut cplus = BTreeSet::new();
         let mut cminus = BTreeSet::new();
         for (op, _) in outstanding {
-            let total: u64 = index_bits
-                .get(&op)
-                .map(|m| m.values().sum())
-                .unwrap_or(0);
+            let total: u64 = index_bits.get(&op).map_or(0, |m| m.values().sum());
             contributed.insert(op, total);
             if total > params.data_bits - params.ell_bits {
                 cplus.insert(op);

@@ -65,7 +65,11 @@ fn coded_pays_concurrency_with_fine_pieces() {
     let mut sim = invoke_writers(&proto, c);
     let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, c);
     let report = run_blowup(&mut sim, params, MAX_STEPS);
-    assert_eq!(report.outcome, AdOutcome::ConcurrencySaturated, "{report:?}");
+    assert_eq!(
+        report.outcome,
+        AdOutcome::ConcurrencySaturated,
+        "{report:?}"
+    );
     assert!(report.certifies_bound(), "{report:?}");
     // Each of the c writers contributed > D − ℓ = D/2 bits.
     assert!(report.certified_bits >= 3 * 513);
@@ -131,8 +135,7 @@ fn snapshot_quantities_are_consistent() {
         let snap = Snapshot::capture(&sim, &params);
         // C⁺ and C⁻ partition the outstanding writes.
         let outstanding = rsb_lowerbound::outstanding_writes(&sim);
-        let union: std::collections::HashSet<_> =
-            snap.cplus.union(&snap.cminus).copied().collect();
+        let union: std::collections::HashSet<_> = snap.cplus.union(&snap.cminus).copied().collect();
         assert_eq!(union, outstanding.into_iter().collect());
         // Frozen objects hold at least ℓ bits.
         for o in &snap.frozen {
@@ -153,7 +156,7 @@ fn frozen_objects_stay_frozen_under_ad() {
     let mut sim = invoke_writers(&proto, 4);
     let params = AdversaryParams::theorem1(cfg.data_bits(), cfg.f, 4);
     let mut ad = rsb_lowerbound::AdversaryAd::new(params);
-    let mut prev: std::collections::BTreeSet<_> = Default::default();
+    let mut prev: std::collections::BTreeSet<_> = std::collections::BTreeSet::default();
     for _ in 0..500 {
         let snap = Snapshot::capture(&sim, &params);
         assert!(

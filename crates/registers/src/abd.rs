@@ -123,9 +123,15 @@ impl ObjectState for AbdObject {
 #[derive(Debug)]
 enum Phase {
     Idle,
-    WriteReadTs { round: QuorumRound<Timestamp> },
-    WriteStore { round: QuorumRound<()> },
-    Read { round: QuorumRound<(Timestamp, TaggedBlock)> },
+    WriteReadTs {
+        round: QuorumRound<Timestamp>,
+    },
+    WriteStore {
+        round: QuorumRound<()>,
+    },
+    Read {
+        round: QuorumRound<(Timestamp, TaggedBlock)>,
+    },
 }
 
 /// Client automaton of the ABD emulation.
@@ -197,8 +203,7 @@ impl ClientLogic for AbdClient {
                         .expect("quorum is nonempty");
                     let ts = Timestamp::new(max.num + 1, self.me);
                     let v = self.value.take().expect("write holds a value");
-                    let replica =
-                        TaggedBlock::new(op, Block::new(0, v.as_bytes().to_vec()));
+                    let replica = TaggedBlock::new(op, Block::new(0, v.as_bytes().to_vec()));
                     let mut round = QuorumRound::new();
                     for i in 0..self.cfg.n {
                         let id = eff.trigger(
@@ -303,10 +308,19 @@ impl RegisterProtocol for Abd {
 #[derive(Debug)]
 enum AtomicPhase {
     Idle,
-    WriteReadTs { round: QuorumRound<Timestamp> },
-    WriteStore { round: QuorumRound<()> },
-    ReadCollect { round: QuorumRound<(Timestamp, TaggedBlock)> },
-    ReadWriteBack { round: QuorumRound<()>, value: Value },
+    WriteReadTs {
+        round: QuorumRound<Timestamp>,
+    },
+    WriteStore {
+        round: QuorumRound<()>,
+    },
+    ReadCollect {
+        round: QuorumRound<(Timestamp, TaggedBlock)>,
+    },
+    ReadWriteBack {
+        round: QuorumRound<()>,
+        value: Value,
+    },
 }
 
 /// Client automaton of **atomic** (linearizable) ABD: identical to
@@ -572,7 +586,7 @@ mod tests {
         assert!(run_until(&mut sim, &mut sched, 50_000, |s| s
             .history()
             .iter()
-            .all(|r| r.is_complete())));
+            .all(rsb_fpsm::OpRecord::is_complete)));
         let r = p.add_client(&mut sim);
         sim.invoke(r, OpRequest::Read).unwrap();
         assert!(run_to_completion(&mut sim, 10_000));

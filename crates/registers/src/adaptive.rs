@@ -27,8 +27,8 @@
 //!   store), not all `n` pieces.
 
 use crate::common::{
-    best_decodable, chunk_instances, Chunk, QuorumRound, RegisterConfig, TaggedBlock, INITIAL_OP,
-    Timestamp,
+    best_decodable, chunk_instances, Chunk, QuorumRound, RegisterConfig, TaggedBlock, Timestamp,
+    INITIAL_OP,
 };
 use crate::protocol::RegisterProtocol;
 use rsb_coding::{Block, Code, ReedSolomon};
@@ -269,7 +269,10 @@ impl AdaptiveClient {
         }
     }
 
-    fn trigger_read_value(&self, eff: &mut Effects<AdaptiveObject>) -> QuorumRound<(Timestamp, Vec<Chunk>)> {
+    fn trigger_read_value(
+        &self,
+        eff: &mut Effects<AdaptiveObject>,
+    ) -> QuorumRound<(Timestamp, Vec<Chunk>)> {
         let mut round = QuorumRound::new();
         for i in 0..self.cfg.n {
             let id = eff.trigger(ObjectId(i), AdaptiveRmw::ReadValue);
@@ -500,7 +503,7 @@ impl RegisterProtocol for Adaptive {
 mod tests {
     use super::*;
     use rsb_coding::Value;
-    use rsb_fpsm::{run_to_completion, FairScheduler, RandomScheduler, run_until};
+    use rsb_fpsm::{run_to_completion, run_until, FairScheduler, RandomScheduler};
 
     fn proto(f: usize, k: usize, len: usize) -> Adaptive {
         Adaptive::new(RegisterConfig::paper(f, k, len).unwrap())
@@ -589,20 +592,14 @@ mod tests {
                 run_until(&mut sim, &mut sched, 100_000, |s| s
                     .history()
                     .iter()
-                    .all(|r| r.is_complete())),
+                    .all(rsb_fpsm::OpRecord::is_complete)),
                 "writes did not finish, seed {seed}"
             );
             // A subsequent read returns one of the written values.
             let r = p.add_client(&mut sim);
             sim.invoke(r, OpRequest::Read).unwrap();
             assert!(run_to_completion(&mut sim, 100_000));
-            let got = sim
-                .history()
-                .last()
-                .unwrap()
-                .result
-                .clone()
-                .unwrap();
+            let got = sim.history().last().unwrap().result.clone().unwrap();
             let got = got.read_value().unwrap().clone();
             assert!(
                 (1..=3).map(|s| Value::seeded(s, 20)).any(|v| v == got),
@@ -645,7 +642,7 @@ mod tests {
         assert!(run_until(&mut sim, &mut sched, 100_000, |s| s
             .history()
             .iter()
-            .all(|r| r.is_complete())));
+            .all(rsb_fpsm::OpRecord::is_complete)));
         for i in 0..4 {
             let st = sim.object_state(ObjectId(i));
             assert!(st.vp().len() <= 2, "Vp exceeded k at bo{i}");

@@ -13,8 +13,8 @@
 //! FW-terminating (they may loop while new writes keep landing).
 
 use crate::common::{
-    best_decodable, chunk_instances, Chunk, QuorumRound, RegisterConfig, TaggedBlock, INITIAL_OP,
-    Timestamp,
+    best_decodable, chunk_instances, Chunk, QuorumRound, RegisterConfig, TaggedBlock, Timestamp,
+    INITIAL_OP,
 };
 use crate::protocol::RegisterProtocol;
 use rsb_coding::{Block, Code, ReedSolomon};
@@ -458,7 +458,7 @@ mod tests {
         // proxy: run fair until all Stores applied, then inspect peak.
         let mut sched = RandomScheduler::new(5);
         run_until(&mut sim, &mut sched, 200_000, |s| {
-            s.history().iter().all(|r| r.is_complete())
+            s.history().iter().all(rsb_fpsm::OpRecord::is_complete)
         });
         // After completion + GC the steady state shrinks again, but the
         // PEAK object storage must have exceeded c/2 pieces per object on
@@ -485,7 +485,7 @@ mod tests {
             assert!(run_until(&mut sim, &mut sched, 200_000, |s| s
                 .history()
                 .iter()
-                .all(|r| r.is_complete())));
+                .all(rsb_fpsm::OpRecord::is_complete)));
             let r = p.add_client(&mut sim);
             sim.invoke(r, OpRequest::Read).unwrap();
             assert!(run_to_completion(&mut sim, 200_000));

@@ -287,7 +287,10 @@ mod tests {
         assert!(a < b);
         let c = Timestamp { num: 1, client: 10 };
         assert!(a < c);
-        assert_eq!(Timestamp::ZERO.successor(ClientId(3)), Timestamp { num: 1, client: 3 });
+        assert_eq!(
+            Timestamp::ZERO.successor(ClientId(3)),
+            Timestamp { num: 1, client: 3 }
+        );
         assert_eq!(Timestamp::ZERO.to_string(), "⟨0,0⟩");
     }
 

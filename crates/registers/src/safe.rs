@@ -224,11 +224,8 @@ impl ClientLogic for SafeClient {
                 }
                 if round.count() >= self.cfg.quorum() {
                     // Lines 15–18: decode if some ts has k pieces, else v₀.
-                    let chunks: Vec<Chunk> = round
-                        .responses()
-                        .iter()
-                        .map(|(_, c)| c.clone())
-                        .collect();
+                    let chunks: Vec<Chunk> =
+                        round.responses().iter().map(|(_, c)| c.clone()).collect();
                     let value = match best_decodable(&chunks, Timestamp::ZERO, self.cfg.k) {
                         Some((_, blocks)) => self
                             .code
@@ -345,7 +342,7 @@ mod tests {
         assert!(run_until(&mut sim, &mut sched, 100_000, |s| s
             .history()
             .iter()
-            .all(|r| r.is_complete())));
+            .all(rsb_fpsm::OpRecord::is_complete)));
         let mut fair = rsb_fpsm::FairScheduler::new();
         rsb_fpsm::run(&mut sim, &mut fair, 100_000);
         // Object storage never grows beyond n pieces.
@@ -387,9 +384,9 @@ mod tests {
         // Run the writer's first round and exactly one Store apply+deliver.
         let mut fair = rsb_fpsm::FairScheduler::new();
         for _ in 0..10 {
-            if let Some(ev) = rsb_fpsm::Scheduler::<SafeObject, SafeClient>::next_event(
-                &mut fair, &sim,
-            ) {
+            if let Some(ev) =
+                rsb_fpsm::Scheduler::<SafeObject, SafeClient>::next_event(&mut fair, &sim)
+            {
                 sim.step(ev).unwrap();
             }
         }

@@ -219,9 +219,7 @@ mod tests {
 
     #[test]
     fn concurrent_threads_adaptive() {
-        let reg = ThreadedRegister::start(Adaptive::new(
-            RegisterConfig::paper(1, 2, 32).unwrap(),
-        ));
+        let reg = ThreadedRegister::start(Adaptive::new(RegisterConfig::paper(1, 2, 32).unwrap()));
         let writers: Vec<_> = (0..4).map(|_| reg.client()).collect();
         let handles: Vec<_> = writers
             .into_iter()
@@ -245,9 +243,7 @@ mod tests {
 
     #[test]
     fn abd_roundtrip_threaded() {
-        let reg = ThreadedRegister::start(Abd::new(
-            RegisterConfig::new(3, 1, 1, 16).unwrap(),
-        ));
+        let reg = ThreadedRegister::start(Abd::new(RegisterConfig::new(3, 1, 1, 16).unwrap()));
         let c = reg.client();
         let v = Value::seeded(9, 16);
         c.write(v.clone()).unwrap();
@@ -257,9 +253,7 @@ mod tests {
 
     #[test]
     fn safe_register_with_crash_threaded() {
-        let reg = ThreadedRegister::start(Safe::new(
-            RegisterConfig::paper(1, 2, 16).unwrap(),
-        ));
+        let reg = ThreadedRegister::start(Safe::new(RegisterConfig::paper(1, 2, 16).unwrap()));
         reg.crash_object(rsb_fpsm::ObjectId(0));
         let c = reg.client();
         let v = Value::seeded(2, 16);
@@ -272,9 +266,7 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_ops() {
-        let reg = ThreadedRegister::start(Abd::new(
-            RegisterConfig::new(3, 1, 1, 8).unwrap(),
-        ));
+        let reg = ThreadedRegister::start(Abd::new(RegisterConfig::new(3, 1, 1, 8).unwrap()));
         let c = reg.client();
         reg.shutdown();
         assert_eq!(c.read().unwrap_err(), ThreadedError::ShutDown);

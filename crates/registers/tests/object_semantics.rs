@@ -47,7 +47,11 @@ fn adaptive_stale_update_is_noop() {
         },
     );
     assert_eq!(bo.vp(), &before_vp[..], "stale update must not store");
-    assert_eq!(bo.stored_ts(), ts(5, 1), "stale update must not move storedTS");
+    assert_eq!(
+        bo.stored_ts(),
+        ts(5, 1),
+        "stale update must not move storedTS"
+    );
 }
 
 /// Algorithm 3 line 36: below capacity, the piece lands in Vp and pieces
@@ -65,9 +69,9 @@ fn adaptive_update_prunes_and_stores_in_vp() {
         },
     );
     assert_eq!(bo.vp().len(), 2); // v₀'s piece + the new one
-    // A newer write knows ts(1,1) completed: its update prunes v₀ & w1? No
-    // — only pieces strictly below the watermark ts(1,1): v₀'s ⟨0,0⟩ goes,
-    // w1's ⟨1,1⟩ stays.
+                                  // A newer write knows ts(1,1) completed: its update prunes v₀ & w1? No
+                                  // — only pieces strictly below the watermark ts(1,1): v₀'s ⟨0,0⟩ goes,
+                                  // w1's ⟨1,1⟩ stays.
     bo.apply(
         C,
         &AdaptiveRmw::Update {
@@ -225,10 +229,7 @@ fn safe_store_is_monotone() {
 /// ABD object: conditional overwrite and full-replica reads.
 #[test]
 fn abd_store_semantics() {
-    let mut bo = AbdObject::initial(TaggedBlock::new(
-        INITIAL_OP,
-        Block::new(0, vec![0u8; 8]),
-    ));
+    let mut bo = AbdObject::initial(TaggedBlock::new(INITIAL_OP, Block::new(0, vec![0u8; 8])));
     bo.apply(
         C,
         &AbdRmw::Store {

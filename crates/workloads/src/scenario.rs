@@ -119,7 +119,9 @@ pub fn run_scenario<P: RegisterProtocol>(proto: &P, scenario: &Scenario) -> Scen
     let mut seeds = SeedSequence::new(scenario.seed);
     let mut sim = proto.new_sim();
     let total_clients = scenario.writers + scenario.readers;
-    let clients: Vec<ClientId> = (0..total_clients).map(|_| proto.add_client(&mut sim)).collect();
+    let clients: Vec<ClientId> = (0..total_clients)
+        .map(|_| proto.add_client(&mut sim))
+        .collect();
     let mut budgets: Vec<usize> = (0..total_clients)
         .map(|i| {
             if i < scenario.writers {

@@ -18,8 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adaptive = Adaptive::new(RegisterConfig::paper(f, k, value_len)?);
 
     let cs: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16];
-    println!("peak base-object storage (bits), f = {f}, k = {k}, D = {} bits", 8 * value_len);
-    println!("{:>4} {:>12} {:>12} {:>12}", "c", "abd", "coded", "adaptive");
+    println!(
+        "peak base-object storage (bits), f = {f}, k = {k}, D = {} bits",
+        8 * value_len
+    );
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "c", "abd", "coded", "adaptive"
+    );
     for &c in &cs {
         let a = experiments::measure_storage(&abd, c, 2, 100 + c as u64);
         let o = experiments::measure_storage(&coded, c, 2, 200 + c as u64);

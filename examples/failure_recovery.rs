@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.crashed_clients.len(),
         out.completed
     );
-    println!("peak storage: {} bits; final: {}", out.peak_bits, out.sim.storage_cost());
+    println!(
+        "peak storage: {} bits; final: {}",
+        out.peak_bits,
+        out.sim.storage_cost()
+    );
 
     // Verify the run: strong regularity + FW-termination (crashed writer
     // excused).
@@ -42,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same scenario on the safe register is wait-free but only safe.
     let safe = Safe::new(cfg);
     let out = run_scenario(&safe, &scenario);
-    verify::check_outcome(&safe, &out, Guarantee::StronglySafe, LivenessLevel::WaitFree)?;
+    verify::check_outcome(
+        &safe,
+        &out,
+        Guarantee::StronglySafe,
+        LivenessLevel::WaitFree,
+    )?;
     println!("safe register verified: strongly safe, wait-free");
     Ok(())
 }

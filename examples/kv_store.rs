@@ -40,12 +40,18 @@ impl ConfigStore {
         let mut bytes = payload.to_vec();
         bytes.resize(self.value_len, 0);
         let reg = &self.registers[key];
-        reg.client().write(Value::from_bytes(bytes)).expect("store is live");
+        reg.client()
+            .write(Value::from_bytes(bytes))
+            .expect("store is live");
     }
 
     fn get(&self, key: &str) -> Vec<u8> {
         let reg = &self.registers[key];
-        reg.client().read().expect("store is live").as_bytes().to_vec()
+        reg.client()
+            .read()
+            .expect("store is live")
+            .as_bytes()
+            .to_vec()
     }
 }
 
@@ -95,8 +101,13 @@ fn main() {
     assert!(routing.starts_with(b"primary=eu-west"));
 
     println!("kv-store demo complete:");
-    println!("  4 writers x 10 rounds raced on 2 keys; reader made {observations} consistent reads");
-    println!("  'routing' survived a storage-node crash: {:?}…", &routing[..15]);
+    println!(
+        "  4 writers x 10 rounds raced on 2 keys; reader made {observations} consistent reads"
+    );
+    println!(
+        "  'routing' survived a storage-node crash: {:?}…",
+        &routing[..15]
+    );
     for (key, reg) in &store.registers {
         println!("  {key:>14}: storage {}", reg.storage_cost());
     }

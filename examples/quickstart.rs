@@ -18,7 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let writer = register.add_client(&mut sim);
     let reader = register.add_client(&mut sim);
 
-    println!("deployment: n = {}, f = {}, k = {}, D = {} bits", config.n, config.f, config.k, config.data_bits());
+    println!(
+        "deployment: n = {}, f = {}, k = {}, D = {} bits",
+        config.n,
+        config.f,
+        config.k,
+        config.data_bits()
+    );
 
     // Write.
     let v = Value::seeded(2016, 1024);
@@ -46,6 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(run_to_completion(&mut sim, 1_000_000));
     let got = sim.history().last().unwrap().result.clone().unwrap();
     assert_eq!(got, OpResult::Read(v));
-    println!("read returned the written value despite {} crashed nodes", config.f);
+    println!(
+        "read returned the written value despite {} crashed nodes",
+        config.f
+    );
     Ok(())
 }

@@ -21,9 +21,7 @@ fn demo<P: RegisterProtocol>(proto: &P, c: usize) {
         report.cplus_count,
         report.certified_bits,
         report
-            .winning_side_bound()
-            .map(|b| b.to_string())
-            .unwrap_or_else(|| "-".into()),
+            .winning_side_bound().map_or_else(|| "-".into(), |b| b.to_string()),
         report.guaranteed_bits,
     );
 }

@@ -9,11 +9,11 @@
 //!   adaptive bound at any point in any schedule.
 
 use proptest::prelude::*;
+use reliable_storage::experiments::theorem2_bound_bits;
 use rsb_coding::Value;
 use rsb_fpsm::{OpRequest, RandomScheduler, Scheduler, Simulation};
 use rsb_registers::adaptive::{AdaptiveClient, AdaptiveObject};
 use rsb_registers::{Adaptive, RegisterConfig, RegisterProtocol, Timestamp};
-use reliable_storage::experiments::theorem2_bound_bits;
 
 /// All (n−f)-subsets of `0..n` (n small in these tests).
 fn quorums(n: usize, q: usize) -> Vec<Vec<usize>> {
@@ -41,12 +41,15 @@ fn check_invariant1(
     for quorum in quorums(cfg.n, cfg.quorum()) {
         let mut max_stored = Timestamp::ZERO;
         let mut pieces: std::collections::HashMap<Timestamp, std::collections::HashSet<u32>> =
-            Default::default();
+            std::collections::HashMap::default();
         for &i in &quorum {
             let st = sim.object_state(rsb_fpsm::ObjectId(i));
             max_stored = max_stored.max(st.stored_ts());
             for c in st.vp().iter().chain(st.vf().iter()) {
-                pieces.entry(c.ts).or_default().insert(c.piece.block.index());
+                pieces
+                    .entry(c.ts)
+                    .or_default()
+                    .insert(c.piece.block.index());
             }
         }
         let ok = pieces
@@ -82,7 +85,7 @@ proptest! {
         let mut sched = RandomScheduler::new(seed);
         let bound = theorem2_bound_bits(&cfg, writers);
         for _ in 0..3_000 {
-            check_invariant1(&sim, &cfg).map_err(|e| TestCaseError::fail(e))?;
+            check_invariant1(&sim, &cfg).map_err(TestCaseError::fail)?;
             let object_bits = sim.storage_cost().object_bits;
             prop_assert!(
                 object_bits <= bound,
@@ -114,10 +117,10 @@ proptest! {
                 Some(ev) => sim.step(ev).unwrap(),
                 None => break,
             }
-            for i in 0..cfg.n {
+            for (i, prev) in last.iter_mut().enumerate() {
                 let now = sim.object_state(rsb_fpsm::ObjectId(i)).stored_ts();
-                prop_assert!(now >= last[i], "storedTS went backwards on bo{i}");
-                last[i] = now;
+                prop_assert!(now >= *prev, "storedTS went backwards on bo{i}");
+                *prev = now;
             }
         }
     }
@@ -137,7 +140,7 @@ fn invariant1_also_holds_with_straggling_updates() {
         // Drive with a biased scheduler: always the *newest* enabled event,
         // maximizing stragglers.
         for _ in 0..100_000 {
-            if sim.history().iter().all(|r| r.is_complete()) {
+            if sim.history().iter().all(rsb_fpsm::OpRecord::is_complete) {
                 break;
             }
             let evs = sim.enabled_events();

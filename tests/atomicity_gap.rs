@@ -7,9 +7,9 @@
 
 use reliable_storage::prelude::*;
 use rsb_consistency::{check_atomicity, check_strong_regularity, History};
+use rsb_fpsm::{ClientLogic, ObjectState, OpId};
 use rsb_fpsm::{RmwId, SimEvent, Simulation};
 use rsb_registers::abd::AbdObject;
-use rsb_fpsm::{ClientLogic, ObjectState, OpId};
 
 /// Applies and delivers every in-flight RMW of `op` targeting `obj`.
 fn land_on<S, L>(sim: &mut Simulation<S, L>, op: OpId, obj: ObjectId)
@@ -42,7 +42,8 @@ where
     let r2 = proto.add_client(&mut sim);
 
     // w1 writes v1 everywhere.
-    sim.invoke(w1, OpRequest::Write(Value::seeded(1, 16))).unwrap();
+    sim.invoke(w1, OpRequest::Write(Value::seeded(1, 16)))
+        .unwrap();
     assert!(run_to_completion(&mut sim, 10_000));
     let mut fair = FairScheduler::new();
     run(&mut sim, &mut fair, 10_000);
@@ -51,7 +52,9 @@ where
     // {bo0, bo1} — this triggers the Store round — then let the store
     // land ONLY on bo0. (bo2's ReadTs stays pending; applying it later
     // would be a stale no-op.)
-    let w2_op = sim.invoke(w2, OpRequest::Write(Value::seeded(2, 16))).unwrap();
+    let w2_op = sim
+        .invoke(w2, OpRequest::Write(Value::seeded(2, 16)))
+        .unwrap();
     land_on(&mut sim, w2_op, ObjectId(0));
     land_on(&mut sim, w2_op, ObjectId(1));
     land_on(&mut sim, w2_op, ObjectId(0)); // Store lands on bo0 only
@@ -65,7 +68,10 @@ where
     for i in 0..3 {
         land_on(&mut sim, r1_op, ObjectId(i));
     }
-    assert!(sim.op_record(r1_op).is_complete(), "r1 should have returned");
+    assert!(
+        sim.op_record(r1_op).is_complete(),
+        "r1 should have returned"
+    );
 
     // r2 reads via {bo1, bo2}.
     let r2_op = sim.invoke(r2, OpRequest::Read).unwrap();
@@ -75,7 +81,10 @@ where
     for i in 0..3 {
         land_on(&mut sim, r2_op, ObjectId(i));
     }
-    assert!(sim.op_record(r2_op).is_complete(), "r2 should have returned");
+    assert!(
+        sim.op_record(r2_op).is_complete(),
+        "r2 should have returned"
+    );
 
     History::from_fpsm(proto.config().initial_value(), sim.history()).unwrap()
 }

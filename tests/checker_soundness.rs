@@ -65,16 +65,15 @@ fn brute_force_read_ok(h: &History, rd: &HistoryOp) -> bool {
                 stack[i] += 1;
                 i = 0;
                 break;
-            } else {
-                stack[i] = 0;
-                i += 1;
             }
+            stack[i] = 0;
+            i += 1;
         }
     }
 }
 
 fn arbitrary_history(
-    write_spans: Vec<(u8, u8)>,
+    write_spans: &[(u8, u8)],
     read_span: (u8, u8),
     read_seed: u8,
 ) -> Option<(History, HistoryOp)> {
@@ -98,11 +97,13 @@ fn arbitrary_history(
         kind: OpKind::Read,
         invoked_at: t(a % 16) * 2 + 2,
         returned_at: Some(t(a % 16) * 2 + 2 + t(b % 8) * 2 + 2),
-        read_value: Some(if read_seed as usize % (write_spans.len() + 1) == 0 {
-            Value::zeroed(4)
-        } else {
-            Value::seeded((read_seed as usize % (write_spans.len() + 1)) as u64, 4)
-        }),
+        read_value: Some(
+            if (read_seed as usize).is_multiple_of(write_spans.len() + 1) {
+                Value::zeroed(4)
+            } else {
+                Value::seeded((read_seed as usize % (write_spans.len() + 1)) as u64, 4)
+            },
+        ),
     };
     let mut all = ops.clone();
     all.push(rd.clone());
@@ -120,7 +121,7 @@ proptest! {
         read_span in (any::<u8>(), any::<u8>()),
         read_seed in any::<u8>(),
     ) {
-        if let Some((h, rd)) = arbitrary_history(spans, read_span, read_seed) {
+        if let Some((h, rd)) = arbitrary_history(&spans, read_span, read_seed) {
             let checker = check_weak_regularity(&h).is_ok();
             let brute = brute_force_read_ok(&h, &rd);
             prop_assert_eq!(checker, brute, "history: {:?}", h);

@@ -114,8 +114,13 @@ fn safe_with_client_and_object_failures() {
         };
         let out = run_scenario(&proto, &scenario);
         assert!(out.completed, "seed {seed}");
-        check_outcome(&proto, &out, Guarantee::StronglySafe, LivenessLevel::WaitFree)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_outcome(
+            &proto,
+            &out,
+            Guarantee::StronglySafe,
+            LivenessLevel::WaitFree,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 

@@ -1,0 +1,290 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`Throughput`], [`BenchmarkId`] —
+//! over a simple wall-clock harness: a short warm-up, then a fixed number of
+//! timed batches, reporting the best batch mean (the most noise-robust simple
+//! estimator). No statistics machinery, HTML reports, or CLI filtering; the
+//! point is that `cargo bench` compiles, runs, and prints comparable numbers
+//! without crates.io access.
+//!
+//! Setting `CRITERION_QUICK_ITERS` (to any value — it is a boolean flag,
+//! the value is not parsed) caps measurement work for CI smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement knobs shared by the harness.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Timed batches per benchmark.
+    batches: u32,
+    /// Target wall-clock time per batch.
+    batch_budget: Duration,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        // CI smoke mode: tiny fixed iteration budget. Presence-only flag;
+        // the variable's value is deliberately not parsed.
+        if std::env::var("CRITERION_QUICK_ITERS").is_ok() {
+            Settings {
+                batches: 2,
+                batch_budget: Duration::from_millis(5),
+            }
+        } else {
+            Settings {
+                batches: 8,
+                batch_budget: Duration::from_millis(60),
+            }
+        }
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(&self.settings, &mut f);
+        print_report(&id.0, None, &report);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(&self.criterion.settings, &mut f);
+        print_report(&format!("{}/{}", self.name, id.0), self.throughput, &report);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Iteration driver passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it for the batch's iteration budget.
+    // Named for API parity with real criterion, which clippy cannot know.
+    #[allow(clippy::iter_not_returning_iterator)]
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Per-iteration work declaration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/name/parameter`-style id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    best_ns_per_iter: f64,
+    total_iters: u64,
+}
+
+/// Calibrates an iteration count against the batch budget, then takes the
+/// best (minimum) mean across batches.
+fn run_bench<F: FnMut(&mut Bencher)>(settings: &Settings, f: &mut F) -> Report {
+    // Calibration: find an iteration count that roughly fills one budget.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= settings.batch_budget / 2 || iters >= 1 << 20 {
+            break;
+        }
+        let scale = if b.elapsed.is_zero() {
+            16
+        } else {
+            ((settings.batch_budget.as_nanos() / b.elapsed.as_nanos().max(1)) as u64).clamp(2, 16)
+        };
+        iters = iters.saturating_mul(scale);
+    }
+
+    let mut best = f64::INFINITY;
+    let mut total = 0u64;
+    for _ in 0..settings.batches {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.iters;
+        let mean = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        if mean < best {
+            best = mean;
+        }
+    }
+    Report {
+        best_ns_per_iter: best,
+        total_iters: total,
+    }
+}
+
+fn print_report(name: &str, throughput: Option<Throughput>, report: &Report) {
+    let time = format_ns(report.best_ns_per_iter);
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Bytes(bytes) => {
+            let gib = bytes as f64 / report.best_ns_per_iter; // bytes/ns == GiB-ish/s
+            format!("  {gib:.3} GB/s")
+        }
+        Throughput::Elements(n) => {
+            let meps = n as f64 / report.best_ns_per_iter * 1e3;
+            format!("  {meps:.3} Melem/s")
+        }
+    });
+    println!(
+        "  {name:<48} {time:>12}/iter{rate}  ({} iters)",
+        report.total_iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as a *capability marker* — types derive
+//! `Serialize`/`Deserialize` so that a future wire format can be attached —
+//! and never invokes an actual serializer (there is no `serde_json` etc. in
+//! the tree). This stub therefore provides the two traits as blanket-implemented
+//! markers and re-exports no-op derives, which keeps every
+//! `#[derive(Serialize, Deserialize)]` in the codebase compiling without
+//! network access to crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Deserialize<'_> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` for code that names the module path.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` for code that names the module path.
+pub mod ser {
+    pub use crate::Serialize;
+}
