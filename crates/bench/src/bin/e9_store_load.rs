@@ -1,0 +1,319 @@
+//! E9 — the sharded store under heavy multi-key traffic.
+//!
+//! Sweeps shard count × protocol × client count over a keyed workload and
+//! reports throughput, latency, and live storage occupancy — the paper's
+//! space bounds (ABD's `(2f+1)·D` replication vs the adaptive coder's
+//! `(2f+k)·D/k` quiescent cost) observed on a running service rather
+//! than inside the deterministic simulator. A single-lock
+//! [`ThreadedRegister`] baseline runs the same operation stream to show
+//! what per-shard drivers buy over the one-simulation-one-lock runtime.
+//!
+//! ```sh
+//! cargo run --release -p rsb-bench --bin e9_store_load            # full sweep
+//! cargo run --release -p rsb-bench --bin e9_store_load -- --quick # CI smoke
+//! ```
+
+use reliable_storage::prelude::*;
+use rsb_bench::{banner, print_table};
+use rsb_store::{ProtocolSpec, Store, StoreConfig};
+use rsb_workloads::{KeyedAction, KeyedScenario};
+use std::time::Instant;
+
+/// One measured cell of the sweep.
+struct Cell {
+    ops: u64,
+    secs: f64,
+    mean_us: f64,
+    p99_us: f64,
+    occupancy_bits: u64,
+    keys: usize,
+}
+
+impl Cell {
+    fn kops(&self) -> f64 {
+        self.ops as f64 / self.secs / 1e3
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn summarize(ops: u64, secs: f64, mut lat_ns: Vec<u64>, occupancy_bits: u64, keys: usize) -> Cell {
+    lat_ns.sort_unstable();
+    let mean_us = if lat_ns.is_empty() {
+        0.0
+    } else {
+        lat_ns.iter().sum::<u64>() as f64 / lat_ns.len() as f64 / 1e3
+    };
+    Cell {
+        ops,
+        secs,
+        mean_us,
+        p99_us: percentile(&lat_ns, 0.99),
+        occupancy_bits,
+        keys,
+    }
+}
+
+/// Drives `scenario` against a store, blocking clients on one OS thread
+/// each. Returns the cell plus the store (still live) for metrics and
+/// history inspection.
+fn run_store_cell(
+    protocol: ProtocolSpec,
+    shards: usize,
+    scenario: &KeyedScenario,
+) -> (Cell, Store) {
+    let rsb_workloads::ValueSizeDist::Fixed(value_len) = scenario.value_sizes else {
+        unreachable!("e9 uses fixed-size values")
+    };
+    let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
+    let store = Store::start(StoreConfig::uniform(shards, protocol, reg)).expect("valid config");
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..scenario.clients)
+        .map(|c| {
+            let client = store.client();
+            let stream = scenario.client_ops(c);
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                for op in stream {
+                    let t = Instant::now();
+                    match op.action {
+                        KeyedAction::Read => {
+                            client.read_blocking(&op.key).expect("store is live");
+                        }
+                        KeyedAction::Write(v) => {
+                            client.write_blocking(&op.key, v).expect("store is live");
+                        }
+                    }
+                    lat.push(t.elapsed().as_nanos() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat_ns = Vec::with_capacity(scenario.total_ops());
+    for h in handles {
+        lat_ns.extend(h.join().expect("client thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let metrics = store.metrics();
+    let cell = summarize(
+        metrics.totals().completed(),
+        secs,
+        lat_ns,
+        metrics.occupancy_bits(),
+        metrics.keys(),
+    );
+    (cell, store)
+}
+
+/// The same operation stream against one register behind one lock: every
+/// operation, whatever its key, goes through the single simulation of a
+/// [`ThreadedRegister`] — the pre-sharding runtime.
+fn run_single_lock<P: RegisterProtocol + Send + 'static>(
+    proto: P,
+    scenario: &KeyedScenario,
+) -> Cell {
+    let reg = ThreadedRegister::start(proto);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..scenario.clients)
+        .map(|c| {
+            let handle = reg.client();
+            let stream = scenario.client_ops(c);
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                for op in stream {
+                    let t = Instant::now();
+                    match op.action {
+                        KeyedAction::Read => {
+                            handle.read().expect("register is live");
+                        }
+                        KeyedAction::Write(v) => {
+                            handle.write(v).expect("register is live");
+                        }
+                    }
+                    lat.push(t.elapsed().as_nanos() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat_ns = Vec::with_capacity(scenario.total_ops());
+    for h in handles {
+        lat_ns.extend(h.join().expect("client thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let occupancy = reg.storage_cost().total();
+    let cell = summarize(scenario.total_ops() as u64, secs, lat_ns, occupancy, 1);
+    reg.shutdown();
+    cell
+}
+
+fn cell_row(proto: ProtocolSpec, shards: usize, clients: usize, cell: &Cell) -> Vec<String> {
+    vec![
+        proto.to_string(),
+        shards.to_string(),
+        clients.to_string(),
+        cell.ops.to_string(),
+        format!("{:.3}", cell.secs),
+        format!("{:.1}", cell.kops()),
+        format!("{:.0}", cell.mean_us),
+        format!("{:.0}", cell.p99_us),
+        (cell.occupancy_bits / 8 / 1024).to_string(),
+        cell.keys.to_string(),
+    ]
+}
+
+fn spot_check_consistency(store: &Store, quota: usize) {
+    let mut checked = 0;
+    for key in store.keys() {
+        if checked == quota {
+            break;
+        }
+        let h = store.key_history(&key).expect("key was materialized");
+        let history =
+            History::from_fpsm(h.initial, &h.records).expect("runtime histories are well-formed");
+        check_strong_regularity(&history).expect("strong regularity of a recorded key history");
+        checked += 1;
+    }
+    println!("consistency spot-check: strong regularity holds on {checked} recorded key histories");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var("E9_QUICK").is_ok();
+    banner(
+        "E9 (sharded store)",
+        "shard count × protocol × clients: throughput, latency, live occupancy",
+    );
+
+    let protocols = [ProtocolSpec::Abd, ProtocolSpec::Adaptive];
+    let shard_counts: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8, 16] };
+    let client_counts: &[usize] = if quick { &[16] } else { &[16, 32] };
+    let (keys, ops_per_client) = if quick { (64, 25) } else { (256, 150) };
+    let value_len = 64;
+    let seed = 42;
+
+    let header = vec![
+        "proto", "shards", "clients", "ops", "secs", "kops/s", "mean_us", "p99_us", "occ_KiB",
+        "keys",
+    ];
+    let mut rows = Vec::new();
+    let mut best_sharded_kops = 0.0f64;
+    let mut showcase: Option<Store> = None;
+    for &clients in client_counts {
+        let scenario = KeyedScenario::uniform(clients, ops_per_client, keys, 0.5, value_len, seed);
+        for &proto in &protocols {
+            for &shards in shard_counts {
+                let (cell, store) = run_store_cell(proto, shards, &scenario);
+                // The headline comparison must be like-for-like: only
+                // cells running the exact scenario the single-lock
+                // baseline will run (same client count, same op stream).
+                if shards > 1 && clients == client_counts[0] {
+                    best_sharded_kops = best_sharded_kops.max(cell.kops());
+                }
+                rows.push(cell_row(proto, shards, clients, &cell));
+                // Keep the 8-shard adaptive store for the per-shard table
+                // and the consistency spot-check.
+                if proto == ProtocolSpec::Adaptive && shards == 8 && showcase.is_none() {
+                    showcase = Some(store);
+                } else {
+                    store.shutdown();
+                }
+            }
+        }
+    }
+    print_table(
+        "store sweep (f = 1, k = 2, D = 512 bits, 50% reads, uniform keys)",
+        &header,
+        &rows,
+    );
+
+    // Key-popularity skew: a zipfian run on the 8-shard adaptive store.
+    let zipf_clients = client_counts[0];
+    let zipf = KeyedScenario::uniform(zipf_clients, ops_per_client, keys, 0.5, value_len, seed + 1)
+        .with_zipf(0.99);
+    let (zipf_cell, zipf_store) = run_store_cell(ProtocolSpec::Adaptive, 8, &zipf);
+    print_table(
+        "key-distribution effect (adaptive, 8 shards)",
+        &["dist", "clients", "ops", "kops/s", "p99_us", "keys"],
+        &[vec![
+            "zipf(0.99)".to_string(),
+            zipf_clients.to_string(),
+            zipf_cell.ops.to_string(),
+            format!("{:.1}", zipf_cell.kops()),
+            format!("{:.0}", zipf_cell.p99_us),
+            zipf_cell.keys.to_string(),
+        ]],
+    );
+    zipf_store.shutdown();
+
+    // Per-shard breakdown + consistency spot-check on the showcase store.
+    if let Some(store) = showcase {
+        let metrics = store.metrics();
+        let shard_header = vec![
+            "shard", "proto", "keys", "reads", "writes", "rd_KiB", "wr_KiB", "occ_KiB", "peak_KiB",
+        ];
+        let shard_rows: Vec<Vec<String>> = metrics
+            .shards
+            .iter()
+            .map(|s| {
+                vec![
+                    s.shard.to_string(),
+                    s.protocol.to_string(),
+                    s.keys.to_string(),
+                    s.ops.reads_completed.to_string(),
+                    s.ops.writes_completed.to_string(),
+                    (s.ops.bytes_read / 1024).to_string(),
+                    (s.ops.bytes_written / 1024).to_string(),
+                    (s.occupancy.total() / 8 / 1024).to_string(),
+                    (s.peak_register_bits / 8 / 1024).to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "per-shard breakdown (adaptive, 8 shards, 16 clients)",
+            &shard_header,
+            &shard_rows,
+        );
+        spot_check_consistency(&store, 5);
+        store.shutdown();
+    }
+
+    // The single-lock baseline: same stream, one register, one lock.
+    let base_scenario =
+        KeyedScenario::uniform(client_counts[0], ops_per_client, keys, 0.5, value_len, seed);
+    let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
+    let mut base_rows = Vec::new();
+    let mut base_best_kops = 0.0f64;
+    for &proto in &protocols {
+        let cell = match proto {
+            ProtocolSpec::Abd => run_single_lock(Abd::new(reg), &base_scenario),
+            ProtocolSpec::Adaptive => run_single_lock(Adaptive::new(reg), &base_scenario),
+            _ => unreachable!("sweep uses abd/adaptive"),
+        };
+        base_best_kops = base_best_kops.max(cell.kops());
+        base_rows.push(cell_row(proto, 1, client_counts[0], &cell));
+    }
+    print_table(
+        "single-lock ThreadedRegister baseline (same op stream, one register)",
+        &header,
+        &base_rows,
+    );
+    println!(
+        "best multi-shard store: {best_sharded_kops:.1} kops/s vs best single-lock register: \
+         {base_best_kops:.1} kops/s  (×{:.1}, same workload: {} clients × {ops_per_client} ops)",
+        best_sharded_kops / base_best_kops.max(1e-9),
+        client_counts[0],
+    );
+    println!(
+        "paper mapping: occ_KiB per key tracks the space bounds — ABD stores (2f+1)·D per \
+         register, the adaptive coder (2f+k)·D/k when quiescent."
+    );
+}

@@ -18,7 +18,10 @@
 //! * [`lowerbound`] — the adversary `Ad`, source-function tracking,
 //!   executable pigeonhole collisions, and black-box substitution;
 //! * [`consistency`] — regularity/safety/liveness checkers;
-//! * [`workloads`] — seeded scenarios and failure injection;
+//! * [`workloads`] — seeded scenarios (single- and multi-key) and
+//!   failure injection;
+//! * [`store`] — the sharded multi-register storage service with an
+//!   async client surface and live storage metrics;
 //! * [`experiments`] — the drivers regenerating every quantitative claim
 //!   (see `EXPERIMENTS.md` at the repository root);
 //! * [`verify`] — glue tying scenarios to the checkers.
@@ -54,6 +57,7 @@ pub use rsb_consistency as consistency;
 pub use rsb_fpsm as fpsm;
 pub use rsb_lowerbound as lowerbound;
 pub use rsb_registers as registers;
+pub use rsb_store as store;
 pub use rsb_workloads as workloads;
 
 pub mod experiments;
@@ -74,7 +78,13 @@ pub mod prelude {
     pub use rsb_registers::{
         threaded::ThreadedRegister, Abd, Adaptive, Coded, RegisterConfig, RegisterProtocol, Safe,
     };
-    pub use rsb_workloads::{run_scenario, FailurePlan, Scenario, ScenarioOutcome, ValueStream};
+    pub use rsb_store::{
+        block_on, join_all, ProtocolSpec, Store, StoreClient, StoreConfig, StoreError, StoreMetrics,
+    };
+    pub use rsb_workloads::{
+        run_scenario, FailurePlan, KeyDist, KeyedAction, KeyedScenario, Scenario, ScenarioOutcome,
+        ValueSizeDist, ValueStream,
+    };
 
     pub use crate::experiments;
     pub use crate::verify::{self, Guarantee};

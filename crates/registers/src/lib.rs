@@ -57,3 +57,7 @@ pub use common::{
 };
 pub use protocol::RegisterProtocol;
 pub use safe::Safe;
+pub use threaded::{
+    spawn_driver, ClientHandle, CompletionSlot, DriverCore, OpOutcome, RegisterCell, ThreadedError,
+    ThreadedRegister,
+};

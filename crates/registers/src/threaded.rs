@@ -3,10 +3,19 @@
 //!
 //! The deterministic simulator is the right tool for experiments (it can
 //! realize adversarial schedules), but it is also useful to see the
-//! protocols run under genuine parallelism. [`ThreadedRegister`] hosts the
-//! simulation behind a lock; a background *network driver* thread plays a
-//! fair scheduler, while any number of application threads perform
-//! blocking `read`/`write` operations through [`ClientHandle`]s.
+//! protocols run under genuine parallelism. Two reusable pieces live here
+//! and are shared with the sharded store runtime in `rsb-store`:
+//!
+//! * [`DriverCore`] — the lock + condvar + stop-flag cell a *network
+//!   driver* thread and its clients rendezvous on;
+//! * [`CompletionSlot`] — a per-operation completion cell a client can
+//!   either block on (condvar) or poll as a future (waker), filled by the
+//!   driver when the operation returns inside the simulation.
+//!
+//! [`ThreadedRegister`] composes them for a single register: the driver
+//! thread plays a fair scheduler over one simulation, while any number of
+//! application threads perform blocking `read`/`write` operations through
+//! [`ClientHandle`]s.
 //!
 //! Asynchrony is real here: the interleaving of RMW applies/deliveries
 //! against invocations depends on OS scheduling — but safety never does
@@ -32,12 +41,12 @@
 //! ```
 
 use crate::protocol::RegisterProtocol;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use rsb_coding::Value;
 use rsb_fpsm::{ClientId, OpId, OpRequest, OpResult, Simulation};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::task::{Context, Poll, Waker};
 
 /// Errors from the threaded runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,79 +68,337 @@ impl std::fmt::Display for ThreadedError {
 
 impl std::error::Error for ThreadedError {}
 
-struct Shared<P: RegisterProtocol + 'static> {
-    sim: Mutex<Simulation<P::Object, P::Client>>,
+/// The rendezvous cell between one driver thread and its clients: a guarded
+/// state `T`, a progress condvar the driver parks on while idle, and a stop
+/// flag.
+///
+/// [`ThreadedRegister`] guards a single simulation with one of these; the
+/// sharded store guards a whole shard (many key simulations) per core —
+/// that per-shard granularity, instead of one global lock, is what the
+/// store's scalability comes from.
+#[derive(Debug)]
+pub struct DriverCore<T> {
+    state: Mutex<T>,
     progress: Condvar,
     stop: AtomicBool,
+}
+
+impl<T> DriverCore<T> {
+    /// Creates a core around the guarded state.
+    pub fn new(state: T) -> Self {
+        DriverCore {
+            state: Mutex::new(state),
+            progress: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Locks the guarded state.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.state.lock()
+    }
+
+    /// Wakes the driver (and anyone else parked on the progress condvar).
+    pub fn notify(&self) {
+        self.progress.notify_all();
+    }
+
+    /// Parks on the progress condvar with the guard relinquished, until
+    /// notified.
+    pub fn wait(&self, guard: &mut MutexGuard<'_, T>) {
+        self.progress.wait(guard);
+    }
+
+    /// Requests the driver to stop, and wakes it.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Taking the state lock orders this notify after any driver's
+        // check-stop-then-wait sequence (the driver holds the lock from
+        // its check until the wait releases it), so an untimed wait can
+        // never miss the stop signal.
+        let guard = self.state.lock();
+        drop(guard);
+        self.progress.notify_all();
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Spawns a named driver thread over a [`DriverCore`].
+///
+/// The driver repeatedly calls `step` under the lock; `step` returns
+/// whether it made progress. When it did not, the driver parks on the
+/// progress condvar until a submitter calls [`DriverCore::notify`] — no
+/// timed polling: work can only be created under the lock the driver
+/// holds from its `step` through the wait's release, and
+/// [`DriverCore::request_stop`] takes that lock before notifying, so no
+/// wakeup is lost. After a stop request the driver runs `on_stop` under
+/// the lock — the place to fail pending completions so no client hangs —
+/// and exits.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_driver<T, F, G>(
+    name: &str,
+    core: Arc<DriverCore<T>>,
+    mut step: F,
+    on_stop: G,
+) -> std::thread::JoinHandle<()>
+where
+    T: Send + 'static,
+    F: FnMut(&mut T) -> bool + Send + 'static,
+    G: FnOnce(&mut T) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            loop {
+                let mut state = core.lock();
+                if !step(&mut state) {
+                    // Re-checked under the lock: request_stop's notify
+                    // is ordered after this check (it takes the lock),
+                    // so either we see the flag here or the wait below
+                    // is woken by it.
+                    if core.is_stopped() {
+                        break;
+                    }
+                    core.wait(&mut state);
+                }
+                if core.is_stopped() {
+                    break;
+                }
+            }
+            let mut state = core.lock();
+            on_stop(&mut state);
+        })
+        .expect("spawning a driver thread")
+}
+
+/// The result type a completion slot carries.
+pub type OpOutcome = Result<OpResult, ThreadedError>;
+
+#[derive(Debug, Default)]
+struct SlotInner {
+    result: Option<OpOutcome>,
+    waker: Option<Waker>,
+}
+
+/// A one-shot completion cell for a single emulated operation.
+///
+/// The driver thread fills it exactly once; the submitting client either
+/// blocks on it ([`CompletionSlot::wait`]) or polls it from a hand-rolled
+/// future ([`CompletionSlot::poll_outcome`]) — both work without any async
+/// runtime.
+#[derive(Debug, Default)]
+pub struct CompletionSlot {
+    inner: Mutex<SlotInner>,
+    done: Condvar,
+}
+
+impl CompletionSlot {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        CompletionSlot::default()
+    }
+
+    /// Fills the slot, waking blocked waiters and any registered waker.
+    /// A second fill is ignored (first outcome wins).
+    pub fn fill(&self, outcome: OpOutcome) {
+        let waker = {
+            let mut inner = self.inner.lock();
+            if inner.result.is_some() {
+                return;
+            }
+            inner.result = Some(outcome);
+            self.done.notify_all();
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// The outcome, if already filled.
+    pub fn try_outcome(&self) -> Option<OpOutcome> {
+        self.inner.lock().result.clone()
+    }
+
+    /// Blocks until the slot is filled.
+    pub fn wait(&self) -> OpOutcome {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(outcome) = inner.result.clone() {
+                return outcome;
+            }
+            self.done.wait(&mut inner);
+        }
+    }
+
+    /// Future-style poll: ready with the outcome, or registers the waker.
+    pub fn poll_outcome(&self, cx: &mut Context<'_>) -> Poll<OpOutcome> {
+        let mut inner = self.inner.lock();
+        if let Some(outcome) = inner.result.clone() {
+            Poll::Ready(outcome)
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// The state a [`ThreadedRegister`]'s driver guards: the simulation plus
+/// the completion slots of in-flight operations.
+#[derive(Debug)]
+pub struct RegisterCell<P: RegisterProtocol + 'static> {
+    /// The hosted simulation.
+    pub sim: Simulation<P::Object, P::Client>,
+    /// `(op, slot)` pairs not yet completed.
+    pub pending: Vec<(OpId, Arc<CompletionSlot>)>,
+}
+
+impl<P: RegisterProtocol + 'static> RegisterCell<P> {
+    /// Wraps a fresh simulation.
+    pub fn new(sim: Simulation<P::Object, P::Client>) -> Self {
+        RegisterCell {
+            sim,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Executes up to `budget` enabled events; returns how many ran.
+    /// Call [`RegisterCell::complete_pending`] (or the `_with` variant)
+    /// afterwards to fill the slots of operations that returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation rejects an event it reported enabled
+    /// (a bug in the protocol machinery, not a runtime condition).
+    pub fn step_events(&mut self, budget: usize) -> usize {
+        let mut stepped = 0;
+        while stepped < budget {
+            let Some(&ev) = self.sim.enabled_events().first() else {
+                break;
+            };
+            self.sim.step(ev).expect("enabled event applies");
+            stepped += 1;
+        }
+        stepped
+    }
+
+    /// Fills the slots of every operation that has returned.
+    pub fn complete_pending(&mut self) {
+        self.complete_pending_with(|_| {});
+    }
+
+    /// Like [`RegisterCell::complete_pending`], additionally visiting each
+    /// completed result (the hook shard metrics hang off).
+    pub fn complete_pending_with(&mut self, mut visit: impl FnMut(&OpResult)) {
+        let sim = &self.sim;
+        self.pending.retain(|(op, slot)| {
+            if let Some(result) = sim.op_record(*op).result.clone() {
+                visit(&result);
+                slot.fill(Ok(result));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Fails every pending operation (used at shutdown).
+    pub fn fail_pending(&mut self, err: &ThreadedError) {
+        for (_, slot) in self.pending.drain(..) {
+            slot.fill(Err(err.clone()));
+        }
+    }
+
+    /// Submits one operation: invokes it and returns a completion slot
+    /// (already filled if the operation completed synchronously).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the simulation rejects the invocation.
+    pub fn submit(
+        &mut self,
+        client: ClientId,
+        req: OpRequest,
+    ) -> Result<Arc<CompletionSlot>, ThreadedError> {
+        let op = self
+            .sim
+            .invoke(client, req)
+            .map_err(|e| ThreadedError::Rejected(e.to_string()))?;
+        let slot = Arc::new(CompletionSlot::new());
+        if let Some(result) = self.sim.op_record(op).result.clone() {
+            slot.fill(Ok(result));
+        } else {
+            self.pending.push((op, Arc::clone(&slot)));
+        }
+        Ok(slot)
+    }
 }
 
 /// A live register service backed by a driver thread.
 pub struct ThreadedRegister<P: RegisterProtocol + 'static> {
     proto: P,
-    shared: Arc<Shared<P>>,
+    core: Arc<DriverCore<RegisterCell<P>>>,
     driver: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<P: RegisterProtocol + 'static> ThreadedRegister<P> {
     /// Starts the service: builds the simulation and spawns the driver.
     pub fn start(proto: P) -> Self {
-        let sim = proto.new_sim();
-        let shared = Arc::new(Shared {
-            sim: Mutex::new(sim),
-            progress: Condvar::new(),
-            stop: AtomicBool::new(false),
-        });
-        let driver_shared = Arc::clone(&shared);
-        let driver = std::thread::Builder::new()
-            .name("register-driver".into())
-            .spawn(move || {
-                while !driver_shared.stop.load(Ordering::Acquire) {
-                    let mut sim = driver_shared.sim.lock();
-                    let events = sim.enabled_events();
-                    if let Some(&ev) = events.first() {
-                        sim.step(ev).expect("enabled event applies");
-                        driver_shared.progress.notify_all();
-                        drop(sim);
-                    } else {
-                        // Nothing to do: sleep until an invocation arrives.
-                        driver_shared
-                            .progress
-                            .wait_for(&mut sim, Duration::from_millis(1));
-                    }
+        let core = Arc::new(DriverCore::new(RegisterCell::<P>::new(proto.new_sim())));
+        let driver = spawn_driver(
+            "register-driver",
+            Arc::clone(&core),
+            |cell: &mut RegisterCell<P>| {
+                if cell.step_events(1) > 0 {
+                    cell.complete_pending();
+                    true
+                } else {
+                    false
                 }
-            })
-            .expect("spawning the driver thread");
+            },
+            |cell: &mut RegisterCell<P>| {
+                cell.complete_pending();
+                cell.fail_pending(&ThreadedError::ShutDown);
+            },
+        );
         ThreadedRegister {
             proto,
-            shared,
+            core,
             driver: Some(driver),
         }
     }
 
     /// Creates a new client handle (usable from any thread).
     pub fn client(&self) -> ClientHandle<P> {
-        let mut sim = self.shared.sim.lock();
-        let id = self.proto.add_client(&mut sim);
-        drop(sim);
+        let mut cell = self.core.lock();
+        let id = self.proto.add_client(&mut cell.sim);
+        drop(cell);
         ClientHandle {
-            shared: Arc::clone(&self.shared),
+            core: Arc::clone(&self.core),
             id,
         }
     }
 
     /// Crashes a base object (fault injection).
     pub fn crash_object(&self, obj: rsb_fpsm::ObjectId) {
-        self.shared.sim.lock().crash_object(obj);
+        self.core.lock().sim.crash_object(obj);
     }
 
     /// Current storage cost snapshot.
     pub fn storage_cost(&self) -> rsb_fpsm::StorageCost {
-        self.shared.sim.lock().storage_cost()
+        self.core.lock().sim.storage_cost()
     }
 
     /// Peak total storage in bits observed so far.
     pub fn peak_storage_bits(&self) -> u64 {
-        self.shared.sim.lock().peak_storage_bits()
+        self.core.lock().sim.peak_storage_bits()
     }
 
     /// Stops the driver thread. Idempotent; also called on drop.
@@ -140,8 +407,7 @@ impl<P: RegisterProtocol + 'static> ThreadedRegister<P> {
     }
 
     fn stop_driver(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
-        self.shared.progress.notify_all();
+        self.core.request_stop();
         if let Some(h) = self.driver.take() {
             let _ = h.join();
         }
@@ -156,7 +422,7 @@ impl<P: RegisterProtocol + 'static> Drop for ThreadedRegister<P> {
 
 /// A blocking client of a [`ThreadedRegister`].
 pub struct ClientHandle<P: RegisterProtocol + 'static> {
-    shared: Arc<Shared<P>>,
+    core: Arc<DriverCore<RegisterCell<P>>>,
     id: ClientId,
 }
 
@@ -189,26 +455,16 @@ impl<P: RegisterProtocol + 'static> ClientHandle<P> {
     }
 
     fn run_op(&self, req: OpRequest) -> Result<OpResult, ThreadedError> {
-        let mut sim = self.shared.sim.lock();
-        if self.shared.stop.load(Ordering::Acquire) {
-            return Err(ThreadedError::ShutDown);
-        }
-        let op: OpId = sim
-            .invoke(self.id, req)
-            .map_err(|e| ThreadedError::Rejected(e.to_string()))?;
-        // Wake the driver and wait for completion.
-        self.shared.progress.notify_all();
-        loop {
-            if let Some(result) = sim.op_record(op).result.clone() {
-                return Ok(result);
-            }
-            if self.shared.stop.load(Ordering::Acquire) {
+        let slot = {
+            let mut cell = self.core.lock();
+            if self.core.is_stopped() {
                 return Err(ThreadedError::ShutDown);
             }
-            self.shared
-                .progress
-                .wait_for(&mut sim, Duration::from_millis(1));
-        }
+            cell.submit(self.id, req)?
+        };
+        // Wake the driver, then wait on the slot (not the sim lock).
+        self.core.notify();
+        slot.wait()
     }
 }
 
@@ -270,5 +526,35 @@ mod tests {
         let c = reg.client();
         reg.shutdown();
         assert_eq!(c.read().unwrap_err(), ThreadedError::ShutDown);
+    }
+
+    #[test]
+    fn completion_slot_blocks_and_polls() {
+        use std::task::{Context, Poll, Wake, Waker};
+
+        struct Flag(std::sync::atomic::AtomicBool);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let slot = Arc::new(CompletionSlot::new());
+        let flag = Arc::new(Flag(std::sync::atomic::AtomicBool::new(false)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        assert!(slot.poll_outcome(&mut cx).is_pending());
+
+        let filler = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.fill(Ok(OpResult::Write)))
+        };
+        assert_eq!(slot.wait(), Ok(OpResult::Write));
+        filler.join().unwrap();
+        assert!(flag.0.load(Ordering::SeqCst), "waker fired on fill");
+        assert_eq!(slot.poll_outcome(&mut cx), Poll::Ready(Ok(OpResult::Write)));
+        // First outcome wins.
+        slot.fill(Err(ThreadedError::ShutDown));
+        assert_eq!(slot.try_outcome(), Some(Ok(OpResult::Write)));
     }
 }

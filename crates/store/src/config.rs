@@ -1,0 +1,154 @@
+//! Store configuration: how many shards, and which register emulation
+//! (with which parameters) backs each of them.
+
+use rsb_registers::RegisterConfig;
+
+/// Which register emulation a shard runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// ABD replication — strongly regular, wait-free, `O(fD)` storage.
+    Abd,
+    /// ABD with read write-back — atomic (linearizable).
+    AbdAtomic,
+    /// The Appendix-E safe register — constant `n·D/k` storage.
+    Safe,
+    /// The pure-coded baseline — `O(cD)` storage under concurrency.
+    Coded,
+    /// The Section-5 adaptive algorithm — coding that falls back to
+    /// replication under concurrency.
+    Adaptive,
+}
+
+impl ProtocolSpec {
+    /// Short stable name, matching
+    /// [`RegisterProtocol::name`](rsb_registers::RegisterProtocol::name).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolSpec::Abd => "abd",
+            ProtocolSpec::AbdAtomic => "abd-atomic",
+            ProtocolSpec::Safe => "safe",
+            ProtocolSpec::Coded => "coded",
+            ProtocolSpec::Adaptive => "adaptive",
+        }
+    }
+
+    /// All specs, for sweeps.
+    pub const ALL: [ProtocolSpec; 5] = [
+        ProtocolSpec::Abd,
+        ProtocolSpec::AbdAtomic,
+        ProtocolSpec::Safe,
+        ProtocolSpec::Coded,
+        ProtocolSpec::Adaptive,
+    ];
+}
+
+impl std::fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One shard's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The register emulation backing every key on this shard.
+    pub protocol: ProtocolSpec,
+    /// The emulation's parameters (`n`, `f`, `k`, value length).
+    pub register: RegisterConfig,
+}
+
+/// Errors validating a [`StoreConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreConfigError {
+    /// The shard list is empty.
+    NoShards,
+    /// The driver batch size is zero.
+    ZeroBatch,
+}
+
+impl std::fmt::Display for StoreConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreConfigError::NoShards => write!(f, "a store needs at least one shard"),
+            StoreConfigError::ZeroBatch => write!(f, "driver batch size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for StoreConfigError {}
+
+/// Full store configuration.
+///
+/// Shards may run *different* protocols (e.g. hot shards on ABD
+/// replication, cold ones on the adaptive coder) — the keyspace partition
+/// is purely hash-based, so the choice is a placement policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Per-shard specifications; the keyspace is hashed over their count.
+    pub shards: Vec<ShardSpec>,
+    /// Maximum simulator events a driver executes per key per lock
+    /// acquisition. Larger batches amortize locking; smaller batches
+    /// reduce completion latency jitter.
+    pub batch: usize,
+}
+
+impl StoreConfig {
+    /// Default driver batch size.
+    pub const DEFAULT_BATCH: usize = 64;
+
+    /// A homogeneous store: `shard_count` shards all running `protocol`
+    /// with `register` parameters.
+    pub fn uniform(shard_count: usize, protocol: ProtocolSpec, register: RegisterConfig) -> Self {
+        StoreConfig {
+            shards: vec![ShardSpec { protocol, register }; shard_count],
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Overrides the driver batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty shard list and a zero batch size.
+    pub fn validate(&self) -> Result<(), StoreConfigError> {
+        if self.shards.is_empty() {
+            return Err(StoreConfigError::NoShards);
+        }
+        if self.batch == 0 {
+            return Err(StoreConfigError::ZeroBatch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_builds_and_validates() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let cfg = StoreConfig::uniform(8, ProtocolSpec::Abd, reg);
+        assert_eq!(cfg.shards.len(), 8);
+        assert!(cfg.validate().is_ok());
+        assert!(StoreConfig {
+            shards: vec![],
+            batch: 1
+        }
+        .validate()
+        .is_err());
+        assert!(cfg.with_batch(0).validate().is_err());
+    }
+
+    #[test]
+    fn spec_names_are_stable() {
+        let names: Vec<_> = ProtocolSpec::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["abd", "abd-atomic", "safe", "coded", "adaptive"]);
+    }
+}

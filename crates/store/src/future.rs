@@ -1,0 +1,167 @@
+//! Hand-rolled, executor-agnostic operation futures.
+//!
+//! [`ReadFuture`] / [`WriteFuture`] wrap the driver-filled
+//! [`CompletionSlot`](rsb_registers::CompletionSlot)s of
+//! `rsb_registers::threaded`. They implement [`Future`] so any executor
+//! can await them, and each also offers a blocking `wait()` that parks on
+//! the slot's condvar — the tree is offline-vendored, so no tokio (or any
+//! runtime) is required anywhere. [`block_on`] is a minimal thread-parking
+//! executor for contexts with no runtime at all.
+
+use crate::store::StoreError;
+use rsb_coding::Value;
+use rsb_fpsm::OpResult;
+use rsb_registers::CompletionSlot;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Shared core of the two operation futures: either a live completion
+/// slot, or an error determined at submission time (e.g. the store was
+/// already shut down) delivered on first poll.
+#[derive(Debug)]
+pub(crate) enum OpFuture {
+    /// Submitted; the driver will fill the slot.
+    Slot(Arc<CompletionSlot>),
+    /// Failed at submission; `None` after the error has been taken.
+    Failed(Option<StoreError>),
+}
+
+impl OpFuture {
+    fn poll_result(&mut self, cx: &mut Context<'_>) -> Poll<Result<OpResult, StoreError>> {
+        match self {
+            OpFuture::Slot(slot) => slot.poll_outcome(cx).map_err(StoreError::from),
+            OpFuture::Failed(err) => Poll::Ready(Err(err
+                .take()
+                .expect("operation future polled after completion"))),
+        }
+    }
+
+    fn wait(mut self) -> Result<OpResult, StoreError> {
+        match &mut self {
+            OpFuture::Slot(slot) => slot.wait().map_err(StoreError::from),
+            OpFuture::Failed(err) => Err(err.take().expect("freshly constructed")),
+        }
+    }
+}
+
+/// The future of a `read(key)`; resolves to the value read.
+#[derive(Debug)]
+#[must_use = "futures do nothing unless polled or waited on"]
+pub struct ReadFuture {
+    pub(crate) inner: OpFuture,
+}
+
+impl ReadFuture {
+    /// Blocking facade: parks the calling thread until the read returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store shut down or the submission was rejected.
+    pub fn wait(self) -> Result<Value, StoreError> {
+        self.inner.wait().map(into_read)
+    }
+}
+
+impl Future for ReadFuture {
+    type Output = Result<Value, StoreError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut()
+            .inner
+            .poll_result(cx)
+            .map(|r| r.map(into_read))
+    }
+}
+
+/// The future of a `write(key, v)`; resolves once the write is acked.
+#[derive(Debug)]
+#[must_use = "futures do nothing unless polled or waited on"]
+pub struct WriteFuture {
+    pub(crate) inner: OpFuture,
+}
+
+impl WriteFuture {
+    /// Blocking facade: parks the calling thread until the write is acked.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store shut down or the submission was rejected.
+    pub fn wait(self) -> Result<(), StoreError> {
+        self.inner.wait().map(|_| ())
+    }
+}
+
+impl Future for WriteFuture {
+    type Output = Result<(), StoreError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut().inner.poll_result(cx).map(|r| r.map(|_| ()))
+    }
+}
+
+fn into_read(result: OpResult) -> Value {
+    match result {
+        OpResult::Read(v) => v,
+        OpResult::Write => unreachable!("read future resolved with a write ack"),
+    }
+}
+
+/// Wakes a parked thread (the whole executor state of [`block_on`]).
+struct ThreadUnparker(std::thread::Thread);
+
+impl Wake for ThreadUnparker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives any future to completion on the current thread, with no async
+/// runtime: the waker unparks this thread, the loop re-polls.
+///
+/// Spurious unparks are handled by re-polling; [`Future::poll`] contract
+/// (`wake` called when progress is possible) guarantees termination for
+/// the store's slot-backed futures.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = Box::pin(fut);
+    let waker = Waker::from(Arc::new(ThreadUnparker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// Resolves a batch of futures concurrently on the current thread and
+/// returns their outputs in order — a tiny `join_all` so examples and
+/// load generators can keep many operations in flight without a runtime.
+pub fn join_all<F: Future + Unpin>(futs: Vec<F>) -> Vec<F::Output> {
+    let waker = Waker::from(Arc::new(ThreadUnparker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut pending: Vec<Option<F>> = futs.into_iter().map(Some).collect();
+    let mut results: Vec<Option<F::Output>> = pending.iter().map(|_| None).collect();
+    loop {
+        let mut all_done = true;
+        for (slot, result) in pending.iter_mut().zip(results.iter_mut()) {
+            if let Some(fut) = slot {
+                match Pin::new(fut).poll(&mut cx) {
+                    Poll::Ready(out) => {
+                        *result = Some(out);
+                        *slot = None;
+                    }
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            return results
+                .into_iter()
+                .map(|r| r.expect("all futures resolved"))
+                .collect();
+        }
+        std::thread::park();
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-shard and aggregate service metrics.
+//!
+//! Operation/byte counters are lock-free atomics bumped by the submit
+//! path and the driver threads; storage occupancy is read from the
+//! shards' storage-cost-accounted simulations, so the paper's space
+//! bounds are observable on the live service.
+
+use rsb_fpsm::{OpResult, StorageCost};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters one shard's submit path and driver bump.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicCounters {
+    reads_submitted: AtomicU64,
+    writes_submitted: AtomicU64,
+    reads_completed: AtomicU64,
+    writes_completed: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl AtomicCounters {
+    pub(crate) fn note_read_submitted(&self) {
+        self.reads_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_write_submitted(&self, payload_bytes: u64) {
+        self.writes_submitted.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_completion(&self, result: &OpResult) {
+        match result {
+            OpResult::Read(v) => {
+                self.reads_completed.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+            }
+            OpResult::Write => {
+                self.writes_completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> OpCounters {
+        OpCounters {
+            reads_submitted: self.reads_submitted.load(Ordering::Relaxed),
+            writes_submitted: self.writes_submitted.load(Ordering::Relaxed),
+            reads_completed: self.reads_completed.load(Ordering::Relaxed),
+            writes_completed: self.writes_completed.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one shard's (or the whole store's) operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Reads accepted by the submit path.
+    pub reads_submitted: u64,
+    /// Writes accepted by the submit path.
+    pub writes_submitted: u64,
+    /// Reads whose result was delivered.
+    pub reads_completed: u64,
+    /// Writes whose ack was delivered.
+    pub writes_completed: u64,
+    /// Payload bytes returned by completed reads.
+    pub bytes_read: u64,
+    /// Payload bytes accepted by submitted writes.
+    pub bytes_written: u64,
+    /// Submissions the underlying simulation rejected.
+    pub rejected: u64,
+}
+
+impl OpCounters {
+    /// Completed operations of both kinds.
+    pub fn completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// Accumulates another snapshot (for aggregation).
+    pub fn absorb(&mut self, other: &OpCounters) {
+        self.reads_submitted += other.reads_submitted;
+        self.writes_submitted += other.writes_submitted;
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.rejected += other.rejected;
+    }
+}
+
+/// One shard's metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Shard index within the store.
+    pub shard: usize,
+    /// The register emulation the shard runs.
+    pub protocol: &'static str,
+    /// Keys (registers) materialized on the shard so far.
+    pub keys: usize,
+    /// Operation counters.
+    pub ops: OpCounters,
+    /// Live storage occupancy across the shard's registers
+    /// (the paper's Definition-2 cost, summed over keys).
+    pub occupancy: StorageCost,
+    /// Sum of each register's peak total storage in bits — an upper
+    /// bound on the shard's true simultaneous peak.
+    pub peak_register_bits: u64,
+}
+
+/// A whole-store metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl StoreMetrics {
+    /// Aggregate operation counters over all shards.
+    pub fn totals(&self) -> OpCounters {
+        let mut total = OpCounters::default();
+        for s in &self.shards {
+            total.absorb(&s.ops);
+        }
+        total
+    }
+
+    /// Aggregate live storage occupancy in bits.
+    pub fn occupancy_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.occupancy.total()).sum()
+    }
+
+    /// Aggregate per-register peak storage bits.
+    pub fn peak_register_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.peak_register_bits).sum()
+    }
+
+    /// Total keys materialized across shards.
+    pub fn keys(&self) -> usize {
+        self.shards.iter().map(|s| s.keys).sum()
+    }
+}

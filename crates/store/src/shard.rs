@@ -1,0 +1,249 @@
+//! One shard: a driver thread over a map of per-key register simulations.
+//!
+//! A shard reuses the driver/completion machinery of
+//! `rsb_registers::threaded` — a [`DriverCore`] guards the shard's state
+//! (every key's [`RegisterCell`]), and one spawned driver thread plays the
+//! fair scheduler for all of them. The store holds shards behind the
+//! object-safe [`ShardEngine`] trait so different shards can run
+//! different register emulations.
+
+use crate::config::ShardSpec;
+use crate::metrics::{AtomicCounters, ShardMetrics};
+use crate::store::StoreError;
+use rsb_coding::Value;
+use rsb_fpsm::{ClientId, OpRecord, OpRequest, StorageCost};
+use rsb_registers::{
+    spawn_driver, Abd, AbdAtomic, Adaptive, Coded, CompletionSlot, DriverCore, RegisterCell,
+    RegisterProtocol, Safe, ThreadedError,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::config::ProtocolSpec;
+
+/// One key's register: its simulation cell plus the sim-level clients
+/// allocated for it so far (reused across operations when idle).
+struct KeyEntry<P: RegisterProtocol + 'static> {
+    cell: RegisterCell<P>,
+    clients: Vec<ClientId>,
+}
+
+/// The state a shard's driver guards.
+struct ShardState<P: RegisterProtocol + 'static> {
+    proto: P,
+    keys: HashMap<String, KeyEntry<P>>,
+}
+
+/// The object-safe surface the store drives a shard through.
+pub(crate) trait ShardEngine: Send + Sync {
+    /// Submits one operation on a key, returning its completion slot.
+    fn submit(&self, key: &str, req: OpRequest) -> Result<Arc<CompletionSlot>, StoreError>;
+
+    /// Asks the driver to stop (pending operations will be failed).
+    fn request_stop(&self);
+
+    /// Snapshot of the shard's metrics.
+    fn metrics(&self, shard: usize) -> ShardMetrics;
+
+    /// The register value length every write must match.
+    fn value_len(&self) -> usize;
+
+    /// The registers' initial value `v₀`.
+    fn initial_value(&self) -> Value;
+
+    /// The operation records of one key's register, if materialized.
+    fn key_records(&self, key: &str) -> Option<Vec<OpRecord>>;
+
+    /// Keys materialized on this shard.
+    fn keys(&self) -> Vec<String>;
+
+    /// The protocol's stable name.
+    fn protocol_name(&self) -> &'static str;
+}
+
+/// The typed shard implementation behind [`ShardEngine`].
+struct ShardCore<P: RegisterProtocol + Send + 'static> {
+    core: Arc<DriverCore<ShardState<P>>>,
+    counters: Arc<AtomicCounters>,
+    name: &'static str,
+    value_len: usize,
+    initial: Value,
+}
+
+impl<P: RegisterProtocol + Send + 'static> ShardEngine for ShardCore<P> {
+    fn submit(&self, key: &str, req: OpRequest) -> Result<Arc<CompletionSlot>, StoreError> {
+        let slot = {
+            let mut st = self.core.lock();
+            // Checked under the lock: the driver's shutdown cleanup also
+            // runs under it, so a submission either sees the stop flag or
+            // its pending slot is failed by that cleanup — never neither.
+            if self.core.is_stopped() {
+                return Err(StoreError::ShutDown);
+            }
+            let ShardState { proto, keys } = &mut *st;
+            // Allocate the owned key only on first touch — the hot path
+            // (existing key) stays allocation-free under the shard lock.
+            if !keys.contains_key(key) {
+                keys.insert(
+                    key.to_owned(),
+                    KeyEntry {
+                        cell: RegisterCell::new(proto.new_sim()),
+                        clients: Vec::new(),
+                    },
+                );
+            }
+            let entry = keys.get_mut(key).expect("inserted above");
+            let client = entry
+                .clients
+                .iter()
+                .copied()
+                .find(|&c| entry.cell.sim.outstanding_op(c).is_none())
+                .unwrap_or_else(|| {
+                    let c = proto.add_client(&mut entry.cell.sim);
+                    entry.clients.push(c);
+                    c
+                });
+            let write_bytes = match &req {
+                OpRequest::Write(v) => Some(v.len() as u64),
+                OpRequest::Read => None,
+            };
+            match entry.cell.submit(client, req) {
+                Ok(slot) => {
+                    match write_bytes {
+                        Some(bytes) => self.counters.note_write_submitted(bytes),
+                        None => self.counters.note_read_submitted(),
+                    }
+                    // A protocol could in principle complete synchronously
+                    // (the slot is then filled with no pending entry, so
+                    // the driver never sees it); count it here, still
+                    // under the lock so the driver cannot race us.
+                    if let Some(Ok(result)) = slot.try_outcome() {
+                        self.counters.note_completion(&result);
+                    }
+                    slot
+                }
+                Err(e) => {
+                    self.counters.note_rejected();
+                    return Err(e.into());
+                }
+            }
+        };
+        self.core.notify();
+        Ok(slot)
+    }
+
+    fn request_stop(&self) {
+        self.core.request_stop();
+    }
+
+    fn metrics(&self, shard: usize) -> ShardMetrics {
+        let st = self.core.lock();
+        let mut occupancy = StorageCost::default();
+        let mut peak = 0u64;
+        for entry in st.keys.values() {
+            let cost = entry.cell.sim.storage_cost();
+            occupancy.object_bits += cost.object_bits;
+            occupancy.client_bits += cost.client_bits;
+            occupancy.inflight_param_bits += cost.inflight_param_bits;
+            occupancy.inflight_resp_bits += cost.inflight_resp_bits;
+            peak += entry.cell.sim.peak_storage_bits();
+        }
+        ShardMetrics {
+            shard,
+            protocol: self.name,
+            keys: st.keys.len(),
+            ops: self.counters.snapshot(),
+            occupancy,
+            peak_register_bits: peak,
+        }
+    }
+
+    fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    fn initial_value(&self) -> Value {
+        self.initial.clone()
+    }
+
+    fn key_records(&self, key: &str) -> Option<Vec<OpRecord>> {
+        let st = self.core.lock();
+        st.keys.get(key).map(|e| e.cell.sim.history().to_vec())
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.core.lock().keys.keys().cloned().collect()
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Builds a shard from its spec and spawns its driver thread.
+pub(crate) fn build(
+    index: usize,
+    spec: &ShardSpec,
+    batch: usize,
+) -> (Arc<dyn ShardEngine>, std::thread::JoinHandle<()>) {
+    match spec.protocol {
+        ProtocolSpec::Abd => start_typed(index, Abd::new(spec.register), batch),
+        ProtocolSpec::AbdAtomic => start_typed(index, AbdAtomic::new(spec.register), batch),
+        ProtocolSpec::Safe => start_typed(index, Safe::new(spec.register), batch),
+        ProtocolSpec::Coded => start_typed(index, Coded::new(spec.register), batch),
+        ProtocolSpec::Adaptive => start_typed(index, Adaptive::new(spec.register), batch),
+    }
+}
+
+fn start_typed<P: RegisterProtocol + Send + 'static>(
+    index: usize,
+    proto: P,
+    batch: usize,
+) -> (Arc<dyn ShardEngine>, std::thread::JoinHandle<()>) {
+    let name = proto.name();
+    let value_len = proto.config().value_len;
+    let initial = proto.config().initial_value();
+    let core = Arc::new(DriverCore::new(ShardState {
+        proto,
+        keys: HashMap::new(),
+    }));
+    let counters = Arc::new(AtomicCounters::default());
+
+    let step_counters = Arc::clone(&counters);
+    let stop_counters = Arc::clone(&counters);
+    let driver = spawn_driver(
+        &format!("store-shard-{index}"),
+        Arc::clone(&core),
+        move |st: &mut ShardState<P>| {
+            let mut progressed = false;
+            for entry in st.keys.values_mut() {
+                if entry.cell.step_events(batch) > 0 {
+                    progressed = true;
+                    entry
+                        .cell
+                        .complete_pending_with(|r| step_counters.note_completion(r));
+                }
+            }
+            progressed
+        },
+        move |st: &mut ShardState<P>| {
+            // Flush results that are ready, then fail what remains so no
+            // client blocks on a dead shard.
+            for entry in st.keys.values_mut() {
+                entry
+                    .cell
+                    .complete_pending_with(|r| stop_counters.note_completion(r));
+                entry.cell.fail_pending(&ThreadedError::ShutDown);
+            }
+        },
+    );
+
+    let engine: Arc<dyn ShardEngine> = Arc::new(ShardCore {
+        core,
+        counters,
+        name,
+        value_len,
+        initial,
+    });
+    (engine, driver)
+}

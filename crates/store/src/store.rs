@@ -1,0 +1,357 @@
+//! The store: shard fan-out, client handles, lifecycle.
+
+use crate::config::StoreConfig;
+use crate::future::{OpFuture, ReadFuture, WriteFuture};
+use crate::metrics::StoreMetrics;
+use crate::shard::{self, ShardEngine};
+use rsb_coding::Value;
+use rsb_fpsm::{OpRecord, OpRequest};
+use rsb_registers::ThreadedError;
+use std::sync::Arc;
+
+/// Errors from the store's client surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store (or the key's shard) has been shut down.
+    ShutDown,
+    /// The underlying simulation rejected the submission.
+    Rejected(String),
+    /// A written value did not match the shard's register value length.
+    BadValueLength {
+        /// Bytes submitted.
+        got: usize,
+        /// Bytes the shard's registers hold.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::ShutDown => write!(f, "store has shut down"),
+            StoreError::Rejected(msg) => write!(f, "submission rejected: {msg}"),
+            StoreError::BadValueLength { got, want } => {
+                write!(f, "value is {got} bytes, shard registers hold {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ThreadedError> for StoreError {
+    fn from(e: ThreadedError) -> Self {
+        match e {
+            ThreadedError::ShutDown => StoreError::ShutDown,
+            ThreadedError::Rejected(msg) => StoreError::Rejected(msg),
+        }
+    }
+}
+
+/// FNV-1a, hand-rolled so the key → shard placement is stable across
+/// platforms and runs (unlike `DefaultHasher`, which is randomized).
+fn fnv1a(key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct StoreInner {
+    shards: Vec<Arc<dyn ShardEngine>>,
+}
+
+impl StoreInner {
+    fn index_for(&self, key: &str) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    fn shard_for(&self, key: &str) -> &Arc<dyn ShardEngine> {
+        &self.shards[self.index_for(key)]
+    }
+}
+
+/// One key's recorded register history, for the consistency checkers.
+#[derive(Debug, Clone)]
+pub struct KeyHistory {
+    /// The register's initial value `v₀`.
+    pub initial: Value,
+    /// The raw simulator records (convert with
+    /// `rsb_consistency::History::from_fpsm`).
+    pub records: Vec<OpRecord>,
+}
+
+/// The sharded storage service.
+///
+/// Owns the shard driver threads; [`Store::shutdown`] (or drop) stops and
+/// joins them, failing any in-flight operations with
+/// [`StoreError::ShutDown`]. Client handles may outlive the store — their
+/// submissions return errors instead of hanging.
+pub struct Store {
+    inner: Arc<StoreInner>,
+    drivers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Store {
+    /// Starts the service: builds every shard and spawns its driver.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid configuration (no shards, zero batch).
+    pub fn start(config: StoreConfig) -> Result<Self, crate::config::StoreConfigError> {
+        config.validate()?;
+        let StoreConfig {
+            shards: specs,
+            batch,
+        } = config;
+        let mut shards = Vec::with_capacity(specs.len());
+        let mut drivers = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.into_iter().enumerate() {
+            let (engine, driver) = shard::build(index, &spec, batch);
+            shards.push(engine);
+            drivers.push(driver);
+        }
+        Ok(Store {
+            inner: Arc::new(StoreInner { shards }),
+            drivers,
+        })
+    }
+
+    /// A new client handle (cheap; usable from any thread, cloneable).
+    pub fn client(&self) -> StoreClient {
+        StoreClient {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of shards (== driver threads).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard index a key is placed on.
+    pub fn shard_of(&self, key: &str) -> usize {
+        self.inner.index_for(key)
+    }
+
+    /// A metrics snapshot across all shards.
+    pub fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            shards: self
+                .inner
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.metrics(i))
+                .collect(),
+        }
+    }
+
+    /// The recorded history of one key's register, if the key was ever
+    /// touched — the input to the `rsb-consistency` checkers.
+    pub fn key_history(&self, key: &str) -> Option<KeyHistory> {
+        let shard = self.inner.shard_for(key);
+        shard.key_records(key).map(|records| KeyHistory {
+            initial: shard.initial_value(),
+            records,
+        })
+    }
+
+    /// All keys materialized so far, across shards.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.inner.shards.iter().flat_map(|s| s.keys()).collect();
+        keys.sort();
+        keys
+    }
+
+    /// Stops every shard driver and joins them. Idempotent; also called
+    /// on drop. In-flight operations fail with [`StoreError::ShutDown`].
+    pub fn shutdown(mut self) {
+        self.stop_drivers();
+    }
+
+    fn stop_drivers(&mut self) {
+        for s in &self.inner.shards {
+            s.request_stop();
+        }
+        for h in self.drivers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        self.stop_drivers();
+    }
+}
+
+/// A handle for submitting operations; clone freely, share across
+/// threads, and keep past the store's shutdown (submissions then error
+/// instead of hanging).
+#[derive(Clone)]
+pub struct StoreClient {
+    inner: Arc<StoreInner>,
+}
+
+impl StoreClient {
+    /// Starts an asynchronous `read(key)`.
+    ///
+    /// A key that was never written reads as the register's initial value
+    /// `v₀` (all zeroes).
+    pub fn read(&self, key: &str) -> ReadFuture {
+        let inner = match self.inner.shard_for(key).submit(key, OpRequest::Read) {
+            Ok(slot) => OpFuture::Slot(slot),
+            Err(e) => OpFuture::Failed(Some(e)),
+        };
+        ReadFuture { inner }
+    }
+
+    /// Starts an asynchronous `write(key, value)`.
+    ///
+    /// The value length must match the key's shard register length
+    /// (`RegisterConfig::value_len`).
+    pub fn write(&self, key: &str, value: Value) -> WriteFuture {
+        let shard = self.inner.shard_for(key);
+        let inner = if value.len() != shard.value_len() {
+            OpFuture::Failed(Some(StoreError::BadValueLength {
+                got: value.len(),
+                want: shard.value_len(),
+            }))
+        } else {
+            match shard.submit(key, OpRequest::Write(value)) {
+                Ok(slot) => OpFuture::Slot(slot),
+                Err(e) => OpFuture::Failed(Some(e)),
+            }
+        };
+        WriteFuture { inner }
+    }
+
+    /// Blocking `read(key)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store shut down or the submission was rejected.
+    pub fn read_blocking(&self, key: &str) -> Result<Value, StoreError> {
+        self.read(key).wait()
+    }
+
+    /// Blocking `write(key, value)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreClient::read_blocking`], plus a value
+    /// length mismatch.
+    pub fn write_blocking(&self, key: &str, value: Value) -> Result<(), StoreError> {
+        self.write(key, value).wait()
+    }
+
+    /// The value length the key's shard expects for writes.
+    pub fn value_len(&self, key: &str) -> usize {
+        self.inner.shard_for(key).value_len()
+    }
+
+    /// The protocol name of the key's shard.
+    pub fn protocol_of(&self, key: &str) -> &'static str {
+        self.inner.shard_for(key).protocol_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProtocolSpec, StoreConfig};
+    use crate::future::block_on;
+    use rsb_registers::RegisterConfig;
+
+    fn small_store(shards: usize, protocol: ProtocolSpec) -> Store {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        Store::start(StoreConfig::uniform(shards, protocol, reg)).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let store = small_store(4, ProtocolSpec::Adaptive);
+        let client = store.client();
+        let v = Value::seeded(3, 16);
+        block_on(client.write("alpha", v.clone())).unwrap();
+        assert_eq!(block_on(client.read("alpha")).unwrap(), v);
+        store.shutdown();
+    }
+
+    #[test]
+    fn unwritten_key_reads_initial_value() {
+        let store = small_store(2, ProtocolSpec::Abd);
+        let client = store.client();
+        assert_eq!(
+            client.read_blocking("never-written").unwrap(),
+            Value::zeroed(16)
+        );
+        store.shutdown();
+    }
+
+    #[test]
+    fn distinct_keys_are_independent_registers() {
+        let store = small_store(3, ProtocolSpec::Abd);
+        let client = store.client();
+        let va = Value::seeded(1, 16);
+        let vb = Value::seeded(2, 16);
+        client.write_blocking("a", va.clone()).unwrap();
+        client.write_blocking("b", vb.clone()).unwrap();
+        assert_eq!(client.read_blocking("a").unwrap(), va);
+        assert_eq!(client.read_blocking("b").unwrap(), vb);
+        store.shutdown();
+    }
+
+    #[test]
+    fn wrong_value_length_is_rejected_immediately() {
+        let store = small_store(1, ProtocolSpec::Safe);
+        let client = store.client();
+        let err = client
+            .write_blocking("k", Value::seeded(1, 99))
+            .unwrap_err();
+        assert_eq!(err, StoreError::BadValueLength { got: 99, want: 16 });
+        store.shutdown();
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_covers_shards() {
+        let store = small_store(8, ProtocolSpec::Safe);
+        let mut hit = [false; 8];
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            let s = store.shard_of(&key);
+            assert_eq!(s, store.shard_of(&key));
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "200 keys cover all 8 shards");
+        store.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_ops_bytes_and_occupancy() {
+        let store = small_store(4, ProtocolSpec::Abd);
+        let client = store.client();
+        for i in 0..10u64 {
+            client
+                .write_blocking(&format!("k{i}"), Value::seeded(i, 16))
+                .unwrap();
+        }
+        for i in 0..10u64 {
+            client.read_blocking(&format!("k{i}")).unwrap();
+        }
+        let m = store.metrics();
+        let t = m.totals();
+        assert_eq!(t.writes_completed, 10);
+        assert_eq!(t.reads_completed, 10);
+        assert_eq!(t.bytes_written, 160);
+        assert_eq!(t.bytes_read, 160);
+        assert_eq!(m.keys(), 10);
+        // ABD keeps the full value on 2f+1 = 3 objects per register.
+        assert!(m.occupancy_bits() >= 10 * 3 * 16 * 8);
+        assert!(m.peak_register_bits() >= m.occupancy_bits());
+        store.shutdown();
+    }
+}

@@ -1,0 +1,79 @@
+//! Consistency of recorded multi-key histories: every key's register
+//! history, replayed through the `rsb-consistency` checkers.
+
+use rsb_consistency::{check_atomicity, check_strong_regularity, History};
+use rsb_registers::RegisterConfig;
+use rsb_store::{ProtocolSpec, Store, StoreConfig};
+use rsb_workloads::{KeyedAction, KeyedScenario};
+
+/// Drives a keyed scenario with one OS thread per client, blocking ops.
+fn drive(store: &Store, scenario: &KeyedScenario) {
+    let threads: Vec<_> = (0..scenario.clients)
+        .map(|c| {
+            let client = store.client();
+            let stream = scenario.client_ops(c);
+            std::thread::spawn(move || {
+                for op in stream {
+                    match op.action {
+                        KeyedAction::Read => {
+                            client.read_blocking(&op.key).unwrap();
+                        }
+                        KeyedAction::Write(v) => {
+                            client.write_blocking(&op.key, v).unwrap();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in threads {
+        h.join().unwrap();
+    }
+}
+
+fn check_all_keys(store: &Store, check: impl Fn(&History)) {
+    let keys = store.keys();
+    assert!(!keys.is_empty(), "scenario touched some keys");
+    for key in keys {
+        let h = store.key_history(&key).unwrap();
+        let history = History::from_fpsm(h.initial, &h.records)
+            .expect("per-key runtime histories are well-formed");
+        check(&history);
+    }
+}
+
+#[test]
+fn adaptive_store_histories_are_strongly_regular() {
+    let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+    let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)).unwrap();
+    let scenario = KeyedScenario::uniform(8, 40, 24, 0.5, 16, 1234).with_zipf(0.9);
+    drive(&store, &scenario);
+    check_all_keys(&store, |h| {
+        check_strong_regularity(h).expect("strong regularity on a recorded key history");
+    });
+    store.shutdown();
+}
+
+#[test]
+fn abd_atomic_store_histories_linearize() {
+    let reg = RegisterConfig::new(3, 1, 1, 16).unwrap();
+    let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::AbdAtomic, reg)).unwrap();
+    let scenario = KeyedScenario::uniform(8, 30, 16, 0.6, 16, 99);
+    drive(&store, &scenario);
+    check_all_keys(&store, |h| {
+        check_atomicity(h).expect("linearizability of an atomic-ABD key history");
+    });
+    store.shutdown();
+}
+
+#[test]
+fn abd_store_histories_are_strongly_regular() {
+    let reg = RegisterConfig::new(3, 1, 1, 16).unwrap();
+    let store = Store::start(StoreConfig::uniform(2, ProtocolSpec::Abd, reg)).unwrap();
+    let scenario = KeyedScenario::uniform(6, 30, 12, 0.4, 16, 7);
+    drive(&store, &scenario);
+    check_all_keys(&store, |h| {
+        check_strong_regularity(h).expect("strong regularity on a recorded key history");
+    });
+    store.shutdown();
+}

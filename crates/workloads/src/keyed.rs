@@ -1,0 +1,412 @@
+//! Keyed (multi-register) traffic generation for the sharded store.
+//!
+//! A [`KeyedScenario`] describes heavy multi-key traffic the way storage
+//! benchmarks do: a key population with a popularity distribution
+//! (uniform or zipfian), a read/write mix, and a value-size distribution.
+//! Every client's operation stream is deterministic given the scenario
+//! seed (clients get independent forked sub-seeds), and written values
+//! are globally unique — the first 8 bytes pack `(client, sequence)` — so
+//! the strong consistency checkers apply to recorded histories.
+
+use crate::seeds::SeedSequence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsb_coding::Value;
+
+/// How keys are chosen per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-like popularity: key rank `i` (0-based) has weight
+    /// `1/(i+1)^theta`. `theta = 0` degenerates to uniform; common
+    /// benchmark skew is `theta ≈ 0.99`.
+    Zipfian {
+        /// The skew exponent.
+        theta: f64,
+    },
+}
+
+/// How value payload sizes are drawn for writes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueSizeDist {
+    /// Every write the same size.
+    Fixed(usize),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Smallest payload, in bytes (≥ 8 for value uniqueness).
+        min: usize,
+        /// Largest payload, in bytes.
+        max: usize,
+    },
+    /// Mostly `small`, occasionally `large` — the classic metadata/blob
+    /// mix.
+    Bimodal {
+        /// The common payload size.
+        small: usize,
+        /// The rare payload size.
+        large: usize,
+        /// Probability of drawing `large`, in `[0, 1]`.
+        large_fraction: f64,
+    },
+}
+
+impl ValueSizeDist {
+    /// The largest size the distribution can draw.
+    pub fn max_len(&self) -> usize {
+        match *self {
+            ValueSizeDist::Fixed(n) => n,
+            ValueSizeDist::Uniform { max, .. } => max,
+            ValueSizeDist::Bimodal { small, large, .. } => small.max(large),
+        }
+    }
+
+    fn min_len(&self) -> usize {
+        match *self {
+            ValueSizeDist::Fixed(n) => n,
+            ValueSizeDist::Uniform { min, .. } => min,
+            ValueSizeDist::Bimodal { small, large, .. } => small.min(large),
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            ValueSizeDist::Fixed(n) => n,
+            ValueSizeDist::Uniform { min, max } => rng.gen_range(min..=max),
+            ValueSizeDist::Bimodal {
+                small,
+                large,
+                large_fraction,
+            } => {
+                if rng.gen_bool(large_fraction) {
+                    large
+                } else {
+                    small
+                }
+            }
+        }
+    }
+}
+
+/// A population of keys with a sampling distribution.
+///
+/// Keys are named `k000000`, `k000001`, … so independently generated
+/// streams agree on the namespace.
+#[derive(Debug, Clone)]
+pub struct KeySpace {
+    count: usize,
+    /// Cumulative weights for zipfian sampling; empty for uniform.
+    cumulative: Vec<f64>,
+}
+
+impl KeySpace {
+    /// Builds a key space of `count` keys under `dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or a zipfian `theta` is negative.
+    pub fn new(count: usize, dist: KeyDist) -> Self {
+        assert!(count > 0, "a key space needs at least one key");
+        let cumulative = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipfian { theta } => {
+                assert!(theta >= 0.0, "zipfian theta must be non-negative");
+                let mut acc = 0.0;
+                let mut cumulative = Vec::with_capacity(count);
+                for i in 0..count {
+                    acc += 1.0 / ((i + 1) as f64).powf(theta);
+                    cumulative.push(acc);
+                }
+                cumulative
+            }
+        };
+        KeySpace { count, cumulative }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the space is empty (never: construction requires ≥ 1 key).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The canonical name of key index `i`.
+    pub fn name(&self, i: usize) -> String {
+        format!("k{i:06}")
+    }
+
+    /// Samples a key index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.cumulative.is_empty() {
+            return rng.gen_range(0..self.count);
+        }
+        let total = *self.cumulative.last().expect("non-empty cumulative");
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let target = unit * total;
+        match self
+            .cumulative
+            .binary_search_by(|w| w.partial_cmp(&target).expect("weights are finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.count - 1),
+        }
+    }
+}
+
+use rand::RngCore;
+
+/// A keyed multi-register traffic scenario.
+#[derive(Debug, Clone)]
+pub struct KeyedScenario {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Operations each client performs.
+    pub ops_per_client: usize,
+    /// Key population size.
+    pub keys: usize,
+    /// Key popularity distribution.
+    pub key_dist: KeyDist,
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Value payload sizes for writes.
+    pub value_sizes: ValueSizeDist,
+    /// Master seed; fully determines every client's stream.
+    pub seed: u64,
+}
+
+impl KeyedScenario {
+    /// A uniform-key, fixed-size scenario — the baseline shape.
+    pub fn uniform(
+        clients: usize,
+        ops_per_client: usize,
+        keys: usize,
+        read_fraction: f64,
+        value_len: usize,
+        seed: u64,
+    ) -> Self {
+        KeyedScenario {
+            clients,
+            ops_per_client,
+            keys,
+            key_dist: KeyDist::Uniform,
+            read_fraction,
+            value_sizes: ValueSizeDist::Fixed(value_len),
+            seed,
+        }
+    }
+
+    /// Switches key choice to zipfian with the given skew.
+    pub fn with_zipf(mut self, theta: f64) -> Self {
+        self.key_dist = KeyDist::Zipfian { theta };
+        self
+    }
+
+    /// Switches the value-size distribution.
+    pub fn with_value_sizes(mut self, sizes: ValueSizeDist) -> Self {
+        self.value_sizes = sizes;
+        self
+    }
+
+    /// Total operations across all clients.
+    pub fn total_ops(&self) -> usize {
+        self.clients * self.ops_per_client
+    }
+
+    /// The deterministic operation stream of one client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range, the smallest drawable value
+    /// size is under 8 bytes (uniqueness needs room for the tag), or
+    /// `read_fraction` is outside `[0, 1]`.
+    pub fn client_ops(&self, client: usize) -> KeyedOpStream {
+        assert!(client < self.clients, "client index out of range");
+        assert!(
+            self.value_sizes.min_len() >= 8,
+            "value sizes must be at least 8 bytes for write uniqueness"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read_fraction must be in [0, 1]"
+        );
+        let seeds = SeedSequence::new(self.seed).fork(client as u64);
+        let mut seeds = seeds;
+        KeyedOpStream {
+            space: KeySpace::new(self.keys, self.key_dist),
+            read_fraction: self.read_fraction,
+            value_sizes: self.value_sizes,
+            rng: StdRng::seed_from_u64(seeds.next_seed()),
+            filler: seeds.next_seed(),
+            client: client as u32,
+            remaining: self.ops_per_client,
+            sequence: 0,
+        }
+    }
+}
+
+/// What one keyed operation does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyedAction {
+    /// Read the key's register.
+    Read,
+    /// Write this value to the key's register.
+    Write(Value),
+}
+
+/// One operation of a keyed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedOp {
+    /// The target key (canonical `k######` name).
+    pub key: String,
+    /// Read, or write with a payload.
+    pub action: KeyedAction,
+}
+
+/// Deterministic iterator over one client's keyed operations.
+#[derive(Debug, Clone)]
+pub struct KeyedOpStream {
+    space: KeySpace,
+    read_fraction: f64,
+    value_sizes: ValueSizeDist,
+    rng: StdRng,
+    filler: u64,
+    client: u32,
+    remaining: usize,
+    sequence: u32,
+}
+
+impl KeyedOpStream {
+    /// Builds a write payload of `len` bytes whose first 8 bytes pack
+    /// `(client, sequence)` — globally unique across the scenario.
+    fn next_value(&mut self, len: usize) -> Value {
+        self.sequence += 1;
+        let mut bytes = Vec::with_capacity(len);
+        bytes.extend_from_slice(&self.client.to_le_bytes());
+        bytes.extend_from_slice(&self.sequence.to_le_bytes());
+        let mut state = self.filler ^ u64::from(self.sequence);
+        while bytes.len() < len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            bytes.push((state >> 33) as u8);
+        }
+        Value::from_bytes(bytes)
+    }
+}
+
+impl Iterator for KeyedOpStream {
+    type Item = KeyedOp;
+
+    fn next(&mut self) -> Option<KeyedOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let key = self.space.name(self.space.sample(&mut self.rng));
+        let action = if self.rng.gen_bool(self.read_fraction) {
+            KeyedAction::Read
+        } else {
+            let len = self.value_sizes.sample(&mut self.rng);
+            KeyedAction::Write(self.next_value(len))
+        };
+        Some(KeyedOp { key, action })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn scenario() -> KeyedScenario {
+        KeyedScenario::uniform(4, 100, 32, 0.5, 16, 7)
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let s = scenario();
+        let a: Vec<KeyedOp> = s.client_ops(2).collect();
+        let b: Vec<KeyedOp> = s.client_ops(2).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn clients_get_distinct_streams_and_unique_writes() {
+        let s = scenario();
+        let mut written: HashSet<Value> = HashSet::new();
+        for client in 0..s.clients {
+            for op in s.client_ops(client) {
+                if let KeyedAction::Write(v) = op.action {
+                    assert!(written.insert(v), "write values must be globally unique");
+                }
+            }
+        }
+        assert!(written.len() > 100, "roughly half of 400 ops are writes");
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let s = KeyedScenario::uniform(1, 2000, 8, 0.9, 16, 3);
+        let reads = s
+            .client_ops(0)
+            .filter(|op| op.action == KeyedAction::Read)
+            .count();
+        assert!((1700..=2000).contains(&reads), "got {reads} reads");
+    }
+
+    #[test]
+    fn zipfian_skews_towards_low_ranks() {
+        let s = KeyedScenario::uniform(1, 4000, 64, 0.0, 16, 5).with_zipf(0.99);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for op in s.client_ops(0) {
+            *counts.entry(op.key).or_default() += 1;
+        }
+        let top = counts.get("k000000").copied().unwrap_or(0);
+        let uniform_share = 4000 / 64;
+        assert!(
+            top > 3 * uniform_share,
+            "rank-0 key should be heavily favored: {top} vs uniform {uniform_share}"
+        );
+        // Uniform control: no key gets that kind of share.
+        let u = KeyedScenario::uniform(1, 4000, 64, 0.0, 16, 5);
+        let mut ucounts: HashMap<String, usize> = HashMap::new();
+        for op in u.client_ops(0) {
+            *ucounts.entry(op.key).or_default() += 1;
+        }
+        let umax = ucounts.values().copied().max().unwrap_or(0);
+        assert!(umax < top, "uniform max {umax} < zipf top {top}");
+    }
+
+    #[test]
+    fn value_size_distributions_sample_in_range() {
+        let sizes = ValueSizeDist::Uniform { min: 8, max: 32 };
+        let s = KeyedScenario::uniform(1, 500, 4, 0.0, 16, 9).with_value_sizes(sizes);
+        for op in s.client_ops(0) {
+            if let KeyedAction::Write(v) = op.action {
+                assert!((8..=32).contains(&v.len()));
+            }
+        }
+        let bimodal = ValueSizeDist::Bimodal {
+            small: 16,
+            large: 256,
+            large_fraction: 0.1,
+        };
+        let s = KeyedScenario::uniform(1, 500, 4, 0.0, 16, 9).with_value_sizes(bimodal);
+        let mut larges = 0;
+        for op in s.client_ops(0) {
+            if let KeyedAction::Write(v) = op.action {
+                assert!(v.len() == 16 || v.len() == 256);
+                if v.len() == 256 {
+                    larges += 1;
+                }
+            }
+        }
+        assert!((10..=120).contains(&larges), "got {larges} large writes");
+    }
+}

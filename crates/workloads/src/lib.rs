@@ -7,10 +7,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod keyed;
 mod scenario;
 mod seeds;
 mod values;
 
+pub use keyed::{
+    KeyDist, KeySpace, KeyedAction, KeyedOp, KeyedOpStream, KeyedScenario, ValueSizeDist,
+};
 pub use scenario::{run_scenario, FailurePlan, Scenario, ScenarioOutcome};
 pub use seeds::SeedSequence;
 pub use values::ValueStream;

@@ -11,6 +11,11 @@
 //!
 //! Setting `CRITERION_QUICK_ITERS` (to any value — it is a boolean flag,
 //! the value is not parsed) caps measurement work for CI smoke runs.
+//!
+//! Setting `CRITERION_JSON` to a file path appends one JSON object per
+//! benchmark (`name`, `ns_per_iter`, optional `bytes_per_iter` /
+//! `elems_per_iter`, `total_iters`) — the hook CI uses to persist a
+//! per-commit `BENCH_*.json` artifact of the perf trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -238,7 +243,42 @@ fn run_bench<F: FnMut(&mut Bencher)>(settings: &Settings, f: &mut F) -> Report {
     }
 }
 
+/// Appends the report as a JSON line to `$CRITERION_JSON`, if set.
+/// I/O errors are reported to stderr but never fail the benchmark.
+fn append_json(name: &str, throughput: Option<Throughput>, report: &Report) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    // Benchmark names are code-chosen; escape the JSON specials anyway.
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Bytes(b) => format!(",\"bytes_per_iter\":{b}"),
+        Throughput::Elements(n) => format!(",\"elems_per_iter\":{n}"),
+    });
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"ns_per_iter\":{:.3}{rate},\"total_iters\":{}}}\n",
+        report.best_ns_per_iter, report.total_iters
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion: cannot append to CRITERION_JSON={path}: {e}");
+    }
+}
+
 fn print_report(name: &str, throughput: Option<Throughput>, report: &Report) {
+    append_json(name, throughput, report);
     let time = format_ns(report.best_ns_per_iter);
     let rate = throughput.map_or(String::new(), |t| match t {
         Throughput::Bytes(bytes) => {
