@@ -1,0 +1,68 @@
+//! B4 — store microbenchmarks: end-to-end operation cost through the
+//! sharded service (submit → ready queue → driver step → completion),
+//! uniform and hot-key shapes, so the bench-regression gate covers the
+//! store execution path alongside the codec and protocol benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsb_coding::Value;
+use rsb_registers::RegisterConfig;
+use rsb_store::{HistoryPolicy, ProtocolSpec, Store, StoreConfig};
+
+const VALUE_LEN: usize = 64;
+
+fn store(shards: usize, policy: HistoryPolicy) -> Store {
+    let reg = RegisterConfig::paper(1, 2, VALUE_LEN).unwrap();
+    Store::start(StoreConfig::uniform(shards, ProtocolSpec::Abd, reg).with_history(policy)).unwrap()
+}
+
+fn bench_store_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_write_read");
+    group.throughput(Throughput::Elements(2));
+    for shards in [1usize, 4] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{shards}shards")),
+            |b| {
+                let store = store(shards, HistoryPolicy::TruncateAfter(256));
+                let client = store.client();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let key = format!("k{:03}", i % 64);
+                    client
+                        .write_blocking(&key, Value::seeded(i, VALUE_LEN))
+                        .unwrap();
+                    assert_eq!(client.read_blocking(&key).unwrap().len(), VALUE_LEN);
+                });
+                store.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hot_key_pipelined(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_hot_key_pipelined");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(16));
+    group.bench_function("4shards_16deep", |b| {
+        let store = store(4, HistoryPolicy::TruncateAfter(256));
+        let client = store.client();
+        let mut i = 0u64;
+        b.iter(|| {
+            let writes: Vec<_> = (0..16u64)
+                .map(|j| {
+                    i += 1;
+                    client.write("hot", Value::seeded(i * 100 + j, VALUE_LEN))
+                })
+                .collect();
+            for out in rsb_store::join_all(writes) {
+                out.unwrap();
+            }
+        });
+        store.shutdown();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_roundtrip, bench_hot_key_pipelined);
+criterion_main!(benches);

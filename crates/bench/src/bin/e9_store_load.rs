@@ -15,7 +15,7 @@
 
 use reliable_storage::prelude::*;
 use rsb_bench::{banner, print_table};
-use rsb_store::{ProtocolSpec, Store, StoreConfig};
+use rsb_store::{HistoryPolicy, ProtocolSpec, Store, StoreConfig};
 use rsb_workloads::{KeyedAction, KeyedScenario};
 use std::time::Instant;
 
@@ -72,7 +72,13 @@ fn run_store_cell(
         unreachable!("e9 uses fixed-size values")
     };
     let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
-    let store = Store::start(StoreConfig::uniform(shards, protocol, reg)).expect("valid config");
+    let config = StoreConfig::uniform(shards, protocol, reg);
+    run_config_cell(config, scenario)
+}
+
+/// Like [`run_store_cell`], for an arbitrary store configuration.
+fn run_config_cell(config: StoreConfig, scenario: &KeyedScenario) -> (Cell, Store) {
+    let store = Store::start(config).expect("valid config");
 
     let start = Instant::now();
     let handles: Vec<_> = (0..scenario.clients)
@@ -186,6 +192,95 @@ fn spot_check_consistency(store: &Store, quota: usize) {
     println!("consistency spot-check: strong regularity holds on {checked} recorded key histories");
 }
 
+/// Sustained traffic against one hot key set, sampled in waves: without a
+/// history policy the per-key `OpRecord` history grows linearly; with
+/// `truncate-after-N` the live-record occupancy stays flat while the
+/// registers keep serving (and their histories keep checking out).
+fn history_bounds_section(quick: bool, clients: usize, value_len: usize) {
+    let bound = 64;
+    let waves = if quick { 4 } else { 8 };
+    let ops_per_wave = if quick { 15 } else { 40 };
+    let keys = 8;
+    let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
+    let policies = [
+        ("unbounded", HistoryPolicy::Unbounded),
+        ("truncate-64", HistoryPolicy::TruncateAfter(bound)),
+    ];
+    let mut rows = Vec::new();
+    let mut checked_store = None;
+    for (label, policy) in policies {
+        let store =
+            Store::start(StoreConfig::uniform(4, ProtocolSpec::Abd, reg).with_history(policy))
+                .expect("valid config");
+        for wave in 0..waves {
+            let scenario = KeyedScenario::uniform(
+                clients,
+                ops_per_wave,
+                keys,
+                0.5,
+                value_len,
+                9_000 + wave as u64,
+            );
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let client = store.client();
+                    let stream = scenario.client_ops(c);
+                    std::thread::spawn(move || {
+                        for op in stream {
+                            match op.action {
+                                KeyedAction::Read => {
+                                    client.read_blocking(&op.key).expect("store is live");
+                                }
+                                KeyedAction::Write(v) => {
+                                    client.write_blocking(&op.key, v).expect("store is live");
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread");
+            }
+            let m = store.metrics();
+            let totals = m.totals();
+            rows.push(vec![
+                label.to_string(),
+                (wave + 1).to_string(),
+                totals.completed().to_string(),
+                m.live_records().to_string(),
+                totals.truncated_records.to_string(),
+                (m.occupancy_bits() / 8 / 1024).to_string(),
+            ]);
+        }
+        if policy == HistoryPolicy::Unbounded {
+            store.shutdown();
+        } else {
+            // Keep the bounded store for the post-table spot checks.
+            checked_store = Some(store);
+        }
+    }
+    print_table(
+        &format!(
+            "history bounds under sustained traffic ({clients} clients x {ops_per_wave} \
+             ops/wave, {keys} keys, abd, 4 shards)"
+        ),
+        &["policy", "wave", "ops", "live_recs", "truncated", "occ_KiB"],
+        &rows,
+    );
+    if let Some(store) = checked_store {
+        spot_check_consistency(&store, 4);
+        let evicted = store.evict_quiescent();
+        let after = store.metrics();
+        println!(
+            "evict_quiescent: {evicted} keys -> snapshots ({} KiB live occupancy, {} KiB snapshot \
+             bits)\n",
+            after.occupancy_bits() / 8 / 1024,
+            after.shards.iter().map(|sh| sh.snapshot_bits).sum::<u64>() / 8 / 1024,
+        );
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick") || std::env::var("E9_QUICK").is_ok();
     banner(
@@ -235,30 +330,75 @@ fn main() {
         &rows,
     );
 
-    // Key-popularity skew: a zipfian run on the 8-shard adaptive store.
+    // Key-popularity skew: zipfian runs across shard counts, with the
+    // event-driven scheduler's steal counters. The `steal=off` control
+    // shows what the work-stealing drivers add on top of ready queues.
     let zipf_clients = client_counts[0];
     let zipf = KeyedScenario::uniform(zipf_clients, ops_per_client, keys, 0.5, value_len, seed + 1)
         .with_zipf(0.99);
-    let (zipf_cell, zipf_store) = run_store_cell(ProtocolSpec::Adaptive, 8, &zipf);
-    print_table(
-        "key-distribution effect (adaptive, 8 shards)",
-        &["dist", "clients", "ops", "kops/s", "p99_us", "keys"],
-        &[vec![
-            "zipf(0.99)".to_string(),
+    let zipf_shards: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
+    let mut zipf_rows = Vec::new();
+    let mut zipf_run = |label: &str, config: StoreConfig, scenario: &KeyedScenario| {
+        let (cell, store) = run_config_cell(config, scenario);
+        let totals = store.metrics().totals();
+        zipf_rows.push(vec![
+            label.to_string(),
+            store.shard_count().to_string(),
             zipf_clients.to_string(),
-            zipf_cell.ops.to_string(),
-            format!("{:.1}", zipf_cell.kops()),
-            format!("{:.0}", zipf_cell.p99_us),
-            zipf_cell.keys.to_string(),
-        ]],
+            cell.ops.to_string(),
+            format!("{:.1}", cell.kops()),
+            format!("{:.0}", cell.p99_us),
+            cell.keys.to_string(),
+            totals.steals.to_string(),
+            totals.stolen.to_string(),
+        ]);
+        store.shutdown();
+    };
+    let zipf_reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
+    for &shards in zipf_shards {
+        zipf_run(
+            "zipf(0.99)",
+            StoreConfig::uniform(shards, ProtocolSpec::Adaptive, zipf_reg),
+            &zipf,
+        );
+    }
+    zipf_run(
+        "zipf steal=off",
+        StoreConfig::uniform(
+            *zipf_shards.last().unwrap(),
+            ProtocolSpec::Adaptive,
+            zipf_reg,
+        )
+        .with_work_stealing(false),
+        &zipf,
     );
-    zipf_store.shutdown();
+    let hot = KeyedScenario::uniform(zipf_clients, ops_per_client, keys, 0.5, value_len, seed + 2)
+        .with_hot_spot(2, 0.8);
+    zipf_run(
+        "hot-spot(2@80%)",
+        StoreConfig::uniform(
+            *zipf_shards.last().unwrap(),
+            ProtocolSpec::Adaptive,
+            zipf_reg,
+        ),
+        &hot,
+    );
+    print_table(
+        "key-distribution effect (adaptive; ready-queue scheduling + work-stealing)",
+        &[
+            "dist", "shards", "clients", "ops", "kops/s", "p99_us", "keys", "steals", "stolen",
+        ],
+        &zipf_rows,
+    );
+
+    history_bounds_section(quick, zipf_clients, value_len);
 
     // Per-shard breakdown + consistency spot-check on the showcase store.
     if let Some(store) = showcase {
         let metrics = store.metrics();
         let shard_header = vec![
             "shard", "proto", "keys", "reads", "writes", "rd_KiB", "wr_KiB", "occ_KiB", "peak_KiB",
+            "steals", "stolen", "recs",
         ];
         let shard_rows: Vec<Vec<String>> = metrics
             .shards
@@ -274,6 +414,9 @@ fn main() {
                     (s.ops.bytes_written / 1024).to_string(),
                     (s.occupancy.total() / 8 / 1024).to_string(),
                     (s.peak_register_bits / 8 / 1024).to_string(),
+                    s.ops.steals.to_string(),
+                    s.ops.stolen.to_string(),
+                    s.live_records.to_string(),
                 ]
             })
             .collect();

@@ -79,7 +79,8 @@ pub mod prelude {
         threaded::ThreadedRegister, Abd, Adaptive, Coded, RegisterConfig, RegisterProtocol, Safe,
     };
     pub use rsb_store::{
-        block_on, join_all, ProtocolSpec, Store, StoreClient, StoreConfig, StoreError, StoreMetrics,
+        block_on, join_all, HistoryPolicy, ProtocolSpec, Store, StoreClient, StoreConfig,
+        StoreError, StoreMetrics,
     };
     pub use rsb_workloads::{
         run_scenario, FailurePlan, KeyDist, KeyedAction, KeyedScenario, Scenario, ScenarioOutcome,

@@ -82,4 +82,4 @@ pub use payload::{BlockInstance, Component, MetadataOnly, Payload, StorageCost};
 pub use scheduler::{
     run, run_to_completion, run_until, FairScheduler, RandomScheduler, RunOutcome, Scheduler,
 };
-pub use sim::{OpRecord, RmwInfo, SimError, SimEvent, Simulation};
+pub use sim::{OpRecord, RmwInfo, SimError, SimEvent, SimSnapshot, Simulation};

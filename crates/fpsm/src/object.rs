@@ -41,6 +41,10 @@ impl<S: ObjectState> ObjectRt<S> {
             crashed: false,
         }
     }
+
+    pub(crate) fn restore(state: S, crashed: bool) -> Self {
+        ObjectRt { state, crashed }
+    }
 }
 
 #[cfg(test)]

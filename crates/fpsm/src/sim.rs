@@ -122,12 +122,56 @@ pub struct Simulation<S: ObjectState, L: ClientLogic<State = S>> {
     clients: Vec<ClientRt<L>>,
     rmws: BTreeMap<RmwId, RmwRt<S>>,
     records: Vec<OpRecord>,
+    /// Op id of `records[0]`: compaction drops a settled prefix and
+    /// advances this base, so op ids stay stable identifiers forever.
+    records_base: u64,
+    /// Frontier writes older than `records_base` that a future read may
+    /// still legally return — kept so compacted histories remain
+    /// checkable (see [`Simulation::compact_history`]).
+    retained: Vec<OpRecord>,
+    /// Records dropped by compaction so far.
+    dropped_records: u64,
     time: u64,
     next_rmw: u64,
+    /// Running Definition-2 cost, maintained *incrementally*: each event
+    /// re-measures only the components it touched (one object, one
+    /// client, one RMW) instead of rescanning the whole system — the
+    /// difference between O(1) and O(n + clients + rmws) accounting per
+    /// event on the store's hot path.
+    cost: StorageCost,
     peak_total_bits: u64,
     peak_cost: StorageCost,
     sample_storage: bool,
     storage_series: Vec<(u64, u64)>,
+}
+
+/// The portable state of a *quiescent* simulation: cloned base-object
+/// states plus the compacted operation history and the logical-time /
+/// id-allocation cursors. A snapshotted register can be dropped and later
+/// rebuilt with [`Simulation::restore`] — new operations continue the same
+/// history (later timestamps, later op ids), so consistency checkers keep
+/// accepting the recorded trace across an evict/rematerialize cycle.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot<S: ObjectState> {
+    objects: Vec<(S, bool)>,
+    records: Vec<OpRecord>,
+    next_op: u64,
+    time: u64,
+    next_rmw: u64,
+    peak_total_bits: u64,
+    peak_cost: StorageCost,
+}
+
+impl<S: ObjectState> SimSnapshot<S> {
+    /// Total bits held by the snapshotted base objects.
+    pub fn storage_bits(&self) -> u64 {
+        self.objects.iter().map(|(s, _)| s.block_bits()).sum()
+    }
+
+    /// The operation records preserved by the snapshot.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
 }
 
 impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
@@ -140,14 +184,58 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             clients: Vec::new(),
             rmws: BTreeMap::new(),
             records: Vec::new(),
+            records_base: 0,
+            retained: Vec::new(),
+            dropped_records: 0,
             time: 0,
             next_rmw: 0,
+            cost: StorageCost::default(),
             peak_total_bits: 0,
             peak_cost: StorageCost::default(),
             sample_storage: false,
             storage_series: Vec::new(),
         };
+        sim.cost = sim.compute_storage_cost();
         sim.note_storage();
+        sim
+    }
+
+    /// Rebuilds a simulation from a snapshot taken at quiescence: the base
+    /// objects resume their exact states (crash flags included), the
+    /// snapshot's records become the retained history, and time / op / RMW
+    /// ids continue where they left off. Clients are *not* restored — add
+    /// fresh ones; because every protocol here lets any client read or
+    /// write, client churn is semantically invisible.
+    pub fn restore(snapshot: SimSnapshot<S>) -> Self {
+        let SimSnapshot {
+            objects,
+            records,
+            next_op,
+            time,
+            next_rmw,
+            peak_total_bits,
+            peak_cost,
+        } = snapshot;
+        let mut sim = Simulation {
+            objects: objects
+                .into_iter()
+                .map(|(state, crashed)| ObjectRt::restore(state, crashed))
+                .collect(),
+            clients: Vec::new(),
+            rmws: BTreeMap::new(),
+            records: Vec::new(),
+            records_base: next_op,
+            retained: records,
+            dropped_records: 0,
+            time,
+            next_rmw,
+            cost: StorageCost::default(),
+            peak_total_bits,
+            peak_cost,
+            sample_storage: false,
+            storage_series: Vec::new(),
+        };
+        sim.cost = sim.compute_storage_cost();
         sim
     }
 
@@ -160,6 +248,7 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
     pub fn add_client(&mut self, logic: L) -> ClientId {
         let id = ClientId(self.clients.len());
         self.clients.push(ClientRt::new(logic));
+        self.cost.client_bits += self.client_block_bits(id);
         id
     }
 
@@ -195,7 +284,7 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
         if rt.outstanding.is_some() {
             return Err(SimError::ClientBusy(client));
         }
-        let op = OpId(self.records.len() as u64);
+        let op = OpId(self.records_base + self.records.len() as u64);
         self.time += 1;
         self.records.push(OpRecord {
             op,
@@ -206,9 +295,12 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             returned_at: None,
         });
         self.clients[client.0].outstanding = Some(op);
+        let client_bits_before = self.client_block_bits(client);
         let mut eff = Effects::new(self.next_rmw);
         self.clients[client.0].logic.on_invoke(op, req, &mut eff);
         self.process_effects(client, op, eff);
+        let client_bits_after = self.client_block_bits(client);
+        self.cost.client_bits = self.cost.client_bits - client_bits_before + client_bits_after;
         self.note_storage();
         Ok(op)
     }
@@ -239,7 +331,12 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             return Err(SimError::InvalidEvent(format!("{obj} has crashed")));
         }
         let client = rt.client;
+        let object_bits_before = self.objects[obj.0].state.block_bits();
         let resp = self.objects[obj.0].state.apply(client, &rt.rmw);
+        self.cost.object_bits =
+            self.cost.object_bits - object_bits_before + self.objects[obj.0].state.block_bits();
+        self.cost.inflight_param_bits -= rt.rmw.block_bits();
+        self.cost.inflight_resp_bits += resp.block_bits();
         rt.phase = RmwPhase::Applied(resp);
         self.time += 1;
         self.note_storage();
@@ -263,12 +360,16 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             RmwPhase::Applied(r) => r,
             RmwPhase::Triggered => unreachable!(),
         };
+        self.cost.inflight_resp_bits -= resp.block_bits();
         self.time += 1;
+        let client_bits_before = self.client_block_bits(client);
         let mut eff = Effects::new(self.next_rmw);
         self.clients[client.0]
             .logic
             .on_response(rt.op, id, resp, &mut eff);
         self.process_effects(client, rt.op, eff);
+        self.cost.client_bits =
+            self.cost.client_bits - client_bits_before + self.client_block_bits(client);
         self.note_storage();
         Ok(())
     }
@@ -278,6 +379,7 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
         for (id, obj, rmw) in triggers {
             debug_assert_eq!(id.0, self.next_rmw);
             self.next_rmw = id.0 + 1;
+            self.cost.inflight_param_bits += rmw.block_bits();
             self.rmws.insert(
                 id,
                 RmwRt {
@@ -291,7 +393,7 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             );
         }
         if let Some(result) = completion {
-            let rec = &mut self.records[op.0 as usize];
+            let rec = &mut self.records[(op.0 - self.records_base) as usize];
             debug_assert!(rec.result.is_none(), "operation {op} returned twice");
             rec.result = Some(result);
             rec.returned_at = Some(self.time);
@@ -343,13 +445,136 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
     }
 
     /// The record of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record was dropped by [`Simulation::compact_history`]
+    /// (compaction only touches settled operations, so live runtimes never
+    /// look up a compacted record).
     pub fn op_record(&self, op: OpId) -> &OpRecord {
-        &self.records[op.0 as usize]
+        let idx =
+            op.0.checked_sub(self.records_base)
+                .expect("operation record was compacted away");
+        &self.records[idx as usize]
     }
 
-    /// The full operation history so far.
+    /// The live (uncompacted) tail of the operation history. Without
+    /// compaction this is the full history; with compaction, frontier
+    /// writes that predate the tail live in
+    /// [`Simulation::retained_history`].
     pub fn history(&self) -> &[OpRecord] {
         &self.records
+    }
+
+    /// Frontier writes preserved from compacted history epochs.
+    pub fn retained_history(&self) -> &[OpRecord] {
+        &self.retained
+    }
+
+    /// The checkable history: retained frontier writes followed by the
+    /// live tail, in op-id (= invocation) order.
+    pub fn full_history(&self) -> Vec<OpRecord> {
+        let mut out = Vec::with_capacity(self.retained.len() + self.records.len());
+        out.extend_from_slice(&self.retained);
+        out.extend_from_slice(&self.records);
+        out
+    }
+
+    /// Records currently held (retained frontier + live tail).
+    pub fn live_records(&self) -> usize {
+        self.retained.len() + self.records.len()
+    }
+
+    /// Records dropped by compaction so far.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// Whether the register is quiescent: no in-flight RMWs and every
+    /// invoked operation has returned.
+    pub fn is_quiescent(&self) -> bool {
+        self.rmws.is_empty() && self.records.iter().all(OpRecord::is_complete)
+    }
+
+    /// Whether any scheduler event is currently enabled (cheaper than
+    /// materializing [`Simulation::enabled_events`]).
+    pub fn has_enabled_event(&self) -> bool {
+        self.first_enabled_event().is_some()
+    }
+
+    /// The first enabled event in trigger order, without materializing the
+    /// whole enabled set — the fair-scheduler hot path.
+    pub fn first_enabled_event(&self) -> Option<SimEvent> {
+        self.rmws.iter().find_map(|(&id, rt)| match &rt.phase {
+            RmwPhase::Triggered if !self.objects[rt.object.0].crashed => Some(SimEvent::Apply(id)),
+            RmwPhase::Applied(_) if !self.clients[rt.client.0].crashed => {
+                Some(SimEvent::Deliver(id))
+            }
+            _ => None,
+        })
+    }
+
+    /// Compacts settled history, returning how many records were dropped.
+    ///
+    /// The longest all-complete prefix of the live tail is drained;
+    /// within it, completed reads are dropped, and completed writes are
+    /// dropped when *stale* — some completed write `w'` was invoked after
+    /// they returned and returned before every kept operation's
+    /// invocation, so no kept or future read may legally return them.
+    /// Non-stale writes (the observable frontier) move to the retained
+    /// set, which the same rule re-filters. The surviving history
+    /// (`retained ++ tail`) therefore stays acceptable to the regularity /
+    /// atomicity checkers: dropped reads only remove ordering constraints,
+    /// and dropped writes can no longer be observed — a read that returns
+    /// one anyway still fails the check (as `UnwrittenValue` instead of
+    /// `StaleRead`).
+    pub fn compact_history(&mut self) -> u64 {
+        let cut = self
+            .records
+            .iter()
+            .position(|r| !r.is_complete())
+            .unwrap_or(self.records.len());
+        if cut == 0 && self.retained.is_empty() {
+            return 0;
+        }
+        // Invocation of the first kept tail record: completed writes
+        // returning before it can prove staleness for every kept op.
+        let horizon = self.records.get(cut).map(|r| r.invoked_at);
+        let returned_before_horizon = |r: &OpRecord| match (r.returned_at, horizon) {
+            (Some(ret), Some(h)) => ret < h,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let mut latest_proof_invocation: Option<u64> = None;
+        for r in self.retained.iter().chain(self.records.iter()) {
+            if matches!(r.request, OpRequest::Write(_)) && returned_before_horizon(r) {
+                latest_proof_invocation =
+                    Some(latest_proof_invocation.map_or(r.invoked_at, |m| m.max(r.invoked_at)));
+            }
+        }
+        let stale = |r: &OpRecord| match (r.returned_at, latest_proof_invocation) {
+            (Some(ret), Some(proof_inv)) => ret < proof_inv,
+            _ => false,
+        };
+        let mut dropped = 0u64;
+        let old_retained = std::mem::take(&mut self.retained);
+        for r in old_retained {
+            if stale(&r) {
+                dropped += 1;
+            } else {
+                self.retained.push(r);
+            }
+        }
+        for r in self.records.drain(..cut) {
+            if matches!(r.request, OpRequest::Write(_)) && !stale(&r) {
+                self.retained.push(r);
+            } else {
+                dropped += 1;
+            }
+        }
+        self.records_base += cut as u64;
+        self.dropped_records += dropped;
+        dropped
     }
 
     /// Summaries of all in-flight RMWs, in trigger order.
@@ -384,8 +609,47 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             .collect()
     }
 
+    /// Captures a quiescent register's full state for eviction: object
+    /// states, the (compacted) history, and the time / id cursors.
+    /// Returns `None` unless the simulation is quiescent — with RMWs in
+    /// flight the state is not portable.
+    pub fn snapshot(&self) -> Option<SimSnapshot<S>>
+    where
+        S: Clone,
+    {
+        if !self.is_quiescent() {
+            return None;
+        }
+        Some(SimSnapshot {
+            objects: self
+                .objects
+                .iter()
+                .map(|o| (o.state.clone(), o.crashed))
+                .collect(),
+            records: self.full_history(),
+            next_op: self.records_base + self.records.len() as u64,
+            time: self.time,
+            next_rmw: self.next_rmw,
+            peak_total_bits: self.peak_total_bits,
+            peak_cost: self.peak_cost,
+        })
+    }
+
     /// The storage cost right now (Definition 2), broken down by site.
+    /// O(1): the cost is maintained incrementally as events execute.
     pub fn storage_cost(&self) -> StorageCost {
+        debug_assert_eq!(
+            self.cost,
+            self.compute_storage_cost(),
+            "incremental storage accounting drifted from ground truth"
+        );
+        self.cost
+    }
+
+    /// Recomputes the Definition-2 cost from scratch — the ground truth
+    /// the incremental `cost` field is initialized from (and checked
+    /// against in debug builds).
+    fn compute_storage_cost(&self) -> StorageCost {
         let mut cost = StorageCost::default();
         for o in &self.objects {
             cost.object_bits += o.state.block_bits();
@@ -400,6 +664,16 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             }
         }
         cost
+    }
+
+    /// Block bits currently held by one client's logic.
+    fn client_block_bits(&self, client: ClientId) -> u64 {
+        self.clients[client.0]
+            .logic
+            .stored_blocks()
+            .iter()
+            .map(|b| b.bits)
+            .sum()
     }
 
     /// Every block instance in the system, tagged by component — the raw
@@ -448,8 +722,10 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
         &self.storage_series
     }
 
+    /// Folds the running cost into the peak trackers (and the sampled
+    /// series); called after every action.
     fn note_storage(&mut self) {
-        let cost = self.storage_cost();
+        let cost = self.cost;
         self.peak_total_bits = self.peak_total_bits.max(cost.total());
         self.peak_cost = self.peak_cost.max(cost);
         if self.sample_storage {

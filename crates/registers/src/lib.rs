@@ -58,6 +58,6 @@ pub use common::{
 pub use protocol::RegisterProtocol;
 pub use safe::Safe;
 pub use threaded::{
-    spawn_driver, ClientHandle, CompletionSlot, DriverCore, OpOutcome, RegisterCell, ThreadedError,
-    ThreadedRegister,
+    spawn_driver, ClientHandle, CompletionSlot, DriverCore, OpOutcome, ReadyQueue, RegisterCell,
+    ThreadedError, ThreadedRegister, WorkGroup,
 };

@@ -10,7 +10,15 @@
 //!   driver* thread and its clients rendezvous on;
 //! * [`CompletionSlot`] — a per-operation completion cell a client can
 //!   either block on (condvar) or poll as a future (waker), filled by the
-//!   driver when the operation returns inside the simulation.
+//!   driver when the operation returns inside the simulation;
+//! * [`ReadyQueue`] — the event-driven scheduling companion of
+//!   [`DriverCore`] for *multi-key* drivers: a queue of key slots with
+//!   enabled simulator events, so a driver batch does O(enabled) work
+//!   instead of rescanning every materialized key;
+//! * [`WorkGroup`] — the rendezvous for a *pool* of driver threads
+//!   sharing ready queues (the sharded store's work-stealing drivers):
+//!   lost-wakeup-free parking, and a stop request every parked driver
+//!   observes promptly.
 //!
 //! [`ThreadedRegister`] composes them for a single register: the driver
 //! thread plays a fair scheduler over one simulation, while any number of
@@ -119,6 +127,208 @@ impl<T> DriverCore<T> {
         let guard = self.state.lock();
         drop(guard);
         self.progress.notify_all();
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Scheduling state of one [`ReadyQueue`] slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// No enabled work known; not in the queue.
+    Idle,
+    /// In the queue, waiting for a driver.
+    Queued,
+    /// Popped by a driver; the driver owns the slot until it finishes.
+    Running,
+    /// Popped by a driver, and new work arrived meanwhile — the finishing
+    /// driver must re-enqueue.
+    RunningDirty,
+}
+
+/// A queue of key-slot tokens with enabled simulator events.
+///
+/// Slots are small integers registered once per key; drivers [`pop`] a
+/// slot, step its simulation while *owning* it (a popped slot cannot be
+/// popped again until [`finish`]ed, which preserves per-key
+/// serialization even across stealing drivers), and re-enqueue it when
+/// more events remain or new work arrived during the run.
+///
+/// [`pop`]: ReadyQueue::pop
+/// [`finish`]: ReadyQueue::finish
+#[derive(Debug, Default)]
+pub struct ReadyQueue {
+    inner: Mutex<ReadyInner>,
+}
+
+#[derive(Debug, Default)]
+struct ReadyInner {
+    queue: std::collections::VecDeque<usize>,
+    states: Vec<SlotState>,
+}
+
+impl ReadyQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ReadyQueue::default()
+    }
+
+    /// Registers a new slot (one per key), returning its token.
+    pub fn register_slot(&self) -> usize {
+        let mut inner = self.inner.lock();
+        inner.states.push(SlotState::Idle);
+        inner.states.len() - 1
+    }
+
+    /// Marks a slot as having enabled work. Returns `true` when the slot
+    /// was newly enqueued (the caller should wake a driver); `false` when
+    /// it was already queued or a running driver will re-enqueue it.
+    pub fn enqueue(&self, slot: usize) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.states[slot] {
+            SlotState::Idle => {
+                inner.states[slot] = SlotState::Queued;
+                inner.queue.push_back(slot);
+                true
+            }
+            SlotState::Running => {
+                inner.states[slot] = SlotState::RunningDirty;
+                false
+            }
+            SlotState::Queued | SlotState::RunningDirty => false,
+        }
+    }
+
+    /// Pops the next ready slot, transferring ownership to the caller
+    /// until [`ReadyQueue::finish`].
+    pub fn pop(&self) -> Option<usize> {
+        let mut inner = self.inner.lock();
+        let slot = inner.queue.pop_front()?;
+        debug_assert_eq!(inner.states[slot], SlotState::Queued);
+        inner.states[slot] = SlotState::Running;
+        Some(slot)
+    }
+
+    /// Releases a popped slot. `more` reports whether the slot still has
+    /// enabled events; the slot is re-enqueued when `more` holds or work
+    /// arrived while it ran. Returns `true` if it was re-enqueued.
+    pub fn finish(&self, slot: usize, more: bool) -> bool {
+        let mut inner = self.inner.lock();
+        let requeue = more || inner.states[slot] == SlotState::RunningDirty;
+        if requeue {
+            inner.states[slot] = SlotState::Queued;
+            inner.queue.push_back(slot);
+        } else {
+            inner.states[slot] = SlotState::Idle;
+        }
+        requeue
+    }
+
+    /// Queued slots right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether no slot is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+}
+
+/// The rendezvous of a pool of driver threads over a set of ready queues.
+///
+/// Parking is lost-wakeup-free by the same lock-ordering argument as
+/// [`DriverCore`]: a parking driver re-checks for work *under the group
+/// lock*, and both [`WorkGroup::notify`] and [`WorkGroup::request_stop`]
+/// acquire that lock before signalling, so a wakeup issued after the
+/// check cannot be missed — and a driver parked on an empty ready queue
+/// observes shutdown promptly, with no timed waits anywhere.
+#[derive(Debug, Default)]
+pub struct WorkGroup {
+    mu: Mutex<()>,
+    cv: Condvar,
+    stop: AtomicBool,
+    broadcast: bool,
+    /// Drivers that announced intent to park (eventcount fast path):
+    /// while this is zero, [`WorkGroup::notify`] is one atomic load.
+    sleepers: std::sync::atomic::AtomicUsize,
+}
+
+impl WorkGroup {
+    /// Creates a group whose [`WorkGroup::notify`] wakes a single parked
+    /// driver — correct when every driver can run any queue's work
+    /// (work-stealing pools), and avoids thundering-herd wakeups on
+    /// every submission.
+    pub fn new() -> Self {
+        WorkGroup::default()
+    }
+
+    /// Creates a group whose [`WorkGroup::notify`] wakes *every* parked
+    /// driver. Required when drivers serve disjoint queues (stealing
+    /// disabled): a single wakeup could land on a driver whose own queue
+    /// is empty, stranding the work. Spuriously woken drivers re-check
+    /// their predicate and re-park immediately.
+    pub fn new_broadcast() -> Self {
+        WorkGroup {
+            broadcast: true,
+            ..WorkGroup::default()
+        }
+    }
+
+    /// Wakes a parked driver (after enqueueing work) — one driver, or
+    /// all of them for a [`WorkGroup::new_broadcast`] group.
+    ///
+    /// Fast path: when no driver has announced intent to park, this is a
+    /// single atomic load. The SeqCst pairing with
+    /// [`WorkGroup::park_unless`] makes the skip sound: a parker
+    /// announces itself (SeqCst RMW) *before* re-checking for work, so
+    /// either this load observes the sleeper (and notifies), or the
+    /// parker's work check observes the enqueue that preceded this call.
+    pub fn notify(&self) {
+        // The fence orders the caller's enqueue (a release under the
+        // queue lock) before the sleepers load — without it, StoreLoad
+        // reordering could let both the notifier miss the sleeper and
+        // the parker miss the enqueue.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let guard = self.mu.lock();
+        drop(guard);
+        if self.broadcast {
+            self.cv.notify_all();
+        } else {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Parks the calling driver until notified — unless `has_work`
+    /// reports pending work or a stop was requested, both re-checked
+    /// after announcing intent to park (see [`WorkGroup::notify`]) and
+    /// again under the group lock (so a notify issued between the check
+    /// and the wait cannot be missed).
+    pub fn park_unless(&self, has_work: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.mu.lock();
+        if self.is_stopped() || has_work() {
+            drop(guard);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.cv.wait(&mut guard);
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Requests the pool to stop and wakes every parked driver.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let guard = self.mu.lock();
+        drop(guard);
+        self.cv.notify_all();
     }
 
     /// Whether a stop has been requested.
@@ -280,13 +490,18 @@ impl<P: RegisterProtocol + 'static> RegisterCell<P> {
     pub fn step_events(&mut self, budget: usize) -> usize {
         let mut stepped = 0;
         while stepped < budget {
-            let Some(&ev) = self.sim.enabled_events().first() else {
+            let Some(ev) = self.sim.first_enabled_event() else {
                 break;
             };
             self.sim.step(ev).expect("enabled event applies");
             stepped += 1;
         }
         stepped
+    }
+
+    /// Whether the simulation has an enabled event (more work to run).
+    pub fn has_enabled(&self) -> bool {
+        self.sim.has_enabled_event()
     }
 
     /// Fills the slots of every operation that has returned.

@@ -57,6 +57,26 @@ pub struct ShardSpec {
     pub register: RegisterConfig,
 }
 
+/// How a key's operation history is bounded over the register's lifetime.
+///
+/// The paper bounds the *storage* of a reliable register; the runtime
+/// additionally accumulates per-key `OpRecord` history for the
+/// consistency checkers, which grows without bound under sustained
+/// traffic. A policy compacts settled records while keeping the frontier
+/// writes a future read may still return, so truncated histories remain
+/// acceptable to the regularity / atomicity checkers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryPolicy {
+    /// Keep every record (the pre-compaction behaviour; default).
+    Unbounded,
+    /// Compact a key's history whenever it holds more than `N` live
+    /// records — bounded memory under sustained traffic.
+    TruncateAfter(usize),
+    /// Compact a key's history whenever the register goes quiescent
+    /// (no in-flight work): between bursts only the frontier survives.
+    TruncateOnQuiescence,
+}
+
 /// Errors validating a [`StoreConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreConfigError {
@@ -64,6 +84,8 @@ pub enum StoreConfigError {
     NoShards,
     /// The driver batch size is zero.
     ZeroBatch,
+    /// A truncate-after-N history bound of zero records.
+    ZeroHistoryBound,
 }
 
 impl std::fmt::Display for StoreConfigError {
@@ -71,6 +93,9 @@ impl std::fmt::Display for StoreConfigError {
         match self {
             StoreConfigError::NoShards => write!(f, "a store needs at least one shard"),
             StoreConfigError::ZeroBatch => write!(f, "driver batch size must be at least 1"),
+            StoreConfigError::ZeroHistoryBound => {
+                write!(f, "truncate-after-N needs a bound of at least 1 record")
+            }
         }
     }
 }
@@ -86,10 +111,15 @@ impl std::error::Error for StoreConfigError {}
 pub struct StoreConfig {
     /// Per-shard specifications; the keyspace is hashed over their count.
     pub shards: Vec<ShardSpec>,
-    /// Maximum simulator events a driver executes per key per lock
-    /// acquisition. Larger batches amortize locking; smaller batches
-    /// reduce completion latency jitter.
+    /// Maximum simulator events a driver executes per key per ready-queue
+    /// pop. Larger batches amortize queue traffic; smaller batches reduce
+    /// completion latency jitter.
     pub batch: usize,
+    /// Per-key operation-history bound.
+    pub history: HistoryPolicy,
+    /// Whether an idle shard driver steals ready keys from loaded
+    /// neighbors (flattens zipfian skew; on by default).
+    pub work_stealing: bool,
 }
 
 impl StoreConfig {
@@ -102,6 +132,8 @@ impl StoreConfig {
         StoreConfig {
             shards: vec![ShardSpec { protocol, register }; shard_count],
             batch: Self::DEFAULT_BATCH,
+            history: HistoryPolicy::Unbounded,
+            work_stealing: true,
         }
     }
 
@@ -111,17 +143,33 @@ impl StoreConfig {
         self
     }
 
+    /// Overrides the per-key history policy.
+    pub fn with_history(mut self, history: HistoryPolicy) -> Self {
+        self.history = history;
+        self
+    }
+
+    /// Enables or disables work-stealing across shard drivers.
+    pub fn with_work_stealing(mut self, work_stealing: bool) -> Self {
+        self.work_stealing = work_stealing;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Rejects an empty shard list and a zero batch size.
+    /// Rejects an empty shard list, a zero batch size, and a zero
+    /// truncate-after-N bound.
     pub fn validate(&self) -> Result<(), StoreConfigError> {
         if self.shards.is_empty() {
             return Err(StoreConfigError::NoShards);
         }
         if self.batch == 0 {
             return Err(StoreConfigError::ZeroBatch);
+        }
+        if self.history == HistoryPolicy::TruncateAfter(0) {
+            return Err(StoreConfigError::ZeroHistoryBound);
         }
         Ok(())
     }
@@ -137,13 +185,24 @@ mod tests {
         let cfg = StoreConfig::uniform(8, ProtocolSpec::Abd, reg);
         assert_eq!(cfg.shards.len(), 8);
         assert!(cfg.validate().is_ok());
-        assert!(StoreConfig {
-            shards: vec![],
-            batch: 1
-        }
-        .validate()
-        .is_err());
-        assert!(cfg.with_batch(0).validate().is_err());
+        let mut empty = cfg.clone();
+        empty.shards.clear();
+        assert_eq!(empty.validate(), Err(StoreConfigError::NoShards));
+        assert_eq!(
+            cfg.clone().with_batch(0).validate(),
+            Err(StoreConfigError::ZeroBatch)
+        );
+        assert_eq!(
+            cfg.clone()
+                .with_history(HistoryPolicy::TruncateAfter(0))
+                .validate(),
+            Err(StoreConfigError::ZeroHistoryBound)
+        );
+        assert!(cfg
+            .with_history(HistoryPolicy::TruncateOnQuiescence)
+            .with_work_stealing(false)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -5,11 +5,15 @@
 //! the natural composition: a keyspace hash-partitioned over `N`
 //! independent shards, each shard hosting one register per key (all built
 //! from one [`RegisterProtocol`](rsb_registers::RegisterProtocol)
-//! emulation — ABD, safe, coded, or adaptive) and driven by its own
-//! *network-driver* thread. Where the old
-//! [`ThreadedRegister`](rsb_registers::ThreadedRegister) serialized every
-//! operation behind one global lock, the store takes one lock per shard,
-//! so disjoint keys make progress in parallel.
+//! emulation — ABD, safe, coded, or adaptive). Execution is
+//! *event-driven*: each shard keeps a ready queue of keys with enabled
+//! simulator events, keys live behind per-key locks, and a pool of
+//! *network-driver* threads (one per shard) runs ready keys — home shard
+//! first, then stealing from loaded neighbors, so hot-key skew spreads
+//! across the pool instead of serializing one driver. Per-key history can
+//! be bounded with a [`HistoryPolicy`], and quiescent keys can be evicted
+//! to snapshots ([`Store::evict_quiescent`]) and transparently
+//! rematerialized.
 //!
 //! # Client surface
 //!
@@ -65,7 +69,7 @@ mod metrics;
 mod shard;
 mod store;
 
-pub use config::{ProtocolSpec, ShardSpec, StoreConfig, StoreConfigError};
+pub use config::{HistoryPolicy, ProtocolSpec, ShardSpec, StoreConfig, StoreConfigError};
 pub use future::{block_on, join_all, ReadFuture, WriteFuture};
 pub use metrics::{OpCounters, ShardMetrics, StoreMetrics};
 pub use store::{KeyHistory, Store, StoreClient, StoreError};

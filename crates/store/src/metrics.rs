@@ -18,6 +18,10 @@ pub(crate) struct AtomicCounters {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     rejected: AtomicU64,
+    steals: AtomicU64,
+    stolen: AtomicU64,
+    truncated_records: AtomicU64,
+    rematerialized: AtomicU64,
 }
 
 impl AtomicCounters {
@@ -47,6 +51,24 @@ impl AtomicCounters {
         }
     }
 
+    pub(crate) fn note_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stolen(&self) {
+        self.stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_truncated(&self, records: u64) {
+        if records > 0 {
+            self.truncated_records.fetch_add(records, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_rematerialized(&self) {
+        self.rematerialized.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> OpCounters {
         OpCounters {
             reads_submitted: self.reads_submitted.load(Ordering::Relaxed),
@@ -56,6 +78,10 @@ impl AtomicCounters {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            truncated_records: self.truncated_records.load(Ordering::Relaxed),
+            rematerialized: self.rematerialized.load(Ordering::Relaxed),
         }
     }
 }
@@ -77,6 +103,15 @@ pub struct OpCounters {
     pub bytes_written: u64,
     /// Submissions the underlying simulation rejected.
     pub rejected: u64,
+    /// Ready keys this shard's driver executed from *other* shards'
+    /// queues (work-stealing, attributed to the thief's home shard).
+    pub steals: u64,
+    /// Ready keys of this shard executed by *other* shards' drivers.
+    pub stolen: u64,
+    /// Operation records dropped by history compaction.
+    pub truncated_records: u64,
+    /// Evicted keys brought back by a later operation.
+    pub rematerialized: u64,
 }
 
 impl OpCounters {
@@ -94,6 +129,10 @@ impl OpCounters {
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.rejected += other.rejected;
+        self.steals += other.steals;
+        self.stolen += other.stolen;
+        self.truncated_records += other.truncated_records;
+        self.rematerialized += other.rematerialized;
     }
 }
 
@@ -114,6 +153,18 @@ pub struct ShardMetrics {
     /// Sum of each register's peak total storage in bits — an upper
     /// bound on the shard's true simultaneous peak.
     pub peak_register_bits: u64,
+    /// Operation records currently held across the shard's registers
+    /// (retained frontier + live tail; what [`HistoryPolicy`] bounds).
+    ///
+    /// [`HistoryPolicy`]: crate::HistoryPolicy
+    pub live_records: u64,
+    /// Keys currently evicted to snapshots (counted in `keys` too).
+    pub evicted_keys: usize,
+    /// Bits held by evicted keys' snapshots (not part of `occupancy`,
+    /// which covers live simulations only).
+    pub snapshot_bits: u64,
+    /// Keys waiting in the shard's ready queue right now.
+    pub ready_keys: usize,
 }
 
 /// A whole-store metrics snapshot.
@@ -146,5 +197,16 @@ impl StoreMetrics {
     /// Total keys materialized across shards.
     pub fn keys(&self) -> usize {
         self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// Total live operation records across shards (what the history
+    /// policy bounds under sustained traffic).
+    pub fn live_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.live_records).sum()
+    }
+
+    /// Keys currently evicted to snapshots, across shards.
+    pub fn evicted_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.evicted_keys).sum()
     }
 }

@@ -1,46 +1,90 @@
-//! One shard: a driver thread over a map of per-key register simulations.
+//! One shard: a map of per-key register simulations behind an
+//! event-driven ready queue.
 //!
-//! A shard reuses the driver/completion machinery of
-//! `rsb_registers::threaded` — a [`DriverCore`] guards the shard's state
-//! (every key's [`RegisterCell`]), and one spawned driver thread plays the
-//! fair scheduler for all of them. The store holds shards behind the
-//! object-safe [`ShardEngine`] trait so different shards can run
-//! different register emulations.
+//! The PR-2 shard driver rescanned every materialized key per batch —
+//! O(keys) work even when one key was hot. A shard now keeps a
+//! [`ReadyQueue`] of key slots with enabled simulator events: a key is
+//! enqueued when a client operation arrives or a step leaves follow-on
+//! events enabled, so a driver batch does O(enabled) work. Keys live
+//! behind *per-key* locks (the shard map lock covers only placement and
+//! lifecycle), and a popped slot is owned by exactly one driver until it
+//! finishes — which is what lets an idle driver of another shard *steal*
+//! a ready key and step it without breaking per-key serialization.
+//!
+//! On top of the same per-key lifecycle, a [`HistoryPolicy`] bounds each
+//! register's `OpRecord` history (compaction keeps the frontier writes
+//! the consistency checkers need), and a quiescent key can be *evicted*
+//! to a [`SimSnapshot`] and rematerialized on its next operation.
 
 use crate::config::ShardSpec;
+use crate::config::{HistoryPolicy, ProtocolSpec};
 use crate::metrics::{AtomicCounters, ShardMetrics};
 use crate::store::StoreError;
 use rsb_coding::Value;
-use rsb_fpsm::{ClientId, OpRecord, OpRequest, StorageCost};
+use rsb_fpsm::{ClientId, OpRecord, OpRequest, SimSnapshot, Simulation, StorageCost};
 use rsb_registers::{
-    spawn_driver, Abd, AbdAtomic, Adaptive, Coded, CompletionSlot, DriverCore, RegisterCell,
-    RegisterProtocol, Safe, ThreadedError,
+    Abd, AbdAtomic, Adaptive, Coded, CompletionSlot, ReadyQueue, RegisterCell, RegisterProtocol,
+    Safe, ThreadedError, WorkGroup,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::config::ProtocolSpec;
-
-/// One key's register: its simulation cell plus the sim-level clients
-/// allocated for it so far (reused across operations when idle).
-struct KeyEntry<P: RegisterProtocol + 'static> {
+/// One key's live register: its simulation cell plus the sim-level
+/// clients allocated for it so far (reused across operations when idle).
+struct KeyCell<P: RegisterProtocol + 'static> {
     cell: RegisterCell<P>,
     clients: Vec<ClientId>,
 }
 
-/// The state a shard's driver guards.
-struct ShardState<P: RegisterProtocol + 'static> {
-    proto: P,
-    keys: HashMap<String, KeyEntry<P>>,
+impl<P: RegisterProtocol + 'static> KeyCell<P> {
+    fn new(sim: Simulation<P::Object, P::Client>) -> Self {
+        KeyCell {
+            cell: RegisterCell::new(sim),
+            clients: Vec::new(),
+        }
+    }
 }
 
-/// The object-safe surface the store drives a shard through.
+/// A key is either materialized (live simulation) or evicted to a
+/// quiescent snapshot. `Vacant` is a transient placeholder used to move
+/// a snapshot out during rematerialization — it never outlives the key
+/// lock's critical section in `submit`, so no other code path observes
+/// it.
+enum KeyState<P: RegisterProtocol + 'static> {
+    Live(KeyCell<P>),
+    Evicted(SimSnapshot<P::Object>),
+    Vacant,
+}
+
+/// One key's slot: name plus the per-key lock every simulation access
+/// goes through. The shard map lock is *not* needed to step a key.
+struct KeySlot<P: RegisterProtocol + 'static> {
+    state: parking_lot::Mutex<KeyState<P>>,
+}
+
+/// The object-safe surface the store (and its work-stealing driver pool)
+/// drives a shard through.
 pub(crate) trait ShardEngine: Send + Sync {
     /// Submits one operation on a key, returning its completion slot.
     fn submit(&self, key: &str, req: OpRequest) -> Result<Arc<CompletionSlot>, StoreError>;
 
-    /// Asks the driver to stop (pending operations will be failed).
-    fn request_stop(&self);
+    /// Pops one ready key and runs a step batch on it. `thief` marks a
+    /// foreign driver (counted in the shard's `stolen` metric). Returns
+    /// whether any key was run.
+    fn run_ready(&self, thief: bool) -> bool;
+
+    /// Whether the shard's ready queue is non-empty.
+    fn has_ready(&self) -> bool;
+
+    /// Counts a steal performed *by* this shard's driver.
+    fn note_steal(&self);
+
+    /// Flushes completed results and fails what remains. Call only after
+    /// every driver has stopped.
+    fn fail_all_pending(&self);
+
+    /// Evicts every quiescent key to a snapshot; returns how many.
+    fn evict_quiescent(&self) -> usize;
 
     /// Snapshot of the shard's metrics.
     fn metrics(&self, shard: usize) -> ShardMetrics;
@@ -51,7 +95,8 @@ pub(crate) trait ShardEngine: Send + Sync {
     /// The registers' initial value `v₀`.
     fn initial_value(&self) -> Value;
 
-    /// The operation records of one key's register, if materialized.
+    /// The operation records of one key's register, if materialized or
+    /// evicted (snapshots preserve history).
     fn key_records(&self, key: &str) -> Option<Vec<OpRecord>>;
 
     /// Keys materialized on this shard.
@@ -62,52 +107,111 @@ pub(crate) trait ShardEngine: Send + Sync {
 }
 
 /// The typed shard implementation behind [`ShardEngine`].
-struct ShardCore<P: RegisterProtocol + Send + 'static> {
-    core: Arc<DriverCore<ShardState<P>>>,
+struct ShardCore<P: RegisterProtocol + Send + Sync + 'static> {
+    /// The shard's protocol (immutable configuration; `new_sim` /
+    /// `add_client` take `&self`).
+    proto: P,
+    /// The placement map: key names to slot tokens. Guarded by its own
+    /// lock, held only for the name lookup / first-touch insert — never
+    /// across key locks or simulation work.
+    map: parking_lot::Mutex<HashMap<String, usize>>,
+    /// Append-only slot table, indexed by ready-queue token. Readers
+    /// (the per-pop hot path, metrics) take the shared lock; the only
+    /// writer is key materialization in `submit`, which already holds
+    /// the map lock (lock order: map → slots, never reversed).
+    slots: parking_lot::RwLock<Vec<Arc<KeySlot<P>>>>,
+    ready: ReadyQueue,
+    group: Arc<WorkGroup>,
     counters: Arc<AtomicCounters>,
+    policy: HistoryPolicy,
+    batch: usize,
     name: &'static str,
     value_len: usize,
     initial: Value,
 }
 
-impl<P: RegisterProtocol + Send + 'static> ShardEngine for ShardCore<P> {
+impl<P: RegisterProtocol + Send + Sync + 'static> ShardCore<P>
+where
+    P::Object: Clone,
+{
+    /// Applies the history policy to a key after completions have been
+    /// flushed (so no un-notified record can be compacted).
+    fn apply_history_policy(&self, kc: &mut KeyCell<P>) {
+        let compact = match self.policy {
+            HistoryPolicy::Unbounded => false,
+            HistoryPolicy::TruncateAfter(n) => kc.cell.sim.live_records() > n,
+            HistoryPolicy::TruncateOnQuiescence => kc.cell.sim.is_quiescent(),
+        };
+        if compact {
+            let dropped = kc.cell.sim.compact_history();
+            self.counters.note_truncated(dropped);
+        }
+    }
+}
+
+impl<P: RegisterProtocol + Send + Sync + 'static> ShardEngine for ShardCore<P>
+where
+    P::Object: Clone,
+{
     fn submit(&self, key: &str, req: OpRequest) -> Result<Arc<CompletionSlot>, StoreError> {
+        // Fast-path reject; the *authoritative* stop check happens under
+        // the key lock below, ordered against the shutdown sweep.
+        if self.group.is_stopped() {
+            return Err(StoreError::ShutDown);
+        }
+        // Placement: the map lock is held only for the name lookup (and
+        // first-touch slot creation) — never across simulation work, so
+        // a driver's step batch on one key cannot stall other keys'
+        // submissions behind this lock.
+        let token = {
+            let mut index = self.map.lock();
+            if let Some(&t) = index.get(key) {
+                t
+            } else {
+                let token = self.ready.register_slot();
+                let mut slots = self.slots.write();
+                debug_assert_eq!(token, slots.len());
+                slots.push(Arc::new(KeySlot {
+                    state: parking_lot::Mutex::new(KeyState::Live(KeyCell::new(
+                        self.proto.new_sim(),
+                    ))),
+                }));
+                drop(slots);
+                index.insert(key.to_owned(), token);
+                token
+            }
+        };
+        let key_slot = Arc::clone(&self.slots.read()[token]);
         let slot = {
-            let mut st = self.core.lock();
-            // Checked under the lock: the driver's shutdown cleanup also
-            // runs under it, so a submission either sees the stop flag or
-            // its pending slot is failed by that cleanup — never neither.
-            if self.core.is_stopped() {
-                return Err(StoreError::ShutDown);
+            let mut state = key_slot.state.lock();
+            if matches!(&*state, KeyState::Evicted(_)) {
+                // Move the snapshot out (no deep copy): `Vacant` exists
+                // only inside this key-lock critical section.
+                let KeyState::Evicted(snap) = std::mem::replace(&mut *state, KeyState::Vacant)
+                else {
+                    unreachable!("matched above");
+                };
+                *state = KeyState::Live(KeyCell::new(Simulation::restore(snap)));
+                self.counters.note_rematerialized();
             }
-            let ShardState { proto, keys } = &mut *st;
-            // Allocate the owned key only on first touch — the hot path
-            // (existing key) stays allocation-free under the shard lock.
-            if !keys.contains_key(key) {
-                keys.insert(
-                    key.to_owned(),
-                    KeyEntry {
-                        cell: RegisterCell::new(proto.new_sim()),
-                        clients: Vec::new(),
-                    },
-                );
-            }
-            let entry = keys.get_mut(key).expect("inserted above");
-            let client = entry
+            let KeyState::Live(kc) = &mut *state else {
+                unreachable!("rematerialized above");
+            };
+            let client = kc
                 .clients
                 .iter()
                 .copied()
-                .find(|&c| entry.cell.sim.outstanding_op(c).is_none())
+                .find(|&c| kc.cell.sim.outstanding_op(c).is_none())
                 .unwrap_or_else(|| {
-                    let c = proto.add_client(&mut entry.cell.sim);
-                    entry.clients.push(c);
+                    let c = self.proto.add_client(&mut kc.cell.sim);
+                    kc.clients.push(c);
                     c
                 });
             let write_bytes = match &req {
                 OpRequest::Write(v) => Some(v.len() as u64),
                 OpRequest::Read => None,
             };
-            match entry.cell.submit(client, req) {
+            let slot = match kc.cell.submit(client, req) {
                 Ok(slot) => {
                     match write_bytes {
                         Some(bytes) => self.counters.note_write_submitted(bytes),
@@ -115,8 +219,8 @@ impl<P: RegisterProtocol + Send + 'static> ShardEngine for ShardCore<P> {
                     }
                     // A protocol could in principle complete synchronously
                     // (the slot is then filled with no pending entry, so
-                    // the driver never sees it); count it here, still
-                    // under the lock so the driver cannot race us.
+                    // no driver ever sees it); count it here, still under
+                    // the key lock so a driver cannot race us.
                     if let Some(Ok(result)) = slot.try_outcome() {
                         self.counters.note_completion(&result);
                     }
@@ -126,35 +230,145 @@ impl<P: RegisterProtocol + Send + 'static> ShardEngine for ShardCore<P> {
                     self.counters.note_rejected();
                     return Err(e.into());
                 }
+            };
+            // Authoritative stop check, under the key lock: the shutdown
+            // sweep (`fail_all_pending`, after every driver joined) takes
+            // this same lock, so either our pending op was inserted
+            // before the sweep (the sweep fails it), or the sweep ran
+            // first and the stop flag — set before it — is visible here,
+            // and we clean up this key ourselves. Never neither.
+            if self.group.is_stopped() {
+                let counters = &self.counters;
+                kc.cell
+                    .complete_pending_with(|r| counters.note_completion(r));
+                kc.cell.fail_pending(&ThreadedError::ShutDown);
+                return Err(StoreError::ShutDown);
             }
+            slot
         };
-        self.core.notify();
+        // Out of every lock: publish the key to the ready queue and wake
+        // a driver. (A racing stop at this point is harmless: the sweep
+        // above already failed the slot, and the queue is dead.)
+        if self.ready.enqueue(token) {
+            self.group.notify();
+        }
         Ok(slot)
     }
 
-    fn request_stop(&self) {
-        self.core.request_stop();
+    fn run_ready(&self, thief: bool) -> bool {
+        let Some(token) = self.ready.pop() else {
+            return false;
+        };
+        let key_slot = Arc::clone(&self.slots.read()[token]);
+        let mut more = false;
+        {
+            let mut state = key_slot.state.lock();
+            if let KeyState::Live(kc) = &mut *state {
+                if kc.cell.step_events(self.batch) > 0 {
+                    let counters = &self.counters;
+                    kc.cell
+                        .complete_pending_with(|r| counters.note_completion(r));
+                    self.apply_history_policy(kc);
+                }
+                more = kc.cell.has_enabled();
+            }
+        }
+        // Re-enqueueing without a notify is safe: the finishing driver is
+        // awake, and a parking driver re-checks every queue first.
+        self.ready.finish(token, more);
+        if thief {
+            self.counters.note_stolen();
+        }
+        true
+    }
+
+    fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    fn note_steal(&self) {
+        self.counters.note_steal();
+    }
+
+    fn fail_all_pending(&self) {
+        // No placement lock needed: submissions re-check the stop flag
+        // under each key lock (see `submit`), so a pending op either
+        // landed before this sweep's key-lock acquisition (failed here)
+        // or its submitter observes the stop and cleans up itself.
+        for slot in self.slots.read().iter() {
+            let mut state = slot.state.lock();
+            if let KeyState::Live(kc) = &mut *state {
+                // Flush results that are ready, then fail what remains so
+                // no client blocks on a dead shard.
+                let counters = &self.counters;
+                kc.cell
+                    .complete_pending_with(|r| counters.note_completion(r));
+                kc.cell.fail_pending(&ThreadedError::ShutDown);
+            }
+        }
+    }
+
+    fn evict_quiescent(&self) -> usize {
+        let mut evicted = 0;
+        for slot in self.slots.read().iter() {
+            let mut state = slot.state.lock();
+            if let KeyState::Live(kc) = &mut *state {
+                if kc.cell.pending.is_empty() && kc.cell.sim.is_quiescent() {
+                    // Compact before snapshotting — but only under a
+                    // truncating policy: `Unbounded` promises the full
+                    // history, which the snapshot then carries whole.
+                    if self.policy != HistoryPolicy::Unbounded {
+                        let dropped = kc.cell.sim.compact_history();
+                        self.counters.note_truncated(dropped);
+                    }
+                    if let Some(snap) = kc.cell.sim.snapshot() {
+                        *state = KeyState::Evicted(snap);
+                        evicted += 1;
+                    }
+                }
+            }
+        }
+        evicted
     }
 
     fn metrics(&self, shard: usize) -> ShardMetrics {
-        let st = self.core.lock();
+        let slots = self.slots.read();
         let mut occupancy = StorageCost::default();
         let mut peak = 0u64;
-        for entry in st.keys.values() {
-            let cost = entry.cell.sim.storage_cost();
-            occupancy.object_bits += cost.object_bits;
-            occupancy.client_bits += cost.client_bits;
-            occupancy.inflight_param_bits += cost.inflight_param_bits;
-            occupancy.inflight_resp_bits += cost.inflight_resp_bits;
-            peak += entry.cell.sim.peak_storage_bits();
+        let mut live_records = 0u64;
+        let mut evicted_keys = 0usize;
+        let mut snapshot_bits = 0u64;
+        for slot in slots.iter() {
+            let state = slot.state.lock();
+            match &*state {
+                KeyState::Live(kc) => {
+                    let cost = kc.cell.sim.storage_cost();
+                    occupancy.object_bits += cost.object_bits;
+                    occupancy.client_bits += cost.client_bits;
+                    occupancy.inflight_param_bits += cost.inflight_param_bits;
+                    occupancy.inflight_resp_bits += cost.inflight_resp_bits;
+                    peak += kc.cell.sim.peak_storage_bits();
+                    live_records += kc.cell.sim.live_records() as u64;
+                }
+                KeyState::Evicted(snap) => {
+                    evicted_keys += 1;
+                    snapshot_bits += snap.storage_bits();
+                    live_records += snap.records().len() as u64;
+                }
+                KeyState::Vacant => unreachable!("Vacant never escapes the key lock"),
+            }
         }
         ShardMetrics {
             shard,
             protocol: self.name,
-            keys: st.keys.len(),
+            keys: slots.len(),
             ops: self.counters.snapshot(),
             occupancy,
             peak_register_bits: peak,
+            live_records,
+            evicted_keys,
+            snapshot_bits,
+            ready_keys: self.ready.len(),
         }
     }
 
@@ -167,12 +381,18 @@ impl<P: RegisterProtocol + Send + 'static> ShardEngine for ShardCore<P> {
     }
 
     fn key_records(&self, key: &str) -> Option<Vec<OpRecord>> {
-        let st = self.core.lock();
-        st.keys.get(key).map(|e| e.cell.sim.history().to_vec())
+        let token = *self.map.lock().get(key)?;
+        let key_slot = Arc::clone(&self.slots.read()[token]);
+        let state = key_slot.state.lock();
+        Some(match &*state {
+            KeyState::Live(kc) => kc.cell.sim.full_history(),
+            KeyState::Evicted(snap) => snap.records().to_vec(),
+            KeyState::Vacant => unreachable!("Vacant never escapes the key lock"),
+        })
     }
 
     fn keys(&self) -> Vec<String> {
-        self.core.lock().keys.keys().cloned().collect()
+        self.map.lock().keys().cloned().collect()
     }
 
     fn protocol_name(&self) -> &'static str {
@@ -180,70 +400,46 @@ impl<P: RegisterProtocol + Send + 'static> ShardEngine for ShardCore<P> {
     }
 }
 
-/// Builds a shard from its spec and spawns its driver thread.
+/// Builds a shard engine from its spec. Driver threads are pooled at the
+/// store level (see `store.rs`), not per shard.
 pub(crate) fn build(
-    index: usize,
     spec: &ShardSpec,
     batch: usize,
-) -> (Arc<dyn ShardEngine>, std::thread::JoinHandle<()>) {
+    policy: HistoryPolicy,
+    group: Arc<WorkGroup>,
+) -> Arc<dyn ShardEngine> {
     match spec.protocol {
-        ProtocolSpec::Abd => start_typed(index, Abd::new(spec.register), batch),
-        ProtocolSpec::AbdAtomic => start_typed(index, AbdAtomic::new(spec.register), batch),
-        ProtocolSpec::Safe => start_typed(index, Safe::new(spec.register), batch),
-        ProtocolSpec::Coded => start_typed(index, Coded::new(spec.register), batch),
-        ProtocolSpec::Adaptive => start_typed(index, Adaptive::new(spec.register), batch),
+        ProtocolSpec::Abd => engine(Abd::new(spec.register), batch, policy, group),
+        ProtocolSpec::AbdAtomic => engine(AbdAtomic::new(spec.register), batch, policy, group),
+        ProtocolSpec::Safe => engine(Safe::new(spec.register), batch, policy, group),
+        ProtocolSpec::Coded => engine(Coded::new(spec.register), batch, policy, group),
+        ProtocolSpec::Adaptive => engine(Adaptive::new(spec.register), batch, policy, group),
     }
 }
 
-fn start_typed<P: RegisterProtocol + Send + 'static>(
-    index: usize,
+fn engine<P: RegisterProtocol + Send + Sync + 'static>(
     proto: P,
     batch: usize,
-) -> (Arc<dyn ShardEngine>, std::thread::JoinHandle<()>) {
+    policy: HistoryPolicy,
+    group: Arc<WorkGroup>,
+) -> Arc<dyn ShardEngine>
+where
+    P::Object: Clone,
+{
     let name = proto.name();
     let value_len = proto.config().value_len;
     let initial = proto.config().initial_value();
-    let core = Arc::new(DriverCore::new(ShardState {
+    Arc::new(ShardCore {
         proto,
-        keys: HashMap::new(),
-    }));
-    let counters = Arc::new(AtomicCounters::default());
-
-    let step_counters = Arc::clone(&counters);
-    let stop_counters = Arc::clone(&counters);
-    let driver = spawn_driver(
-        &format!("store-shard-{index}"),
-        Arc::clone(&core),
-        move |st: &mut ShardState<P>| {
-            let mut progressed = false;
-            for entry in st.keys.values_mut() {
-                if entry.cell.step_events(batch) > 0 {
-                    progressed = true;
-                    entry
-                        .cell
-                        .complete_pending_with(|r| step_counters.note_completion(r));
-                }
-            }
-            progressed
-        },
-        move |st: &mut ShardState<P>| {
-            // Flush results that are ready, then fail what remains so no
-            // client blocks on a dead shard.
-            for entry in st.keys.values_mut() {
-                entry
-                    .cell
-                    .complete_pending_with(|r| stop_counters.note_completion(r));
-                entry.cell.fail_pending(&ThreadedError::ShutDown);
-            }
-        },
-    );
-
-    let engine: Arc<dyn ShardEngine> = Arc::new(ShardCore {
-        core,
-        counters,
+        map: parking_lot::Mutex::new(HashMap::new()),
+        slots: parking_lot::RwLock::new(Vec::new()),
+        ready: ReadyQueue::new(),
+        group,
+        counters: Arc::new(AtomicCounters::default()),
+        policy,
+        batch,
         name,
         value_len,
         initial,
-    });
-    (engine, driver)
+    })
 }

@@ -1,4 +1,5 @@
-//! The store: shard fan-out, client handles, lifecycle.
+//! The store: shard fan-out, the work-stealing driver pool, client
+//! handles, lifecycle.
 
 use crate::config::StoreConfig;
 use crate::future::{OpFuture, ReadFuture, WriteFuture};
@@ -6,7 +7,7 @@ use crate::metrics::StoreMetrics;
 use crate::shard::{self, ShardEngine};
 use rsb_coding::Value;
 use rsb_fpsm::{OpRecord, OpRequest};
-use rsb_registers::ThreadedError;
+use rsb_registers::{ThreadedError, WorkGroup};
 use std::sync::Arc;
 
 /// Errors from the store's client surface.
@@ -91,30 +92,98 @@ pub struct KeyHistory {
 /// submissions return errors instead of hanging.
 pub struct Store {
     inner: Arc<StoreInner>,
+    group: Arc<WorkGroup>,
     drivers: Vec<std::thread::JoinHandle<()>>,
 }
 
+/// Spawns one pool driver. Its loop gives the home shard priority, then
+/// scans the other shards for ready keys to steal, and parks on the
+/// group — re-checking every queue under the group lock — when the whole
+/// store is idle. There is no timed wait anywhere: wakeups come from
+/// submissions ([`WorkGroup::notify`]) and shutdown
+/// ([`WorkGroup::request_stop`]), and the lock-ordered re-check makes
+/// both race-free.
+fn spawn_pool_driver(
+    home: usize,
+    shards: Vec<Arc<dyn ShardEngine>>,
+    group: Arc<WorkGroup>,
+    work_stealing: bool,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("store-driver-{home}"))
+        .spawn(move || {
+            let n = shards.len();
+            while !group.is_stopped() {
+                // Home shard first: drain one ready key per iteration so
+                // the stop flag is observed between batches.
+                if shards[home].run_ready(false) {
+                    continue;
+                }
+                // Idle at home: steal one ready key from a neighbor.
+                let mut stole = false;
+                if work_stealing {
+                    for offset in 1..n {
+                        let victim = (home + offset) % n;
+                        if shards[victim].run_ready(true) {
+                            shards[home].note_steal();
+                            stole = true;
+                            break;
+                        }
+                    }
+                }
+                if stole {
+                    continue;
+                }
+                // The park predicate matches what this driver will run:
+                // any queue when stealing, only home otherwise (a
+                // foreign-queue wakeup would spin it fruitlessly).
+                group.park_unless(|| {
+                    if work_stealing {
+                        shards.iter().any(|s| s.has_ready())
+                    } else {
+                        shards[home].has_ready()
+                    }
+                });
+            }
+        })
+        .expect("spawning a store driver thread")
+}
+
 impl Store {
-    /// Starts the service: builds every shard and spawns its driver.
+    /// Starts the service: builds every shard and spawns the driver pool
+    /// (one driver thread per shard; idle drivers steal ready keys from
+    /// loaded neighbors when work-stealing is enabled).
     ///
     /// # Errors
     ///
-    /// Fails on an invalid configuration (no shards, zero batch).
+    /// Fails on an invalid configuration (no shards, zero batch, zero
+    /// history bound).
     pub fn start(config: StoreConfig) -> Result<Self, crate::config::StoreConfigError> {
         config.validate()?;
         let StoreConfig {
             shards: specs,
             batch,
+            history,
+            work_stealing,
         } = config;
-        let mut shards = Vec::with_capacity(specs.len());
-        let mut drivers = Vec::with_capacity(specs.len());
-        for (index, spec) in specs.into_iter().enumerate() {
-            let (engine, driver) = shard::build(index, &spec, batch);
-            shards.push(engine);
-            drivers.push(driver);
-        }
+        // With stealing, any single driver can run any ready key, so a
+        // submission wakes one driver; without it, queues are disjoint
+        // and the wakeup must broadcast to reach the right driver.
+        let group = Arc::new(if work_stealing {
+            WorkGroup::new()
+        } else {
+            WorkGroup::new_broadcast()
+        });
+        let shards: Vec<Arc<dyn ShardEngine>> = specs
+            .iter()
+            .map(|spec| shard::build(spec, batch, history, Arc::clone(&group)))
+            .collect();
+        let drivers = (0..shards.len())
+            .map(|home| spawn_pool_driver(home, shards.clone(), Arc::clone(&group), work_stealing))
+            .collect();
         Ok(Store {
             inner: Arc::new(StoreInner { shards }),
+            group,
             drivers,
         })
     }
@@ -166,18 +235,31 @@ impl Store {
         keys
     }
 
-    /// Stops every shard driver and joins them. Idempotent; also called
-    /// on drop. In-flight operations fail with [`StoreError::ShutDown`].
+    /// Evicts every quiescent key (no in-flight work) to a compact
+    /// snapshot, freeing its live simulation; the next operation on an
+    /// evicted key transparently rematerializes it. Returns how many keys
+    /// were evicted.
+    pub fn evict_quiescent(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.evict_quiescent()).sum()
+    }
+
+    /// Stops every pool driver and joins them, then fails remaining
+    /// in-flight operations with [`StoreError::ShutDown`]. Idempotent;
+    /// also called on drop. Drivers parked on empty ready queues observe
+    /// the stop promptly (no timed waits anywhere).
     pub fn shutdown(mut self) {
         self.stop_drivers();
     }
 
     fn stop_drivers(&mut self) {
-        for s in &self.inner.shards {
-            s.request_stop();
-        }
+        self.group.request_stop();
         for h in self.drivers.drain(..) {
             let _ = h.join();
+        }
+        // With every driver joined, nothing races this cleanup: flush
+        // results that are ready, fail the rest so no client hangs.
+        for s in &self.inner.shards {
+            s.fail_all_pending();
         }
     }
 }

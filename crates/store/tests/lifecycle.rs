@@ -104,6 +104,30 @@ fn client_outliving_the_store_gets_errors_not_hangs() {
 }
 
 #[test]
+fn drivers_parked_on_empty_ready_queues_observe_shutdown_promptly() {
+    // All drivers end up parked on empty ready queues (untimed condvar
+    // waits — there is no polling fallback that would mask a lost stop
+    // signal). Shutdown must wake and join them promptly; a regression
+    // to a missed wakeup would hang far past the assertion bound.
+    let s = store(8, ProtocolSpec::Adaptive);
+    let client = s.client();
+    for i in 0..8u64 {
+        client
+            .write_blocking(&format!("idle-{i}"), Value::seeded(i + 1, 16))
+            .unwrap();
+    }
+    // Give every driver time to drain its queue and park.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let start = std::time::Instant::now();
+    s.shutdown();
+    let took = start.elapsed();
+    assert!(
+        took < std::time::Duration::from_secs(2),
+        "shutdown of parked drivers took {took:?}"
+    );
+}
+
+#[test]
 fn drop_is_a_clean_shutdown() {
     let client = {
         let s = store(2, ProtocolSpec::Abd);

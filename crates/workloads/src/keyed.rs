@@ -25,6 +25,16 @@ pub enum KeyDist {
         /// The skew exponent.
         theta: f64,
     },
+    /// Adversarial hot-set skew: a fraction `hot_fraction` of operations
+    /// lands uniformly on the first `hot` keys, the rest uniformly on
+    /// the remainder — the worst case for a sharded store, since a tiny
+    /// hot set can pin one shard's driver (what work-stealing flattens).
+    HotSpot {
+        /// Number of hot keys (ranks `0..hot`).
+        hot: usize,
+        /// Probability an operation targets the hot set, in `[0, 1]`.
+        hot_fraction: f64,
+    },
 }
 
 /// How value payload sizes are drawn for writes.
@@ -97,6 +107,8 @@ pub struct KeySpace {
     count: usize,
     /// Cumulative weights for zipfian sampling; empty for uniform.
     cumulative: Vec<f64>,
+    /// Hot-set sampling parameters, if the distribution is `HotSpot`.
+    hot_spot: Option<(usize, f64)>,
 }
 
 impl KeySpace {
@@ -104,9 +116,12 @@ impl KeySpace {
     ///
     /// # Panics
     ///
-    /// Panics if `count` is zero or a zipfian `theta` is negative.
+    /// Panics if `count` is zero, a zipfian `theta` is negative, or a
+    /// hot-spot configuration is out of range (`hot` must be in
+    /// `1..=count`, `hot_fraction` in `[0, 1]`).
     pub fn new(count: usize, dist: KeyDist) -> Self {
         assert!(count > 0, "a key space needs at least one key");
+        let mut hot_spot = None;
         let cumulative = match dist {
             KeyDist::Uniform => Vec::new(),
             KeyDist::Zipfian { theta } => {
@@ -119,8 +134,51 @@ impl KeySpace {
                 }
                 cumulative
             }
+            KeyDist::HotSpot { hot, hot_fraction } => {
+                assert!(
+                    (1..=count).contains(&hot),
+                    "hot-set size must be in 1..=count"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&hot_fraction),
+                    "hot_fraction must be in [0, 1]"
+                );
+                hot_spot = Some((hot, hot_fraction));
+                Vec::new()
+            }
         };
-        KeySpace { count, cumulative }
+        KeySpace {
+            count,
+            cumulative,
+            hot_spot,
+        }
+    }
+
+    /// The theoretical probability of key rank `i` under the space's
+    /// distribution (what empirical frequencies should converge to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        assert!(i < self.count, "key rank out of range");
+        if let Some((hot, hot_fraction)) = self.hot_spot {
+            // A hot set covering the whole space degenerates to uniform
+            // (sampling ignores hot_fraction then — see `sample`).
+            return if self.count == hot {
+                1.0 / self.count as f64
+            } else if i < hot {
+                hot_fraction / hot as f64
+            } else {
+                (1.0 - hot_fraction) / (self.count - hot) as f64
+            };
+        }
+        if self.cumulative.is_empty() {
+            return 1.0 / self.count as f64;
+        }
+        let total = *self.cumulative.last().expect("non-empty cumulative");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
     }
 
     /// Number of keys.
@@ -140,6 +198,13 @@ impl KeySpace {
 
     /// Samples a key index.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
+        if let Some((hot, hot_fraction)) = self.hot_spot {
+            return if self.count == hot || rng.gen_bool(hot_fraction) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(hot..self.count)
+            };
+        }
         if self.cumulative.is_empty() {
             return rng.gen_range(0..self.count);
         }
@@ -201,6 +266,13 @@ impl KeyedScenario {
     /// Switches key choice to zipfian with the given skew.
     pub fn with_zipf(mut self, theta: f64) -> Self {
         self.key_dist = KeyDist::Zipfian { theta };
+        self
+    }
+
+    /// Switches key choice to an adversarial hot set: `hot_fraction` of
+    /// operations land on the first `hot` keys.
+    pub fn with_hot_spot(mut self, hot: usize, hot_fraction: f64) -> Self {
+        self.key_dist = KeyDist::HotSpot { hot, hot_fraction };
         self
     }
 
@@ -381,6 +453,81 @@ mod tests {
         }
         let umax = ucounts.values().copied().max().unwrap_or(0);
         assert!(umax < top, "uniform max {umax} < zipf top {top}");
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_theta() {
+        // Deterministic: fixed seed, large sample. The empirical
+        // frequency of each of the top ranks must match the configured
+        // theta's theoretical weight within a generous tolerance, and
+        // the harmonic normalization must make all weights sum to 1.
+        let theta = 0.99;
+        let keys = 64;
+        let samples = 40_000;
+        let s = KeyedScenario::uniform(1, samples, keys, 0.0, 16, 77).with_zipf(theta);
+        let space = KeySpace::new(keys, KeyDist::Zipfian { theta });
+        let total_prob: f64 = (0..keys).map(|i| space.probability(i)).sum();
+        assert!((total_prob - 1.0).abs() < 1e-9, "probabilities sum to 1");
+
+        let mut counts = vec![0usize; keys];
+        for op in s.client_ops(0) {
+            let rank: usize = op.key[1..].parse().expect("canonical k###### name");
+            counts[rank] += 1;
+        }
+        for (rank, &count) in counts.iter().take(8).enumerate() {
+            let expected = space.probability(rank);
+            let got = count as f64 / samples as f64;
+            assert!(
+                (got - expected).abs() < 0.25 * expected + 0.002,
+                "rank {rank}: empirical {got:.4} vs theoretical {expected:.4} (theta {theta})"
+            );
+        }
+        // Skew direction: ranks must be (weakly) less popular going down
+        // the long tail in aggregate.
+        let head: usize = counts[..8].iter().sum();
+        let tail: usize = counts[keys - 8..].iter().sum();
+        assert!(head > 4 * tail, "head {head} should dwarf tail {tail}");
+    }
+
+    #[test]
+    fn hot_spot_concentrates_traffic() {
+        let s = KeyedScenario::uniform(1, 8000, 32, 0.0, 16, 13).with_hot_spot(2, 0.9);
+        let space = KeySpace::new(
+            32,
+            KeyDist::HotSpot {
+                hot: 2,
+                hot_fraction: 0.9,
+            },
+        );
+        assert!((space.probability(0) - 0.45).abs() < 1e-9);
+        assert!((space.probability(5) - (0.1 / 30.0)).abs() < 1e-9);
+        let mut hot_hits = 0usize;
+        for op in s.client_ops(0) {
+            let rank: usize = op.key[1..].parse().unwrap();
+            if rank < 2 {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / 8000.0;
+        assert!((frac - 0.9).abs() < 0.02, "hot fraction {frac} ≈ 0.9");
+    }
+
+    #[test]
+    fn hot_spot_covering_the_whole_space_degenerates_to_uniform() {
+        // When hot == count, sampling ignores hot_fraction (the "cold"
+        // range is empty); probability() must agree and still sum to 1.
+        let space = KeySpace::new(
+            4,
+            KeyDist::HotSpot {
+                hot: 4,
+                hot_fraction: 0.5,
+            },
+        );
+        for i in 0..4 {
+            assert!((space.probability(i) - 0.25).abs() < 1e-9);
+        }
+        let total: f64 = (0..4).map(|i| space.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
     }
 
     #[test]

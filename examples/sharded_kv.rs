@@ -1,10 +1,11 @@
 //! The sharded store's async client surface, with no async runtime.
 //!
-//! `rsb-store` partitions a keyspace over shards, each shard a driver
-//! thread over per-key register emulations. `StoreClient::read/write`
-//! return plain `std::future::Future`s backed by condvar completion
-//! slots, so they work from any executor — here the bundled `block_on` /
-//! `join_all` — and each future also has a blocking `.wait()`.
+//! `rsb-store` partitions a keyspace over shards of per-key register
+//! emulations, executed by a pool of work-stealing driver threads off
+//! per-shard ready queues. `StoreClient::read/write` return plain
+//! `std::future::Future`s backed by condvar completion slots, so they
+//! work from any executor — here the bundled `block_on` / `join_all` —
+//! and each future also has a blocking `.wait()`.
 //!
 //! ```sh
 //! cargo run --example sharded_kv
@@ -16,7 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 8 shards, every one running the paper's adaptive protocol with
     // f = 1 tolerated crash and a k = 2 code over 64-byte values.
     let reg = RegisterConfig::paper(1, 2, 64)?;
-    let store = Store::start(StoreConfig::uniform(8, ProtocolSpec::Adaptive, reg))?;
+    let store = Store::start(
+        // Bound each key's op-record history; quiescent keys keep only
+        // their frontier write between bursts.
+        StoreConfig::uniform(8, ProtocolSpec::Adaptive, reg)
+            .with_history(HistoryPolicy::TruncateOnQuiescence),
+    )?;
     let client = store.client();
 
     // One async write, awaited by the bundled executor.
@@ -47,15 +53,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "regular register: the write is visible"
     );
 
-    // Live storage occupancy — the paper's space bounds on a service.
+    // Live storage occupancy — the paper's space bounds on a service —
+    // plus the scheduler's steal and history-compaction counters.
     let m = store.metrics();
     println!(
-        "{} keys over {} shards, {} ops completed, occupancy {} KiB",
+        "{} keys over {} shards, {} ops completed, occupancy {} KiB, \
+         {} steals, {} records compacted",
         m.keys(),
         m.shards.len(),
         m.totals().completed(),
         m.occupancy_bits() / 8 / 1024,
+        m.totals().steals,
+        m.totals().truncated_records,
     );
+
+    // Idle keys can be evicted to snapshots and come back on demand.
+    let evicted = store.evict_quiescent();
+    let back = client.read_blocking("user:alice")?;
+    assert_eq!(back, Value::seeded(1, 64), "rematerialized intact");
+    println!("evicted {evicted} quiescent keys; user:alice rematerialized on read");
 
     store.shutdown();
     Ok(())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Diff two criterion JSON-lines bench reports and gate on regressions.
+
+Usage: bench_diff.py PARENT.json CURRENT.json [--threshold 0.30]
+
+Each input is the JSON-lines file the vendored criterion stub appends to
+$CRITERION_JSON: one object per benchmark with "name" and "ns_per_iter"
+(best observed iteration time). The gate fails (exit 1) when any
+benchmark present in both files regressed by more than the threshold
+(current > parent * (1 + threshold)). Benchmarks present on only one
+side are reported but never fail the gate (they are new or removed, not
+regressed).
+
+Exit codes: 0 ok / nothing comparable, 1 regression found, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Parse a JSON-lines bench report into {name: best ns_per_iter}."""
+    results = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    print(f"bench-diff: skipping malformed line in {path}: {line[:80]}")
+                    continue
+                name, ns = obj.get("name"), obj.get("ns_per_iter")
+                if not isinstance(name, str) or not isinstance(ns, (int, float)):
+                    continue
+                # A name can legitimately repeat across reruns; keep the best.
+                results[name] = min(ns, results.get(name, float("inf")))
+    except OSError as e:
+        print(f"bench-diff: cannot read {path}: {e}")
+        return None
+    return results
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("parent")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="allowed relative slowdown before failing (default 0.30)")
+    args = ap.parse_args()
+
+    parent = load(args.parent)
+    current = load(args.current)
+    # A missing parent is expected (expired artifact, first gated run) —
+    # skip. A missing/empty CURRENT file means the bench pipeline that
+    # just ran in this same workflow produced nothing: that's a broken
+    # gate, not a pass.
+    if current is None or not current:
+        print("bench-diff: current results missing or empty — the bench "
+              "pipeline is broken (refusing to pass an empty gate)")
+        return 1
+    if parent is None or not parent:
+        print("bench-diff: no parent results; nothing to gate against (ok)")
+        return 0
+
+    shared = sorted(set(parent) & set(current))
+    regressions = []
+    width = max((len(n) for n in set(parent) | set(current)), default=4)
+    print(f"{'benchmark':<{width}}  {'parent_ns':>12}  {'current_ns':>12}  {'ratio':>7}")
+    for name in shared:
+        old, new = parent[name], current[name]
+        ratio = new / old if old > 0 else float("inf")
+        flag = "  << REGRESSION" if ratio > 1.0 + args.threshold else ""
+        print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  {ratio:>6.2f}x{flag}")
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+    for name in sorted(set(current) - set(parent)):
+        print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.1f}")
+    for name in sorted(set(parent) - set(current)):
+        print(f"{name:<{width}}  {parent[name]:>12.1f}  {'(removed)':>12}")
+
+    if regressions:
+        print(f"\nbench-diff: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nbench-diff: ok — {len(shared)} benchmark(s) within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
