@@ -3,7 +3,32 @@
 //! All codes in this crate operate over GF(2⁸) with the primitive polynomial
 //! `x⁸ + x⁴ + x³ + x² + 1` (0x11d), the conventional choice for
 //! Reed–Solomon coding (e.g., in RAID-6 and QR codes). Addition is XOR;
-//! multiplication uses compile-time log/antilog tables.
+//! scalar multiplication uses compile-time log/antilog tables.
+//!
+//! # Bulk kernels
+//!
+//! The encode/decode hot loop is [`mul_acc`] (`dst[i] ^= coeff · src[i]`)
+//! and its in-place sibling [`scale`]. Both dispatch — once per call, never
+//! per byte — to the fastest [`Kernel`] the host supports:
+//!
+//! * **`Avx2`** / **`Ssse3`** (x86-64, runtime-detected): the coefficient's
+//!   low/high-nibble product tables ([`MUL_LO`] / [`MUL_HI`], 2×16 entries)
+//!   are loaded into vector registers and evaluated 32 / 16 bytes at a time
+//!   with `pshufb`.
+//! * **`Swar`** (all platforms): 8 bytes at a time in a `u64`, multiplying
+//!   every lane by the coefficient with branchless shift-and-xor doubling;
+//!   tails fall back to the same nibble tables, one byte at a time.
+//! * **`Scalar`**: the original branchy `EXP[LOG[c] + LOG[s]]` loop, kept as
+//!   the differential-testing reference and benchmark baseline.
+//!
+//! Detection runs once per process ([`active_kernel`]); the
+//! `RSB_GF256_KERNEL` environment variable (`scalar`/`swar`/`ssse3`/`avx2`)
+//! or [`force_kernel`] pins a specific kernel for benchmarks and tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 /// The primitive polynomial 0x11d, i.e. `x⁸ + x⁴ + x³ + x² + 1`.
 pub const PRIMITIVE_POLY: u16 = 0x11d;
@@ -44,6 +69,45 @@ pub const EXP: [u8; 512] = TABLES.0;
 /// Log table: `LOG[x] = log_g x` for `x != 0`. `LOG[0]` is 0 and must not
 /// be used; callers guard against zero operands.
 pub const LOG: [u8; 256] = TABLES.1;
+
+/// `const`-context multiply used to build the nibble product tables.
+const fn mul_const(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Compile-time generation of the per-coefficient nibble product tables.
+const fn build_nibble_tables() -> ([[u8; 16]; 256], [[u8; 16]; 256]) {
+    let mut lo = [[0u8; 16]; 256];
+    let mut hi = [[0u8; 16]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut x = 0;
+        while x < 16 {
+            lo[c][x] = mul_const(c as u8, x as u8);
+            hi[c][x] = mul_const(c as u8, (x << 4) as u8);
+            x += 1;
+        }
+        c += 1;
+    }
+    (lo, hi)
+}
+
+const NIBBLE_TABLES: ([[u8; 16]; 256], [[u8; 16]; 256]) = build_nibble_tables();
+
+/// Low-nibble product table: `MUL_LO[c][x] = c · x` for `x < 16`.
+///
+/// Together with [`MUL_HI`] this splits any product into two 16-entry
+/// lookups — `c · s = MUL_LO[c][s & 0xf] ^ MUL_HI[c][s >> 4]` — which is
+/// exactly the shape `pshufb` evaluates 16 (or 32) lanes at a time.
+pub const MUL_LO: [[u8; 16]; 256] = NIBBLE_TABLES.0;
+
+/// High-nibble product table: `MUL_HI[c][x] = c · (x << 4)` for `x < 16`.
+/// See [`MUL_LO`].
+pub const MUL_HI: [[u8; 16]; 256] = NIBBLE_TABLES.1;
 
 /// Adds two field elements (XOR). Subtraction is identical.
 ///
@@ -137,14 +201,284 @@ pub fn dot(a: &[u8], b: &[u8]) -> u8 {
     acc
 }
 
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
+/// A bulk GF(256) multiply kernel — the implementation [`mul_acc`] and
+/// [`scale`] dispatch to.
+///
+/// All kernels compute byte-for-byte identical results (proven exhaustively
+/// by the crate's differential tests); they differ only in throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// The original per-byte `EXP[LOG[c] + LOG[s]]` loop. Reference and
+    /// benchmark baseline; never auto-selected.
+    Scalar,
+    /// Portable `u64` SWAR: 8 byte lanes per step, branchless
+    /// shift-and-xor doubling, nibble-table tail. The fallback everywhere.
+    Swar,
+    /// x86-64 SSSE3 `pshufb` nibble lookup, 16 bytes per step.
+    Ssse3,
+    /// x86-64 AVX2 `vpshufb` nibble lookup, 32 bytes per step.
+    Avx2,
+}
+
+impl Kernel {
+    const ALL: [Kernel; 4] = [Kernel::Scalar, Kernel::Swar, Kernel::Ssse3, Kernel::Avx2];
+
+    /// Human-readable kernel name (`"scalar"`, `"swar"`, `"ssse3"`,
+    /// `"avx2"`); the inverse of [`Kernel::by_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Swar => "swar",
+            Kernel::Ssse3 => "ssse3",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a kernel name as accepted in `RSB_GF256_KERNEL`.
+    pub fn by_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Kernel::Scalar => 0,
+            Kernel::Swar => 1,
+            Kernel::Ssse3 => 2,
+            Kernel::Avx2 => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Kernel {
+        Kernel::ALL[v as usize]
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sentinel meaning "detection has not run yet".
+const KERNEL_UNRESOLVED: u8 = u8::MAX;
+
+static ACTIVE_KERNEL: AtomicU8 = AtomicU8::new(KERNEL_UNRESOLVED);
+
+/// Whether `kernel` can run on this machine. [`Kernel::Scalar`] and
+/// [`Kernel::Swar`] are always available; the vector kernels require
+/// x86-64 with the corresponding feature at runtime.
+pub fn kernel_available(kernel: Kernel) -> bool {
+    match kernel {
+        Kernel::Scalar | Kernel::Swar => true,
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Ssse3 => is_x86_feature_detected!("ssse3"),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => is_x86_feature_detected!("avx2"),
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Ssse3 | Kernel::Avx2 => false,
+    }
+}
+
+/// Every kernel runnable on this machine, in increasing-preference order.
+pub fn available_kernels() -> Vec<Kernel> {
+    Kernel::ALL
+        .iter()
+        .copied()
+        .filter(|&k| kernel_available(k))
+        .collect()
+}
+
+fn detect_kernel() -> Kernel {
+    if let Ok(name) = std::env::var("RSB_GF256_KERNEL") {
+        if let Some(k) = Kernel::by_name(name.trim()) {
+            if kernel_available(k) {
+                return k;
+            }
+        }
+        // Unknown or unavailable override: fall through to detection rather
+        // than failing library initialization.
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return Kernel::Avx2;
+        }
+        if is_x86_feature_detected!("ssse3") {
+            return Kernel::Ssse3;
+        }
+    }
+    Kernel::Swar
+}
+
+/// The kernel [`mul_acc`] and [`scale`] currently dispatch to.
+///
+/// Resolved once per process (runtime CPU feature detection, overridable via
+/// the `RSB_GF256_KERNEL` environment variable) and cached in an atomic, so
+/// the per-call cost is one relaxed load.
+pub fn active_kernel() -> Kernel {
+    match ACTIVE_KERNEL.load(Ordering::Relaxed) {
+        KERNEL_UNRESOLVED => {
+            let k = detect_kernel();
+            ACTIVE_KERNEL.store(k.as_u8(), Ordering::Relaxed);
+            k
+        }
+        v => Kernel::from_u8(v),
+    }
+}
+
+/// Pins dispatch to a specific kernel — a benchmark/test hook.
+///
+/// Returns `false` (leaving dispatch unchanged) if the kernel is not
+/// available on this machine. Affects the whole process; pair with
+/// [`reset_kernel`] to restore auto-detection.
+pub fn force_kernel(kernel: Kernel) -> bool {
+    if !kernel_available(kernel) {
+        return false;
+    }
+    ACTIVE_KERNEL.store(kernel.as_u8(), Ordering::Relaxed);
+    true
+}
+
+/// Clears any forced kernel; the next [`active_kernel`] call re-detects.
+pub fn reset_kernel() {
+    ACTIVE_KERNEL.store(KERNEL_UNRESOLVED, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Bulk operations
+// ---------------------------------------------------------------------------
+
 /// Computes `dst[i] ^= coeff * src[i]` for every byte — the inner loop of
-/// all encode/decode paths.
+/// all encode/decode paths. Dispatches to the fastest available [`Kernel`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: u8) {
     assert_eq!(dst.len(), src.len(), "mul_acc on unequal lengths");
+    if coeff == 0 {
+        return;
+    }
+    if coeff == 1 {
+        xor_slices(dst, src);
+        return;
+    }
+    dispatch_mul_acc(active_kernel(), dst, src, coeff);
+}
+
+/// Scales every byte of `buf` by `coeff` in place. Dispatches like
+/// [`mul_acc`].
+pub fn scale(buf: &mut [u8], coeff: u8) {
+    if coeff == 1 {
+        return;
+    }
+    if coeff == 0 {
+        buf.fill(0);
+        return;
+    }
+    dispatch_scale(active_kernel(), buf, coeff);
+}
+
+/// Runs [`mul_acc`] through one specific kernel, bypassing dispatch — the
+/// hook the differential tests and kernel benchmarks use.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or the kernel is unavailable
+/// on this machine (see [`kernel_available`]).
+pub fn mul_acc_with(kernel: Kernel, dst: &mut [u8], src: &[u8], coeff: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc on unequal lengths");
+    assert!(
+        kernel_available(kernel),
+        "kernel {kernel} unavailable on this machine"
+    );
+    dispatch_mul_acc(kernel, dst, src, coeff);
+}
+
+/// Runs [`scale`] through one specific kernel, bypassing dispatch.
+///
+/// # Panics
+///
+/// Panics if the kernel is unavailable on this machine.
+pub fn scale_with(kernel: Kernel, buf: &mut [u8], coeff: u8) {
+    assert!(
+        kernel_available(kernel),
+        "kernel {kernel} unavailable on this machine"
+    );
+    dispatch_scale(kernel, buf, coeff);
+}
+
+fn dispatch_mul_acc(kernel: Kernel, dst: &mut [u8], src: &[u8], coeff: u8) {
+    match kernel {
+        Kernel::Scalar => mul_acc_scalar(dst, src, coeff),
+        Kernel::Swar => mul_acc_swar(dst, src, coeff),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Ssse3 => simd::mul_acc_ssse3(dst, src, coeff),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => simd::mul_acc_avx2(dst, src, coeff),
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Ssse3 | Kernel::Avx2 => unreachable!("vector kernels are x86-64 only"),
+    }
+}
+
+fn dispatch_scale(kernel: Kernel, buf: &mut [u8], coeff: u8) {
+    match kernel {
+        Kernel::Scalar => scale_scalar(buf, coeff),
+        Kernel::Swar => scale_swar(buf, coeff),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Ssse3 => simd::scale_ssse3(buf, coeff),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => simd::scale_avx2(buf, coeff),
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Ssse3 | Kernel::Avx2 => unreachable!("vector kernels are x86-64 only"),
+    }
+}
+
+/// `dst ^= src`, 8 bytes at a time.
+fn xor_slices(dst: &mut [u8], src: &[u8]) {
+    let mut dw = dst.chunks_exact_mut(8);
+    let mut sw = src.chunks_exact(8);
+    for (d, s) in (&mut dw).zip(&mut sw) {
+        let x = u64::from_le_bytes((&*d).try_into().unwrap())
+            ^ u64::from_le_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&x.to_le_bytes());
+    }
+    for (d, &s) in dw.into_remainder().iter_mut().zip(sw.remainder()) {
+        *d ^= s;
+    }
+}
+
+/// Multiplies all 8 byte lanes of `w` by `coeff`: branchless
+/// shift-and-conditionally-xor over the bits of `coeff`, doubling the lane
+/// polynomial (mod 0x11d) each step.
+#[inline]
+fn mul_word(w: u64, coeff: u8) -> u64 {
+    const MSB: u64 = 0x8080_8080_8080_8080;
+    const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+    let mut acc = 0u64;
+    let mut p = w;
+    let mut c = u32::from(coeff);
+    loop {
+        // All-ones when the current coefficient bit is set.
+        acc ^= p & 0u64.wrapping_sub(u64::from(c & 1));
+        c >>= 1;
+        if c == 0 {
+            return acc;
+        }
+        // Per-lane ×2: shift, then reduce lanes that overflowed by 0x1d.
+        // `(p & MSB) >> 7` is 0 or 1 per lane, so the multiply by 0x1d
+        // cannot carry across lanes.
+        p = ((p & LOW7) << 1) ^ ((p & MSB) >> 7).wrapping_mul(0x1d);
+    }
+}
+
+/// [`mul_acc`] through the scalar `EXP`/`LOG` kernel — the original
+/// implementation, kept as the differential reference and bench baseline.
+fn mul_acc_scalar(dst: &mut [u8], src: &[u8], coeff: u8) {
     if coeff == 0 {
         return;
     }
@@ -162,8 +496,8 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: u8) {
     }
 }
 
-/// Scales every byte of `buf` by `coeff` in place.
-pub fn scale(buf: &mut [u8], coeff: u8) {
+/// [`scale`] through the scalar `EXP`/`LOG` kernel.
+fn scale_scalar(buf: &mut [u8], coeff: u8) {
     if coeff == 1 {
         return;
     }
@@ -176,6 +510,92 @@ pub fn scale(buf: &mut [u8], coeff: u8) {
         if *b != 0 {
             *b = EXP[lc + LOG[*b as usize] as usize];
         }
+    }
+}
+
+/// Four independent [`mul_word`] chains in lockstep. The doubling chain is
+/// serial per word (8 dependent steps), so a single-word loop is
+/// latency-bound; running four words side by side restores instruction-level
+/// parallelism (and auto-vectorizes on wider targets).
+#[inline]
+fn mul_word4(w: [u64; 4], coeff: u8) -> [u64; 4] {
+    const MSB: u64 = 0x8080_8080_8080_8080;
+    const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+    let mut acc = [0u64; 4];
+    let mut p = w;
+    let mut c = u32::from(coeff);
+    loop {
+        let mask = 0u64.wrapping_sub(u64::from(c & 1));
+        for lane in 0..4 {
+            acc[lane] ^= p[lane] & mask;
+        }
+        c >>= 1;
+        if c == 0 {
+            return acc;
+        }
+        for lane in &mut p {
+            *lane = ((*lane & LOW7) << 1) ^ ((*lane & MSB) >> 7).wrapping_mul(0x1d);
+        }
+    }
+}
+
+fn load4(bytes: &[u8]) -> [u64; 4] {
+    let mut w = [0u64; 4];
+    for (lane, chunk) in bytes.chunks_exact(8).enumerate() {
+        w[lane] = u64::from_le_bytes(chunk.try_into().unwrap());
+    }
+    w
+}
+
+fn store4(bytes: &mut [u8], w: [u64; 4]) {
+    for (lane, chunk) in bytes.chunks_exact_mut(8).enumerate() {
+        chunk.copy_from_slice(&w[lane].to_le_bytes());
+    }
+}
+
+/// [`mul_acc`] through the portable `u64` SWAR kernel: 32 bytes per step
+/// (4 × 8 lanes), then single words, then a nibble-table tail.
+fn mul_acc_swar(dst: &mut [u8], src: &[u8], coeff: u8) {
+    let mut dq = dst.chunks_exact_mut(32);
+    let mut sq = src.chunks_exact(32);
+    for (d, s) in (&mut dq).zip(&mut sq) {
+        let prod = mul_word4(load4(s), coeff);
+        let mut cur = load4(d);
+        for lane in 0..4 {
+            cur[lane] ^= prod[lane];
+        }
+        store4(d, cur);
+    }
+    let mut dw = dq.into_remainder().chunks_exact_mut(8);
+    let mut sw = sq.remainder().chunks_exact(8);
+    for (d, s) in (&mut dw).zip(&mut sw) {
+        let w = u64::from_le_bytes(s.try_into().unwrap());
+        let cur = u64::from_le_bytes((&*d).try_into().unwrap());
+        d.copy_from_slice(&(cur ^ mul_word(w, coeff)).to_le_bytes());
+    }
+    let lo = &MUL_LO[coeff as usize];
+    let hi = &MUL_HI[coeff as usize];
+    for (d, &s) in dw.into_remainder().iter_mut().zip(sw.remainder()) {
+        *d ^= lo[(s & 0x0f) as usize] ^ hi[(s >> 4) as usize];
+    }
+}
+
+/// [`scale`] through the portable `u64` SWAR kernel.
+fn scale_swar(buf: &mut [u8], coeff: u8) {
+    let mut quads = buf.chunks_exact_mut(32);
+    for q in &mut quads {
+        let prod = mul_word4(load4(q), coeff);
+        store4(q, prod);
+    }
+    let mut chunks = quads.into_remainder().chunks_exact_mut(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes((&*c).try_into().unwrap());
+        c.copy_from_slice(&mul_word(w, coeff).to_le_bytes());
+    }
+    let lo = &MUL_LO[coeff as usize];
+    let hi = &MUL_HI[coeff as usize];
+    for b in chunks.into_remainder().iter_mut() {
+        *b = lo[(*b & 0x0f) as usize] ^ hi[(*b >> 4) as usize];
     }
 }
 
@@ -307,6 +727,37 @@ mod tests {
     }
 
     #[test]
+    fn nibble_tables_cover_all_products() {
+        for c in 0..=255u8 {
+            for s in 0..=255u8 {
+                let via_tables =
+                    MUL_LO[c as usize][(s & 0x0f) as usize] ^ MUL_HI[c as usize][(s >> 4) as usize];
+                assert_eq!(via_tables, mul(c, s), "c={c} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_word_matches_scalar_lanes() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for coeff in 0..=255u8 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let w = state;
+            let prod = mul_word(w, coeff);
+            for lane in 0..8 {
+                let s = (w >> (8 * lane)) as u8;
+                assert_eq!(
+                    (prod >> (8 * lane)) as u8,
+                    mul(coeff, s),
+                    "coeff={coeff} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mul_acc_matches_scalar_path() {
         let src = [1u8, 0, 255, 87, 13];
         for coeff in [0u8, 1, 2, 200] {
@@ -325,5 +776,41 @@ mod tests {
         assert_eq!(buf, [mul(3, 7), 0, mul(200, 7), mul(255, 7)]);
         scale(&mut buf, 0);
         assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::by_name(k.name()), Some(k));
+            assert_eq!(Kernel::from_u8(k.as_u8()), k);
+        }
+        assert_eq!(Kernel::by_name("gfni"), None);
+    }
+
+    #[test]
+    fn portable_kernels_always_available() {
+        let avail = available_kernels();
+        assert!(avail.contains(&Kernel::Scalar));
+        assert!(avail.contains(&Kernel::Swar));
+    }
+
+    // All force/reset interactions live in ONE test: dispatch state is
+    // process-global, and concurrent force calls from parallel tests could
+    // otherwise observe each other. (Results are unaffected either way —
+    // every kernel computes identical bytes.)
+    #[test]
+    fn force_and_reset_kernel() {
+        assert!(force_kernel(Kernel::Swar));
+        assert_eq!(active_kernel(), Kernel::Swar);
+        assert!(force_kernel(Kernel::Scalar));
+        assert_eq!(active_kernel(), Kernel::Scalar);
+        reset_kernel();
+        let redetected = active_kernel();
+        assert!(available_kernels().contains(&redetected));
+        // Auto-detection never picks Scalar — unless the environment
+        // explicitly pins it (a documented RSB_GF256_KERNEL value).
+        if std::env::var("RSB_GF256_KERNEL").as_deref() != Ok("scalar") {
+            assert_ne!(redetected, Kernel::Scalar);
+        }
     }
 }

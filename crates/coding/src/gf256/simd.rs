@@ -1,0 +1,172 @@
+//! x86-64 `pshufb` kernels for bulk GF(256) multiplication.
+//!
+//! Both kernels evaluate the per-coefficient nibble split tables
+//! ([`MUL_LO`] / [`MUL_HI`]) as vector shuffles: the 16-entry table is the
+//! shuffle *source* and the data nibbles are the shuffle *indices*, so one
+//! `pshufb` performs 16 (SSSE3) or 2×16 (AVX2) table lookups. Tails shorter
+//! than a vector fall back to the same tables one byte at a time, which is
+//! what the exhaustive differential tests pin down (`tests/kernels.rs`).
+//!
+//! This module is the only place in the crate that uses `unsafe`: raw
+//! pointer loads/stores for the unaligned vector accesses, plus the calls
+//! into `#[target_feature]` functions. Every entry point is a safe wrapper
+//! whose caller contract — "only dispatch here after runtime feature
+//! detection" — is enforced by `gf256::dispatch_*` and `kernel_available`.
+#![allow(unsafe_code)]
+
+use super::{MUL_HI, MUL_LO};
+use core::arch::x86_64::{
+    __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
+    _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256,
+    _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
+    _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// `dst[i] ^= coeff · src[i]` via SSSE3 `pshufb`, 16 bytes per step.
+///
+/// Caller must have verified `ssse3` support (the dispatcher has).
+pub(super) fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], coeff: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert!(is_x86_feature_detected!("ssse3"));
+    // SAFETY: the ssse3 target feature was runtime-verified by the caller.
+    unsafe { mul_acc_ssse3_impl(dst, src, coeff) }
+}
+
+/// `buf[i] = coeff · buf[i]` via SSSE3 `pshufb`.
+pub(super) fn scale_ssse3(buf: &mut [u8], coeff: u8) {
+    debug_assert!(is_x86_feature_detected!("ssse3"));
+    // SAFETY: the ssse3 target feature was runtime-verified by the caller.
+    unsafe { scale_ssse3_impl(buf, coeff) }
+}
+
+/// `dst[i] ^= coeff · src[i]` via AVX2 `vpshufb`, 32 bytes per step.
+pub(super) fn mul_acc_avx2(dst: &mut [u8], src: &[u8], coeff: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert!(is_x86_feature_detected!("avx2"));
+    // SAFETY: the avx2 target feature was runtime-verified by the caller.
+    unsafe { mul_acc_avx2_impl(dst, src, coeff) }
+}
+
+/// `buf[i] = coeff · buf[i]` via AVX2 `vpshufb`.
+pub(super) fn scale_avx2(buf: &mut [u8], coeff: u8) {
+    debug_assert!(is_x86_feature_detected!("avx2"));
+    // SAFETY: the avx2 target feature was runtime-verified by the caller.
+    unsafe { scale_avx2_impl(buf, coeff) }
+}
+
+/// Loads a 16-entry nibble table into a 128-bit register.
+#[target_feature(enable = "ssse3")]
+fn load_table_128(table: &[u8; 16]) -> __m128i {
+    // SAFETY: `table` is exactly 16 readable bytes; loadu has no alignment
+    // requirement.
+    unsafe { _mm_loadu_si128(table.as_ptr().cast()) }
+}
+
+/// `product = pshufb(lo, x & 0xf) ^ pshufb(hi, (x >> 4) & 0xf)`.
+#[target_feature(enable = "ssse3")]
+fn product_128(x: __m128i, lo: __m128i, hi: __m128i) -> __m128i {
+    let nib = _mm_set1_epi8(0x0f);
+    let l = _mm_shuffle_epi8(lo, _mm_and_si128(x, nib));
+    let h = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64::<4>(x), nib));
+    _mm_xor_si128(l, h)
+}
+
+#[target_feature(enable = "ssse3")]
+fn mul_acc_ssse3_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+    let lo_t = &MUL_LO[coeff as usize];
+    let hi_t = &MUL_HI[coeff as usize];
+    let lo = load_table_128(lo_t);
+    let hi = load_table_128(hi_t);
+    let mut dc = dst.chunks_exact_mut(16);
+    let mut sc = src.chunks_exact(16);
+    for (d, s) in (&mut dc).zip(&mut sc) {
+        // SAFETY: both chunks are exactly 16 bytes; unaligned load/store.
+        unsafe {
+            let x = _mm_loadu_si128(s.as_ptr().cast());
+            let cur = _mm_loadu_si128(d.as_ptr().cast());
+            let res = _mm_xor_si128(cur, product_128(x, lo, hi));
+            _mm_storeu_si128(d.as_mut_ptr().cast(), res);
+        }
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d ^= lo_t[(s & 0x0f) as usize] ^ hi_t[(s >> 4) as usize];
+    }
+}
+
+#[target_feature(enable = "ssse3")]
+fn scale_ssse3_impl(buf: &mut [u8], coeff: u8) {
+    let lo_t = &MUL_LO[coeff as usize];
+    let hi_t = &MUL_HI[coeff as usize];
+    let lo = load_table_128(lo_t);
+    let hi = load_table_128(hi_t);
+    let mut chunks = buf.chunks_exact_mut(16);
+    for c in &mut chunks {
+        // SAFETY: the chunk is exactly 16 bytes; unaligned load/store.
+        unsafe {
+            let x = _mm_loadu_si128(c.as_ptr().cast());
+            _mm_storeu_si128(c.as_mut_ptr().cast(), product_128(x, lo, hi));
+        }
+    }
+    for b in chunks.into_remainder().iter_mut() {
+        *b = lo_t[(*b & 0x0f) as usize] ^ hi_t[(*b >> 4) as usize];
+    }
+}
+
+/// Loads a 16-entry nibble table broadcast to both 128-bit lanes.
+#[target_feature(enable = "avx2")]
+fn load_table_256(table: &[u8; 16]) -> __m256i {
+    // SAFETY: `table` is exactly 16 readable bytes.
+    let t = unsafe { _mm_loadu_si128(table.as_ptr().cast()) };
+    _mm256_broadcastsi128_si256(t)
+}
+
+/// Per-lane `vpshufb` nibble lookup; the tables are duplicated in both
+/// lanes, so the lane-local shuffle semantics are exactly what we want.
+#[target_feature(enable = "avx2")]
+fn product_256(x: __m256i, lo: __m256i, hi: __m256i) -> __m256i {
+    let nib = _mm256_set1_epi8(0x0f);
+    let l = _mm256_shuffle_epi8(lo, _mm256_and_si256(x, nib));
+    let h = _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64::<4>(x), nib));
+    _mm256_xor_si256(l, h)
+}
+
+#[target_feature(enable = "avx2")]
+fn mul_acc_avx2_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+    let lo_t = &MUL_LO[coeff as usize];
+    let hi_t = &MUL_HI[coeff as usize];
+    let lo = load_table_256(lo_t);
+    let hi = load_table_256(hi_t);
+    let mut dc = dst.chunks_exact_mut(32);
+    let mut sc = src.chunks_exact(32);
+    for (d, s) in (&mut dc).zip(&mut sc) {
+        // SAFETY: both chunks are exactly 32 bytes; unaligned load/store.
+        unsafe {
+            let x = _mm256_loadu_si256(s.as_ptr().cast());
+            let cur = _mm256_loadu_si256(d.as_ptr().cast());
+            let res = _mm256_xor_si256(cur, product_256(x, lo, hi));
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), res);
+        }
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d ^= lo_t[(s & 0x0f) as usize] ^ hi_t[(s >> 4) as usize];
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn scale_avx2_impl(buf: &mut [u8], coeff: u8) {
+    let lo_t = &MUL_LO[coeff as usize];
+    let hi_t = &MUL_HI[coeff as usize];
+    let lo = load_table_256(lo_t);
+    let hi = load_table_256(hi_t);
+    let mut chunks = buf.chunks_exact_mut(32);
+    for c in &mut chunks {
+        // SAFETY: the chunk is exactly 32 bytes; unaligned load/store.
+        unsafe {
+            let x = _mm256_loadu_si256(c.as_ptr().cast());
+            _mm256_storeu_si256(c.as_mut_ptr().cast(), product_256(x, lo, hi));
+        }
+    }
+    for b in chunks.into_remainder().iter_mut() {
+        *b = lo_t[(*b & 0x0f) as usize] ^ hi_t[(*b >> 4) as usize];
+    }
+}

@@ -141,16 +141,12 @@ impl Matrix {
     pub fn multiply(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "dimension mismatch in multiply");
         let mut out = Matrix::zero(self.rows, rhs.cols);
+        // Row-major accumulation: out.row(i) ^= self[i][l] · rhs.row(l),
+        // each row update running through the dispatched bulk kernel.
         for i in 0..self.rows {
+            let dst = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for l in 0..self.cols {
-                let a = self.get(i, l);
-                if a == 0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    let prod = gf256::mul(a, rhs.get(l, j));
-                    out.set(i, j, out.get(i, j) ^ prod);
-                }
+                gf256::mul_acc(dst, rhs.row(l), self.get(i, l));
             }
         }
         out
@@ -265,11 +261,9 @@ impl Matrix {
         if a == b {
             return;
         }
-        for c in 0..self.cols {
-            let tmp = self.get(a, c);
-            self.set(a, c, self.get(b, c));
-            self.set(b, c, tmp);
-        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
     }
 
     fn scale_row(&mut self, r: usize, factor: u8) {

@@ -9,7 +9,7 @@
 //! rank `k` is reached.
 
 use crate::matrix::Matrix;
-use crate::scheme::{shard, unshard, validate_params};
+use crate::scheme::{shard_slice, validate_params};
 use crate::{gf256, Block, BlockIndex, Code, CodeKind, CodingError, Value};
 
 /// A rateless random-linear code with reconstruction threshold `k`.
@@ -132,11 +132,19 @@ impl Code for Rateless {
                 actual: value.len(),
             });
         }
-        let shards = shard(value, self.k);
-        let coeffs = self.coefficients(index);
+        // No re-sharding: read shard views of the value in place (see
+        // `scheme::shard_slice`); systematic indices are a straight copy.
+        let bytes = value.as_bytes();
         let mut out = vec![0u8; self.shard_len];
-        for (s, &c) in shards.iter().zip(coeffs.iter()) {
-            gf256::mul_acc(&mut out, s, c);
+        if (index as usize) < self.k {
+            let src = shard_slice(bytes, self.shard_len, index as usize);
+            out[..src.len()].copy_from_slice(src);
+        } else {
+            let coeffs = self.coefficients(index);
+            for (j, &c) in coeffs.iter().enumerate() {
+                let src = shard_slice(bytes, self.shard_len, j);
+                gf256::mul_acc(&mut out[..src.len()], src, c);
+            }
         }
         Ok(Block::new(index, out))
     }
@@ -166,17 +174,32 @@ impl Code for Rateless {
             });
         }
         // Pick k linearly independent rows by rank-extending greedily.
+        // Independence is tested against an incrementally maintained
+        // reduced (echelon) basis — O(k²) per candidate instead of
+        // re-running full Gaussian elimination on every prefix.
         let mut chosen_rows: Vec<Vec<u8>> = Vec::with_capacity(self.k);
         let mut chosen_blocks: Vec<&Block> = Vec::with_capacity(self.k);
+        let mut basis: Vec<Vec<u8>> = Vec::with_capacity(self.k);
+        let mut pivots: Vec<usize> = Vec::with_capacity(self.k);
         for (row, b) in rows.into_iter().zip(payloads) {
-            let mut candidate = chosen_rows.clone();
-            candidate.push(row.clone());
-            if Matrix::from_rows(candidate.clone()).rank() == candidate.len() {
-                chosen_rows.push(row);
-                chosen_blocks.push(b);
-                if chosen_rows.len() == self.k {
-                    break;
+            let mut reduced = row.clone();
+            for (bi, &pc) in basis.iter().zip(pivots.iter()) {
+                let factor = reduced[pc];
+                if factor != 0 {
+                    gf256::mul_acc(&mut reduced, bi, factor);
                 }
+            }
+            let Some(pivot) = reduced.iter().position(|&c| c != 0) else {
+                continue; // linearly dependent on the rows chosen so far
+            };
+            let pivot_inv = gf256::inv(reduced[pivot]);
+            gf256::scale(&mut reduced, pivot_inv);
+            basis.push(reduced);
+            pivots.push(pivot);
+            chosen_rows.push(row);
+            chosen_blocks.push(b);
+            if chosen_rows.len() == self.k {
+                break;
             }
         }
         if chosen_rows.len() < self.k {
@@ -190,22 +213,23 @@ impl Code for Rateless {
         let inv = coeff
             .inverse()
             .expect("rows were chosen linearly independent");
-        let shards: Vec<Vec<u8>> = (0..self.k)
-            .map(|s| {
-                let mut out = vec![0u8; self.shard_len];
-                for (j, b) in chosen_blocks.iter().enumerate() {
-                    gf256::mul_acc(&mut out, b.data(), inv.get(s, j));
-                }
-                out
-            })
-            .collect();
-        Ok(unshard(shards, self.value_len))
+        // One contiguous buffer for all decoded shards, truncated to the
+        // value length — no per-shard vectors, no reassembly pass.
+        let mut data = vec![0u8; self.k * self.shard_len];
+        for (s, out) in data.chunks_exact_mut(self.shard_len).enumerate() {
+            for (j, b) in chosen_blocks.iter().enumerate() {
+                gf256::mul_acc(out, b.data(), inv.get(s, j));
+            }
+        }
+        data.truncate(self.value_len);
+        Ok(Value::from_bytes(data))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::shard;
 
     #[test]
     fn systematic_prefix() {

@@ -5,7 +5,7 @@
 //! value from any `k` distinct blocks (the MDS property).
 
 use crate::matrix::Matrix;
-use crate::scheme::{shard, unshard, validate_params};
+use crate::scheme::{shard_slice, validate_params};
 use crate::{gf256, Block, BlockIndex, Code, CodeKind, CodingError, Value};
 
 /// A systematic `k`-of-`n` Reed–Solomon code for values of a fixed length.
@@ -61,6 +61,9 @@ impl ReedSolomon {
             .inverse()
             .expect("square Vandermonde with distinct points is invertible");
         let encoding = &vandermonde * &top_inv;
+        // The normalization guarantees the systematic form the fast paths
+        // rely on: rows 0..k of the encoding matrix are the identity.
+        debug_assert!((0..k).all(|i| { (0..k).all(|j| encoding.get(i, j) == u8::from(i == j)) }));
         Ok(ReedSolomon {
             k,
             n,
@@ -75,7 +78,13 @@ impl ReedSolomon {
         &self.encoding
     }
 
-    /// Shard length in bytes (`⌈D/8k⌉`).
+    /// Shard (= block payload) length in **bytes**: `⌈value_len / k⌉`,
+    /// i.e. `⌈(D/8) / k⌉` for the paper's `D = 8·value_len` bits.
+    ///
+    /// The paper states block sizes in the bit domain as `D/k` bits; this
+    /// implementation works on whole bytes, so each block carries
+    /// `8·⌈D/(8k)⌉` bits — `D/k` rounded up to the next byte boundary (the
+    /// tail shard is zero-padded when `k` does not divide `value_len`).
     pub fn shard_len(&self) -> usize {
         self.shard_len
     }
@@ -86,6 +95,55 @@ impl ReedSolomon {
                 expected: self.value_len,
                 actual: value.len(),
             });
+        }
+        Ok(())
+    }
+
+    /// Writes block `i` of `bytes` into `out` (exactly `shard_len` bytes,
+    /// already zeroed). Systematic rows are a straight copy; parity rows are
+    /// one row of the matrix–buffer product, reading the shard views of
+    /// `bytes` in place (no sharding copies).
+    fn encode_row_into(&self, bytes: &[u8], i: usize, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.shard_len);
+        if i < self.k {
+            let src = shard_slice(bytes, self.shard_len, i);
+            out[..src.len()].copy_from_slice(src);
+        } else {
+            for (j, &coeff) in self.encoding.row(i).iter().enumerate() {
+                let src = shard_slice(bytes, self.shard_len, j);
+                gf256::mul_acc(&mut out[..src.len()], src, coeff);
+            }
+        }
+    }
+
+    /// Encodes all `n` blocks into one contiguous caller-provided buffer —
+    /// block `i` occupies `out[i*shard_len .. (i+1)*shard_len]` — with zero
+    /// allocations: a single row-major matrix–buffer product over the value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `value` has the wrong length for this code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != block_count() * shard_len()` (buffer sizing
+    /// is a programmer error, not a data error).
+    pub fn encode_into(&self, value: &Value, out: &mut [u8]) -> Result<(), CodingError> {
+        self.check_value(value)?;
+        assert_eq!(
+            out.len(),
+            self.n * self.shard_len,
+            "encode_into buffer must be n * shard_len bytes"
+        );
+        let bytes = value.as_bytes();
+        out.fill(0);
+        // Systematic prefix: blocks 0..k are the (padded) value itself.
+        out[..bytes.len()].copy_from_slice(bytes);
+        // Parity rows read shard views of `bytes` (the value, not `out`),
+        // so each row is written independently.
+        let parity = &mut out[self.k * self.shard_len..];
+        for (pi, row) in parity.chunks_exact_mut(self.shard_len).enumerate() {
+            self.encode_row_into(bytes, self.k + pi, row);
         }
         Ok(())
     }
@@ -117,26 +175,24 @@ impl Code for ReedSolomon {
         if index as usize >= self.n {
             return Err(CodingError::UnknownBlockIndex(index));
         }
-        let shards = shard(value, self.k);
-        let row = self.encoding.row(index as usize);
+        // No re-sharding: the row product reads shard views of the value in
+        // place, so a caller looping over every index pays O(D) per parity
+        // block and O(D/k) per systematic block — not O(k·D) copies.
         let mut out = vec![0u8; self.shard_len];
-        for (s, coeff) in shards.iter().zip(row.iter()) {
-            gf256::mul_acc(&mut out, s, *coeff);
-        }
+        self.encode_row_into(value.as_bytes(), index as usize, &mut out);
         Ok(Block::new(index, out))
     }
 
     fn encode(&self, value: &Value) -> Vec<Block> {
         self.check_value(value)
             .expect("value length must match the code");
-        let shards = shard(value, self.k);
+        let bytes = value.as_bytes();
+        // Each block is produced directly into its own final payload buffer
+        // from shard views of the value: zero intermediate allocations.
         (0..self.n)
             .map(|i| {
-                let row = self.encoding.row(i);
                 let mut out = vec![0u8; self.shard_len];
-                for (s, coeff) in shards.iter().zip(row.iter()) {
-                    gf256::mul_acc(&mut out, s, *coeff);
-                }
+                self.encode_row_into(bytes, i, &mut out);
                 Block::new(i as BlockIndex, out)
             })
             .collect()
@@ -172,28 +228,97 @@ impl Code for ReedSolomon {
                 got: chosen.len(),
             });
         }
-        let indices: Vec<usize> = chosen.iter().map(|b| b.index() as usize).collect();
-        let sub = self.encoding.select_rows(&indices);
-        let sub_inv = sub
-            .inverse()
-            .expect("any k rows of an MDS encoding matrix are invertible");
-        // shard[s] = Σ_j inv[s][j] * block[j]
-        let shards: Vec<Vec<u8>> = (0..self.k)
-            .map(|s| {
-                let mut out = vec![0u8; self.shard_len];
+        // One contiguous k·shard_len buffer holds all decoded shards;
+        // truncating to value_len yields the value without reassembly.
+        let mut data = vec![0u8; self.k * self.shard_len];
+        if chosen.iter().all(|b| (b.index() as usize) < self.k) {
+            // All-systematic fast path: k distinct indices < k are exactly
+            // {0..k}, so the shards are the raw payloads — no inversion.
+            for b in &chosen {
+                let start = b.index() as usize * self.shard_len;
+                data[start..start + self.shard_len].copy_from_slice(b.data());
+            }
+        } else {
+            let indices: Vec<usize> = chosen.iter().map(|b| b.index() as usize).collect();
+            let sub = self.encoding.select_rows(&indices);
+            let sub_inv = sub
+                .inverse()
+                .expect("any k rows of an MDS encoding matrix are invertible");
+            // shard[s] = Σ_j inv[s][j] * block[j]
+            for (s, out) in data.chunks_exact_mut(self.shard_len).enumerate() {
                 for (j, b) in chosen.iter().enumerate() {
-                    gf256::mul_acc(&mut out, b.data(), sub_inv.get(s, j));
+                    gf256::mul_acc(out, b.data(), sub_inv.get(s, j));
                 }
-                out
-            })
-            .collect();
-        Ok(unshard(shards, self.value_len))
+            }
+        }
+        data.truncate(self.value_len);
+        Ok(Value::from_bytes(data))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::shard;
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for (k, n, len) in [
+            (3usize, 7usize, 301usize),
+            (2, 4, 16),
+            (5, 5, 40),
+            (4, 9, 64),
+        ] {
+            let code = ReedSolomon::new(k, n, len).unwrap();
+            let v = Value::seeded(17, len);
+            let blocks = code.encode(&v);
+            let mut buf = vec![0xaau8; n * code.shard_len()];
+            code.encode_into(&v, &mut buf).unwrap();
+            for (i, b) in blocks.iter().enumerate() {
+                assert_eq!(
+                    &buf[i * code.shard_len()..(i + 1) * code.shard_len()],
+                    b.data(),
+                    "k={k} n={n} len={len} block {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_rejects_wrong_value_length() {
+        let code = ReedSolomon::new(2, 4, 16).unwrap();
+        let mut buf = vec![0u8; 4 * code.shard_len()];
+        assert_eq!(
+            code.encode_into(&Value::zeroed(15), &mut buf).unwrap_err(),
+            CodingError::WrongValueLength {
+                expected: 16,
+                actual: 15
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n * shard_len")]
+    fn encode_into_wrong_buffer_size_panics() {
+        let code = ReedSolomon::new(2, 4, 16).unwrap();
+        let mut buf = vec![0u8; 7];
+        let _ = code.encode_into(&Value::zeroed(16), &mut buf);
+    }
+
+    #[test]
+    fn systematic_blocks_decode_in_any_order() {
+        // Exercises the no-inversion fast path, shuffled.
+        let code = ReedSolomon::new(4, 9, 57).unwrap();
+        let v = Value::seeded(31, 57);
+        let blocks = code.encode(&v);
+        let shuffled = vec![
+            blocks[2].clone(),
+            blocks[0].clone(),
+            blocks[3].clone(),
+            blocks[1].clone(),
+        ];
+        assert_eq!(code.decode(&shuffled).unwrap(), v);
+    }
 
     #[test]
     fn systematic_prefix_is_raw_data() {

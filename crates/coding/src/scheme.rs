@@ -182,8 +182,24 @@ pub(crate) fn validate_params(k: usize, n: usize, value_len: usize) -> Result<()
     Ok(())
 }
 
-/// Splits a value into `k` shards of `ceil(len/k)` bytes, zero-padding the
-/// tail shard. Shard size is the paper's `D/k` (rounded up to bytes).
+/// Returns the `j`-th shard of `bytes` as a borrowed sub-slice, for
+/// `shard_len`-byte shards — the shared zero-copy shard view used by the
+/// Reed–Solomon and rateless hot paths.
+///
+/// The slice may be shorter than `shard_len` (or empty) for the tail
+/// shard(s); the implicit zero padding contributes nothing to a GF(256)
+/// linear combination, so encode paths operate directly on these views and
+/// only ever pad the *output* buffer.
+pub(crate) fn shard_slice(bytes: &[u8], shard_len: usize, j: usize) -> &[u8] {
+    let start = (j * shard_len).min(bytes.len());
+    let end = ((j + 1) * shard_len).min(bytes.len());
+    &bytes[start..end]
+}
+
+/// Splits a value into `k` owned shards of `ceil(len/k)` bytes, zero-padding
+/// the tail shard. Reference implementation retained for tests; production
+/// paths use [`shard_slice`] views instead of materializing `Vec<Vec<u8>>`.
+#[cfg(test)]
 pub(crate) fn shard(value: &Value, k: usize) -> Vec<Vec<u8>> {
     let shard_len = value.len().div_ceil(k);
     let bytes = value.as_bytes();
@@ -198,7 +214,10 @@ pub(crate) fn shard(value: &Value, k: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
-/// Reassembles a value of `value_len` bytes from `k` shards.
+/// Reassembles a value of `value_len` bytes from `k` shards. Reference
+/// implementation retained for tests; production decode paths write shards
+/// directly into one contiguous buffer.
+#[cfg(test)]
 pub(crate) fn unshard(shards: Vec<Vec<u8>>, value_len: usize) -> Value {
     let mut out = Vec::with_capacity(value_len);
     for s in shards {
@@ -233,6 +252,25 @@ mod tests {
                 let shard_len = len.div_ceil(k);
                 assert!(shards.iter().all(|s| s.len() == shard_len));
                 assert_eq!(unshard(shards, len), v, "len={len} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_slice_matches_owned_shards() {
+        for len in [1usize, 7, 8, 9, 100] {
+            for k in [1usize, 2, 3, 5] {
+                let v = Value::seeded(9, len);
+                let shard_len = len.div_ceil(k);
+                let owned = shard(&v, k);
+                for (j, full) in owned.iter().enumerate() {
+                    let s = shard_slice(v.as_bytes(), shard_len, j);
+                    assert_eq!(&full[..s.len()], s, "len={len} k={k} j={j}");
+                    assert!(
+                        full[s.len()..].iter().all(|&b| b == 0),
+                        "padding must be zero"
+                    );
+                }
             }
         }
     }

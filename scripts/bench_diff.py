@@ -16,6 +16,7 @@ Exit codes: 0 ok / nothing comparable, 1 regression found, 2 usage.
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -68,15 +69,27 @@ def main():
 
     shared = sorted(set(parent) & set(current))
     regressions = []
+    skipped = []
     width = max((len(n) for n in set(parent) | set(current)), default=4)
     print(f"{'benchmark':<{width}}  {'parent_ns':>12}  {'current_ns':>12}  {'ratio':>7}")
     for name in shared:
         old, new = parent[name], current[name]
-        ratio = new / old if old > 0 else float("inf")
+        if old <= 0 or not math.isfinite(old):
+            # A zero/negative/non-finite parent sample is a broken parent
+            # measurement, not an infinite regression in this change: report
+            # it and skip the comparison rather than hard-failing the gate.
+            print(f"{name:<{width}}  {old:>12}  {new:>12.1f}  "
+                  f"skipped (unusable parent sample)")
+            skipped.append(name)
+            continue
+        ratio = new / old
         flag = "  << REGRESSION" if ratio > 1.0 + args.threshold else ""
         print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  {ratio:>6.2f}x{flag}")
         if ratio > 1.0 + args.threshold:
             regressions.append((name, ratio))
+    if skipped:
+        print(f"bench-diff: skipped {len(skipped)} benchmark(s) with "
+              f"non-positive parent samples (reported above, never gated)")
     for name in sorted(set(current) - set(parent)):
         print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.1f}")
     for name in sorted(set(parent) - set(current)):
@@ -88,7 +101,8 @@ def main():
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x")
         return 1
-    print(f"\nbench-diff: ok — {len(shared)} benchmark(s) within {args.threshold:.0%}")
+    compared = len(shared) - len(skipped)
+    print(f"\nbench-diff: ok — {compared} benchmark(s) within {args.threshold:.0%}")
     return 0
 
 
