@@ -15,8 +15,8 @@
 
 use reliable_storage::prelude::*;
 use rsb_bench::{banner, print_table};
-use rsb_store::{HistoryPolicy, ProtocolSpec, Store, StoreConfig};
-use rsb_workloads::{KeyedAction, KeyedScenario};
+use rsb_store::{EvictionPolicy, HistoryPolicy, ProtocolSpec, Store, StoreConfig};
+use rsb_workloads::{key_rank, KeyedAction, KeyedScenario};
 use std::time::Instant;
 
 /// One measured cell of the sweep.
@@ -179,9 +179,16 @@ fn cell_row(proto: ProtocolSpec, shards: usize, clients: usize, cell: &Cell) -> 
 
 fn spot_check_consistency(store: &Store, quota: usize) {
     let mut checked = 0;
+    let mut foreign = 0;
     for key in store.keys() {
         if checked == quota {
             break;
+        }
+        // Keys outside the canonical `k<digits>` namespace (a custom key
+        // distribution, say) are reported and skipped — never a panic.
+        if key_rank(&key).is_none() {
+            foreign += 1;
+            continue;
         }
         let h = store.key_history(&key).expect("key was materialized");
         let history =
@@ -189,7 +196,11 @@ fn spot_check_consistency(store: &Store, quota: usize) {
         check_strong_regularity(&history).expect("strong regularity of a recorded key history");
         checked += 1;
     }
-    println!("consistency spot-check: strong regularity holds on {checked} recorded key histories");
+    print!("consistency spot-check: strong regularity holds on {checked} recorded key histories");
+    if foreign > 0 {
+        print!(" ({foreign} non-canonical keys skipped)");
+    }
+    println!();
 }
 
 /// Sustained traffic against one hot key set, sampled in waves: without a
@@ -221,27 +232,7 @@ fn history_bounds_section(quick: bool, clients: usize, value_len: usize) {
                 value_len,
                 9_000 + wave as u64,
             );
-            let handles: Vec<_> = (0..clients)
-                .map(|c| {
-                    let client = store.client();
-                    let stream = scenario.client_ops(c);
-                    std::thread::spawn(move || {
-                        for op in stream {
-                            match op.action {
-                                KeyedAction::Read => {
-                                    client.read_blocking(&op.key).expect("store is live");
-                                }
-                                KeyedAction::Write(v) => {
-                                    client.write_blocking(&op.key, v).expect("store is live");
-                                }
-                            }
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                h.join().expect("client thread");
-            }
+            drive_wave(&store, &scenario);
             let m = store.metrics();
             let totals = m.totals();
             rows.push(vec![
@@ -279,6 +270,186 @@ fn history_bounds_section(quick: bool, clients: usize, value_len: usize) {
             after.shards.iter().map(|sh| sh.snapshot_bits).sum::<u64>() / 8 / 1024,
         );
     }
+}
+
+/// Drives one wave of a keyed scenario with blocking per-client threads.
+fn drive_wave(store: &Store, scenario: &KeyedScenario) {
+    let handles: Vec<_> = (0..scenario.clients)
+        .map(|c| {
+            let client = store.client();
+            let stream = scenario.client_ops(c);
+            std::thread::spawn(move || {
+                for op in stream {
+                    match op.action {
+                        KeyedAction::Read => {
+                            client.read_blocking(&op.key).expect("store is live");
+                        }
+                        KeyedAction::Write(v) => {
+                            client.write_blocking(&op.key, v).expect("store is live");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}
+
+/// Memory governance under skewed reuse with key churn: every wave's
+/// zipf(0.99) traffic targets a *growing* keyspace — the hot head keeps
+/// getting reused while a cold tail accumulates — so an ungoverned
+/// store's live occupancy grows wave over wave, while `OccupancyAbove`
+/// holds its watermark by evicting the cold tail coldest-first and
+/// `IdleAfter` reclaims whatever goes quiescent past its idle age. Read
+/// latency is reported from the store's own histograms, split by
+/// whether the read hit a live key or paid a rematerialization.
+fn memory_governance_section(quick: bool, value_len: usize) {
+    let clients = if quick { 8 } else { 16 };
+    let waves = if quick { 4 } else { 8 };
+    let ops_per_wave = if quick { 25 } else { 60 };
+    let base_keys = 24;
+    let keys_per_wave = 24;
+    let shards = 4;
+    let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
+
+    // Size the watermarks from a measured baseline: the live footprint
+    // of the first wave's keyspace, fully materialized.
+    let probe =
+        Store::start(StoreConfig::uniform(shards, ProtocolSpec::Abd, reg)).expect("valid config");
+    drive_wave(
+        &probe,
+        &KeyedScenario::uniform(clients, ops_per_wave, base_keys, 0.0, value_len, 31_000),
+    );
+    let wave_footprint = probe.metrics().occupancy_bits();
+    probe.shutdown();
+    // Budget: twice the first wave's footprint, split across shards;
+    // reclaim down to 3/4 of the per-shard bound once triggered.
+    let bits = wave_footprint * 2 / shards as u64;
+    let low_watermark = bits * 3 / 4;
+
+    let policies: Vec<(&str, EvictionPolicy)> = vec![
+        ("unbounded", EvictionPolicy::Manual),
+        (
+            "occupancy",
+            EvictionPolicy::OccupancyAbove {
+                bits,
+                low_watermark,
+            },
+        ),
+        ("idle-128", EvictionPolicy::IdleAfter(128)),
+    ];
+    let mut rows = Vec::new();
+    let mut latency_rows = Vec::new();
+    let mut governed_store = None;
+    for (label, policy) in policies {
+        let store = Store::start(
+            StoreConfig::uniform(shards, ProtocolSpec::Abd, reg)
+                .with_history(HistoryPolicy::TruncateAfter(64))
+                .with_eviction(policy),
+        )
+        .expect("valid config");
+        for wave in 0..waves {
+            let keys = base_keys + wave * keys_per_wave;
+            let scenario = KeyedScenario::uniform(
+                clients,
+                ops_per_wave,
+                keys,
+                0.5,
+                value_len,
+                31_100 + wave as u64,
+            )
+            .with_zipf(0.99);
+            drive_wave(&store, &scenario);
+            // Give the driver-pool governor a beat to finish its sweep
+            // after the last completion (it runs between batches and on
+            // the idle transition — no dedicated threads to join).
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let m = store.metrics();
+            let totals = m.totals();
+            rows.push(vec![
+                label.to_string(),
+                (wave + 1).to_string(),
+                m.keys().to_string(),
+                (m.occupancy_bits() / 8 / 1024).to_string(),
+                match policy {
+                    EvictionPolicy::Manual => "-".to_string(),
+                    EvictionPolicy::IdleAfter(n) => format!("idle>{n}"),
+                    EvictionPolicy::OccupancyAbove { bits, .. } => {
+                        (bits * shards as u64 / 8 / 1024).to_string()
+                    }
+                },
+                m.evicted_keys().to_string(),
+                totals.evictions().to_string(),
+                totals.rematerialized.to_string(),
+                m.live_records().to_string(),
+            ]);
+        }
+        let m = store.metrics();
+        let hit = m.read_hit_latency();
+        let remat = m.read_remat_latency();
+        latency_rows.push(vec![
+            label.to_string(),
+            hit.count().to_string(),
+            format!("{:.0}", hit.quantile_us(0.50)),
+            format!("{:.0}", hit.quantile_us(0.99)),
+            format!("{:.0}", hit.quantile_us(0.999)),
+            remat.count().to_string(),
+            format!("{:.0}", remat.quantile_us(0.50)),
+            format!("{:.0}", remat.quantile_us(0.99)),
+            format!("{:.0}", remat.quantile_us(0.999)),
+        ]);
+        if label == "occupancy" {
+            governed_store = Some(store);
+        } else {
+            store.shutdown();
+        }
+    }
+    print_table(
+        &format!(
+            "memory governance under zipf(0.99) reuse with key churn ({clients} clients x \
+             {ops_per_wave} ops/wave, +{keys_per_wave} keys/wave, abd, {shards} shards, \
+             truncate-64 history)"
+        ),
+        &[
+            "policy",
+            "wave",
+            "keys",
+            "occ_KiB",
+            "bound_KiB",
+            "evicted",
+            "evs",
+            "remat",
+            "live_recs",
+        ],
+        &rows,
+    );
+    print_table(
+        "read latency by outcome (store-measured, submit -> completion)",
+        &[
+            "policy",
+            "hits",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "remats",
+            "r_p50_us",
+            "r_p99_us",
+            "r_p999_us",
+        ],
+        &latency_rows,
+    );
+    if let Some(store) = governed_store {
+        // Histories that span governed eviction/rematerialization cycles
+        // must still check out.
+        spot_check_consistency(&store, 6);
+        store.shutdown();
+    }
+    println!(
+        "governance: `occupancy` holds live occupancy at/below its bound while `unbounded` \
+         grows with the key churn; rematerializing reads pay the restore cost in their tail.\n"
+    );
 }
 
 fn main() {
@@ -392,6 +563,8 @@ fn main() {
     );
 
     history_bounds_section(quick, zipf_clients, value_len);
+
+    memory_governance_section(quick, value_len);
 
     // Per-shard breakdown + consistency spot-check on the showcase store.
     if let Some(store) = showcase {

@@ -79,12 +79,12 @@ pub mod prelude {
         threaded::ThreadedRegister, Abd, Adaptive, Coded, RegisterConfig, RegisterProtocol, Safe,
     };
     pub use rsb_store::{
-        block_on, join_all, HistoryPolicy, ProtocolSpec, Store, StoreClient, StoreConfig,
-        StoreError, StoreMetrics,
+        block_on, join_all, EvictionPolicy, HistoryPolicy, LatencyHistogram, ProtocolSpec, Store,
+        StoreClient, StoreConfig, StoreError, StoreMetrics,
     };
     pub use rsb_workloads::{
-        run_scenario, FailurePlan, KeyDist, KeyedAction, KeyedScenario, Scenario, ScenarioOutcome,
-        ValueSizeDist, ValueStream,
+        key_rank, run_scenario, FailurePlan, KeyDist, KeyedAction, KeyedScenario, Scenario,
+        ScenarioOutcome, ValueSizeDist, ValueStream,
     };
 
     pub use crate::experiments;

@@ -160,17 +160,34 @@ pub struct SimSnapshot<S: ObjectState> {
     next_rmw: u64,
     peak_total_bits: u64,
     peak_cost: StorageCost,
+    /// Object bits, measured once at snapshot time: a snapshot is
+    /// immutable, so its storage cost never needs re-scanning — metrics
+    /// sweeps over many evicted keys stay O(keys), not O(keys × objects).
+    object_bits: u64,
 }
 
 impl<S: ObjectState> SimSnapshot<S> {
-    /// Total bits held by the snapshotted base objects.
+    /// Total bits held by the snapshotted base objects (cached at
+    /// snapshot time; O(1)).
     pub fn storage_bits(&self) -> u64 {
-        self.objects.iter().map(|(s, _)| s.block_bits()).sum()
+        self.object_bits
     }
 
     /// The operation records preserved by the snapshot.
     pub fn records(&self) -> &[OpRecord] {
         &self.records
+    }
+
+    /// How many operation records the snapshot preserves.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Peak total storage the register had observed before eviction —
+    /// carried so aggregate peak metrics survive an evict/rematerialize
+    /// cycle instead of silently dropping the key's contribution.
+    pub fn peak_bits(&self) -> u64 {
+        self.peak_total_bits
     }
 }
 
@@ -215,6 +232,7 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             next_rmw,
             peak_total_bits,
             peak_cost,
+            object_bits: _,
         } = snapshot;
         let mut sim = Simulation {
             objects: objects
@@ -620,6 +638,9 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
         if !self.is_quiescent() {
             return None;
         }
+        // At quiescence there are no in-flight RMWs, so the incremental
+        // cost's object share *is* the snapshot's storage bill.
+        let object_bits = self.objects.iter().map(|o| o.state.block_bits()).sum();
         Some(SimSnapshot {
             objects: self
                 .objects
@@ -632,6 +653,7 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Simulation<S, L> {
             next_rmw: self.next_rmw,
             peak_total_bits: self.peak_total_bits,
             peak_cost: self.peak_cost,
+            object_bits,
         })
     }
 

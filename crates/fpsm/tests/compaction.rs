@@ -180,9 +180,15 @@ fn snapshot_restore_roundtrip_preserves_value_and_history() {
     sim.compact_history();
     let time_before = sim.time();
     let cost_before = sim.storage_cost();
+    let peak_before = sim.peak_storage_bits();
     let snap = sim.snapshot().expect("quiescent register snapshots");
     assert_eq!(snap.records().len(), 1);
+    assert_eq!(snap.record_count(), 1);
+    // The cached-at-snapshot-time cost equals the live measurement (the
+    // snapshot is immutable, so the cache can never go stale), and the
+    // register's observed peak rides along for aggregate metrics.
     assert_eq!(snap.storage_bits(), cost_before.object_bits);
+    assert_eq!(snap.peak_bits(), peak_before);
     drop(sim);
 
     let mut sim = Simulation::restore(snap);

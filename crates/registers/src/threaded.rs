@@ -506,16 +506,17 @@ impl<P: RegisterProtocol + 'static> RegisterCell<P> {
 
     /// Fills the slots of every operation that has returned.
     pub fn complete_pending(&mut self) {
-        self.complete_pending_with(|_| {});
+        self.complete_pending_with(|_, _| {});
     }
 
     /// Like [`RegisterCell::complete_pending`], additionally visiting each
-    /// completed result (the hook shard metrics hang off).
-    pub fn complete_pending_with(&mut self, mut visit: impl FnMut(&OpResult)) {
+    /// completed `(op, result)` pair (the hook shard metrics and per-op
+    /// latency accounting hang off).
+    pub fn complete_pending_with(&mut self, mut visit: impl FnMut(OpId, &OpResult)) {
         let sim = &self.sim;
         self.pending.retain(|(op, slot)| {
             if let Some(result) = sim.op_record(*op).result.clone() {
-                visit(&result);
+                visit(*op, &result);
                 slot.fill(Ok(result));
                 false
             } else {
@@ -531,8 +532,9 @@ impl<P: RegisterProtocol + 'static> RegisterCell<P> {
         }
     }
 
-    /// Submits one operation: invokes it and returns a completion slot
-    /// (already filled if the operation completed synchronously).
+    /// Submits one operation: invokes it and returns its op id plus a
+    /// completion slot (already filled if the operation completed
+    /// synchronously).
     ///
     /// # Errors
     ///
@@ -541,7 +543,7 @@ impl<P: RegisterProtocol + 'static> RegisterCell<P> {
         &mut self,
         client: ClientId,
         req: OpRequest,
-    ) -> Result<Arc<CompletionSlot>, ThreadedError> {
+    ) -> Result<(OpId, Arc<CompletionSlot>), ThreadedError> {
         let op = self
             .sim
             .invoke(client, req)
@@ -552,7 +554,7 @@ impl<P: RegisterProtocol + 'static> RegisterCell<P> {
         } else {
             self.pending.push((op, Arc::clone(&slot)));
         }
-        Ok(slot)
+        Ok((op, slot))
     }
 }
 
@@ -675,7 +677,8 @@ impl<P: RegisterProtocol + 'static> ClientHandle<P> {
             if self.core.is_stopped() {
                 return Err(ThreadedError::ShutDown);
             }
-            cell.submit(self.id, req)?
+            let (_, slot) = cell.submit(self.id, req)?;
+            slot
         };
         // Wake the driver, then wait on the slot (not the sim lock).
         self.core.notify();

@@ -77,6 +77,37 @@ pub enum HistoryPolicy {
     TruncateOnQuiescence,
 }
 
+/// How (and whether) the store reclaims memory from cold keys on its own.
+///
+/// [`Store::evict_quiescent`](crate::Store::evict_quiescent) always
+/// works; a non-manual policy additionally makes the *driver pool* run
+/// the eviction machinery between batches — idle drivers sweep their
+/// shard, and an occupancy trigger fires on a single atomic comparison —
+/// so the paper's "bounded space" becomes a property the system
+/// maintains, at zero dedicated threads and without ever blocking a
+/// ready key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Reclamation happens only when the caller asks for it (default —
+    /// the pre-governor behaviour).
+    Manual,
+    /// An idle driver evicts keys that have been quiescent for at least
+    /// this many shard *ticks* (a tick is one submission or one driver
+    /// step batch on the shard — logical time, so tests and benches stay
+    /// deterministic-ish and wall-clock-free).
+    IdleAfter(u64),
+    /// When a shard's live occupancy exceeds `bits`, idle-or-between-
+    /// batches drivers evict quiescent keys coldest-first until the
+    /// shard is at or below `low_watermark` bits. Both bounds are
+    /// per-shard (divide a store-wide budget by the shard count).
+    OccupancyAbove {
+        /// High watermark: live bits above this arm the trigger.
+        bits: u64,
+        /// Low watermark the sweep reclaims down to (`≤ bits`).
+        low_watermark: u64,
+    },
+}
+
 /// Errors validating a [`StoreConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreConfigError {
@@ -86,6 +117,11 @@ pub enum StoreConfigError {
     ZeroBatch,
     /// A truncate-after-N history bound of zero records.
     ZeroHistoryBound,
+    /// An idle-after eviction threshold of zero ticks.
+    ZeroIdleThreshold,
+    /// An occupancy eviction policy whose low watermark exceeds its
+    /// high watermark.
+    WatermarkAboveBound,
 }
 
 impl std::fmt::Display for StoreConfigError {
@@ -95,6 +131,18 @@ impl std::fmt::Display for StoreConfigError {
             StoreConfigError::ZeroBatch => write!(f, "driver batch size must be at least 1"),
             StoreConfigError::ZeroHistoryBound => {
                 write!(f, "truncate-after-N needs a bound of at least 1 record")
+            }
+            StoreConfigError::ZeroIdleThreshold => {
+                write!(
+                    f,
+                    "idle-after eviction needs a threshold of at least 1 tick"
+                )
+            }
+            StoreConfigError::WatermarkAboveBound => {
+                write!(
+                    f,
+                    "occupancy eviction needs low_watermark <= bits (the high watermark)"
+                )
             }
         }
     }
@@ -120,6 +168,8 @@ pub struct StoreConfig {
     /// Whether an idle shard driver steals ready keys from loaded
     /// neighbors (flattens zipfian skew; on by default).
     pub work_stealing: bool,
+    /// How the driver pool reclaims memory from cold keys.
+    pub eviction: EvictionPolicy,
 }
 
 impl StoreConfig {
@@ -134,6 +184,7 @@ impl StoreConfig {
             batch: Self::DEFAULT_BATCH,
             history: HistoryPolicy::Unbounded,
             work_stealing: true,
+            eviction: EvictionPolicy::Manual,
         }
     }
 
@@ -155,12 +206,19 @@ impl StoreConfig {
         self
     }
 
+    /// Overrides the eviction policy the driver pool governs memory by.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Rejects an empty shard list, a zero batch size, and a zero
-    /// truncate-after-N bound.
+    /// Rejects an empty shard list, a zero batch size, a zero
+    /// truncate-after-N bound, a zero idle-eviction threshold, and an
+    /// occupancy policy whose low watermark exceeds its high watermark.
     pub fn validate(&self) -> Result<(), StoreConfigError> {
         if self.shards.is_empty() {
             return Err(StoreConfigError::NoShards);
@@ -170,6 +228,14 @@ impl StoreConfig {
         }
         if self.history == HistoryPolicy::TruncateAfter(0) {
             return Err(StoreConfigError::ZeroHistoryBound);
+        }
+        match self.eviction {
+            EvictionPolicy::IdleAfter(0) => return Err(StoreConfigError::ZeroIdleThreshold),
+            EvictionPolicy::OccupancyAbove {
+                bits,
+                low_watermark,
+            } if low_watermark > bits => return Err(StoreConfigError::WatermarkAboveBound),
+            _ => {}
         }
         Ok(())
     }
@@ -203,6 +269,39 @@ mod tests {
             .with_work_stealing(false)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn eviction_policies_validate() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let cfg = StoreConfig::uniform(2, ProtocolSpec::Abd, reg);
+        assert!(cfg
+            .clone()
+            .with_eviction(EvictionPolicy::IdleAfter(8))
+            .validate()
+            .is_ok());
+        assert_eq!(
+            cfg.clone()
+                .with_eviction(EvictionPolicy::IdleAfter(0))
+                .validate(),
+            Err(StoreConfigError::ZeroIdleThreshold)
+        );
+        assert!(cfg
+            .clone()
+            .with_eviction(EvictionPolicy::OccupancyAbove {
+                bits: 4096,
+                low_watermark: 2048,
+            })
+            .validate()
+            .is_ok());
+        assert_eq!(
+            cfg.with_eviction(EvictionPolicy::OccupancyAbove {
+                bits: 1024,
+                low_watermark: 2048,
+            })
+            .validate(),
+            Err(StoreConfigError::WatermarkAboveBound)
+        );
     }
 
     #[test]

@@ -69,7 +69,9 @@ mod metrics;
 mod shard;
 mod store;
 
-pub use config::{HistoryPolicy, ProtocolSpec, ShardSpec, StoreConfig, StoreConfigError};
+pub use config::{
+    EvictionPolicy, HistoryPolicy, ProtocolSpec, ShardSpec, StoreConfig, StoreConfigError,
+};
 pub use future::{block_on, join_all, ReadFuture, WriteFuture};
-pub use metrics::{OpCounters, ShardMetrics, StoreMetrics};
+pub use metrics::{EvictionCause, LatencyHistogram, OpCounters, ShardMetrics, StoreMetrics};
 pub use store::{KeyHistory, Store, StoreClient, StoreError};

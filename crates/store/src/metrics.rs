@@ -8,6 +8,135 @@
 use rsb_fpsm::{OpResult, StorageCost};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Why the eviction machinery snapshotted a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionCause {
+    /// The caller invoked [`Store::evict_quiescent`](crate::Store::evict_quiescent).
+    Manual,
+    /// The governor's idle-time sweep found the key quiescent past the
+    /// [`EvictionPolicy::IdleAfter`](crate::EvictionPolicy::IdleAfter)
+    /// threshold.
+    Idle,
+    /// The governor's occupancy trigger evicted the key (coldest-first)
+    /// to get back under the low watermark.
+    Occupancy,
+}
+
+/// Latency histogram buckets: 64 power-of-two octaves × 4 sub-buckets
+/// (log-linear, ~±12.5% resolution) — enough to separate a cache-hit
+/// read from one that pays a rematerialization, at tail quantiles.
+const HIST_SUBS: usize = 4;
+const HIST_BUCKETS: usize = 64 * HIST_SUBS;
+
+fn hist_bucket(ns: u64) -> usize {
+    let n = ns.max(1);
+    let exp = 63 - n.leading_zeros() as usize;
+    let sub = if exp >= 2 {
+        ((n >> (exp - 2)) & 0b11) as usize
+    } else {
+        0
+    };
+    exp * HIST_SUBS + sub
+}
+
+fn hist_representative_ns(bucket: usize) -> f64 {
+    let exp = bucket / HIST_SUBS;
+    let sub = bucket % HIST_SUBS;
+    if exp < 2 {
+        return (1u64 << exp) as f64 * 1.5;
+    }
+    // Bucket covers [(4+sub)·2^(exp-2), (5+sub)·2^(exp-2)); report the
+    // midpoint.
+    ((4 + sub) as f64 + 0.5) * (1u64 << (exp - 2)) as f64
+}
+
+/// Lock-free log-linear latency histogram (nanoseconds).
+pub(crate) struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHistogram").finish_non_exhaustive()
+    }
+}
+
+impl AtomicHistogram {
+    pub(crate) fn record(&self, ns: u64) {
+        self.buckets[hist_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A snapshot of a latency histogram, with quantile queries.
+///
+/// Buckets are log-linear (power-of-two octaves with 4 sub-buckets), so
+/// quantiles carry ~±12.5% resolution — plenty to tell a hit read from
+/// one that paid a rematerialization, while recording stays a single
+/// relaxed atomic increment on the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another histogram (for cross-shard aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.counts.is_empty() {
+            self.counts.clone_from(&other.counts);
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The `p`-quantile latency in nanoseconds (`p` in `[0, 1]`), or
+    /// `None` when the histogram is empty.
+    pub fn quantile_ns(&self, p: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(hist_representative_ns(bucket));
+            }
+        }
+        None
+    }
+
+    /// The `p`-quantile in microseconds, or 0.0 when empty (table-friendly).
+    pub fn quantile_us(&self, p: f64) -> f64 {
+        self.quantile_ns(p).unwrap_or(0.0) / 1e3
+    }
+}
+
 /// Lock-free counters one shard's submit path and driver bump.
 #[derive(Debug, Default)]
 pub(crate) struct AtomicCounters {
@@ -22,6 +151,11 @@ pub(crate) struct AtomicCounters {
     stolen: AtomicU64,
     truncated_records: AtomicU64,
     rematerialized: AtomicU64,
+    evicted_manual: AtomicU64,
+    evicted_idle: AtomicU64,
+    evicted_occupancy: AtomicU64,
+    read_hit_ns: AtomicHistogram,
+    read_remat_ns: AtomicHistogram,
 }
 
 impl AtomicCounters {
@@ -69,6 +203,33 @@ impl AtomicCounters {
         self.rematerialized.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_eviction(&self, cause: EvictionCause) {
+        let counter = match cause {
+            EvictionCause::Manual => &self.evicted_manual,
+            EvictionCause::Idle => &self.evicted_idle,
+            EvictionCause::Occupancy => &self.evicted_occupancy,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed read's end-to-end latency, bucketed by whether
+    /// its submission had to rematerialize an evicted key.
+    pub(crate) fn note_read_latency(&self, ns: u64, rematerialized: bool) {
+        if rematerialized {
+            self.read_remat_ns.record(ns);
+        } else {
+            self.read_hit_ns.record(ns);
+        }
+    }
+
+    pub(crate) fn read_hit_histogram(&self) -> LatencyHistogram {
+        self.read_hit_ns.snapshot()
+    }
+
+    pub(crate) fn read_remat_histogram(&self) -> LatencyHistogram {
+        self.read_remat_ns.snapshot()
+    }
+
     pub(crate) fn snapshot(&self) -> OpCounters {
         OpCounters {
             reads_submitted: self.reads_submitted.load(Ordering::Relaxed),
@@ -82,6 +243,9 @@ impl AtomicCounters {
             stolen: self.stolen.load(Ordering::Relaxed),
             truncated_records: self.truncated_records.load(Ordering::Relaxed),
             rematerialized: self.rematerialized.load(Ordering::Relaxed),
+            evicted_manual: self.evicted_manual.load(Ordering::Relaxed),
+            evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
+            evicted_occupancy: self.evicted_occupancy.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,12 +276,24 @@ pub struct OpCounters {
     pub truncated_records: u64,
     /// Evicted keys brought back by a later operation.
     pub rematerialized: u64,
+    /// Evictions performed by an explicit
+    /// [`Store::evict_quiescent`](crate::Store::evict_quiescent) call.
+    pub evicted_manual: u64,
+    /// Evictions performed by the governor's idle-time sweep.
+    pub evicted_idle: u64,
+    /// Evictions performed by the governor's occupancy trigger.
+    pub evicted_occupancy: u64,
 }
 
 impl OpCounters {
     /// Completed operations of both kinds.
     pub fn completed(&self) -> u64 {
         self.reads_completed + self.writes_completed
+    }
+
+    /// Evictions of every cause.
+    pub fn evictions(&self) -> u64 {
+        self.evicted_manual + self.evicted_idle + self.evicted_occupancy
     }
 
     /// Accumulates another snapshot (for aggregation).
@@ -133,6 +309,9 @@ impl OpCounters {
         self.stolen += other.stolen;
         self.truncated_records += other.truncated_records;
         self.rematerialized += other.rematerialized;
+        self.evicted_manual += other.evicted_manual;
+        self.evicted_idle += other.evicted_idle;
+        self.evicted_occupancy += other.evicted_occupancy;
     }
 }
 
@@ -165,6 +344,18 @@ pub struct ShardMetrics {
     pub snapshot_bits: u64,
     /// Keys waiting in the shard's ready queue right now.
     pub ready_keys: usize,
+    /// The shard's incrementally-maintained live-occupancy counter — the
+    /// cheap value the eviction governor's occupancy trigger fires on.
+    /// At quiescence it must equal `occupancy.total()` (asserted in
+    /// tests); mid-traffic the two may be momentarily skewed because
+    /// they are sampled at different instants.
+    pub governed_bits: u64,
+    /// End-to-end latency of completed reads whose key was live at
+    /// submission.
+    pub read_hit_latency: LatencyHistogram,
+    /// End-to-end latency of completed reads whose submission had to
+    /// rematerialize an evicted key first.
+    pub read_remat_latency: LatencyHistogram,
 }
 
 /// A whole-store metrics snapshot.
@@ -208,5 +399,75 @@ impl StoreMetrics {
     /// Keys currently evicted to snapshots, across shards.
     pub fn evicted_keys(&self) -> usize {
         self.shards.iter().map(|s| s.evicted_keys).sum()
+    }
+
+    /// Bits held by evicted keys' snapshots, across shards.
+    pub fn snapshot_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.snapshot_bits).sum()
+    }
+
+    /// Merged hit-read latency histogram across shards.
+    pub fn read_hit_latency(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for s in &self.shards {
+            out.merge(&s.read_hit_latency);
+        }
+        out
+    }
+
+    /// Merged rematerialize-read latency histogram across shards.
+    pub fn read_remat_latency(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for s in &self.shards {
+            out.merge(&s.read_remat_latency);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_monotonic_and_quantiles_sane() {
+        let mut prev = 0;
+        for ns in 1..4096u64 {
+            let b = hist_bucket(ns);
+            assert!(b >= prev, "bucket must be monotonic in ns at {ns}");
+            prev = b;
+        }
+        let h = AtomicHistogram::default();
+        for _ in 0..90 {
+            h.record(1_000); // ~1 µs
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // ~1 ms
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        let p50 = snap.quantile_ns(0.50).unwrap();
+        let p99 = snap.quantile_ns(0.99).unwrap();
+        assert!((800.0..=1300.0).contains(&p50), "p50 ≈ 1µs, got {p50} ns");
+        assert!(
+            (800_000.0..=1_300_000.0).contains(&p99),
+            "p99 ≈ 1ms, got {p99} ns"
+        );
+        assert!(LatencyHistogram::default().quantile_ns(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let a = AtomicHistogram::default();
+        let b = AtomicHistogram::default();
+        a.record(100);
+        b.record(100);
+        b.record(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        // Representative of a bucket stays within its log-linear bounds.
+        let p100 = m.quantile_ns(0.01).unwrap();
+        assert!((80.0..=140.0).contains(&p100), "got {p100}");
     }
 }

@@ -15,25 +15,61 @@
 //! register's `OpRecord` history (compaction keeps the frontier writes
 //! the consistency checkers need), and a quiescent key can be *evicted*
 //! to a [`SimSnapshot`] and rematerialized on its next operation.
+//!
+//! Eviction is *governed*: an [`EvictionPolicy`] makes the driver pool
+//! itself run the reclamation — idle drivers sweep their shard for keys
+//! quiescent past the idle threshold, and an occupancy trigger (one
+//! atomic comparison against an incrementally-maintained per-shard
+//! live-bits counter) evicts coldest-first down to a low watermark — so
+//! bounded space holds under sustained traffic with zero dedicated
+//! threads and without ever blocking a ready key.
 
 use crate::config::ShardSpec;
-use crate::config::{HistoryPolicy, ProtocolSpec};
-use crate::metrics::{AtomicCounters, ShardMetrics};
+use crate::config::{EvictionPolicy, HistoryPolicy, ProtocolSpec};
+use crate::metrics::{AtomicCounters, EvictionCause, ShardMetrics};
 use crate::store::StoreError;
 use rsb_coding::Value;
-use rsb_fpsm::{ClientId, OpRecord, OpRequest, SimSnapshot, Simulation, StorageCost};
+use rsb_fpsm::{
+    ClientId, OpId, OpRecord, OpRequest, OpResult, SimSnapshot, Simulation, StorageCost,
+};
 use rsb_registers::{
     Abd, AbdAtomic, Adaptive, Coded, CompletionSlot, ReadyQueue, RegisterCell, RegisterProtocol,
     Safe, ThreadedError, WorkGroup,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Cap on eviction *attempts* (key locks taken) per occupancy-governor
+/// pass, so a sweeping driver returns to ready keys quickly; the
+/// trigger stays armed and the next pass continues where this one left
+/// off.
+const GOVERN_ATTEMPTS_PER_PASS: usize = 32;
+
+/// After a futile occupancy pass (armed, but nothing was quiescent
+/// enough to evict), the trigger stays disarmed for this many shard
+/// ticks. Quiescent keys can only appear through traffic — which is
+/// exactly what advances ticks — so the backoff self-clears the moment
+/// eviction could plausibly succeed again, and an armed-but-stuck
+/// governor stops paying a full cold-scan on every driver iteration.
+const GOVERN_FUTILE_BACKOFF_TICKS: u64 = 64;
+
+/// Submission-time bookkeeping for one in-flight operation, matched up
+/// at completion to record end-to-end latency split by whether the
+/// submission had to rematerialize an evicted key.
+struct InflightOp {
+    op: OpId,
+    started: Instant,
+    rematerialized: bool,
+}
 
 /// One key's live register: its simulation cell plus the sim-level
 /// clients allocated for it so far (reused across operations when idle).
 struct KeyCell<P: RegisterProtocol + 'static> {
     cell: RegisterCell<P>,
     clients: Vec<ClientId>,
+    inflight: Vec<InflightOp>,
 }
 
 impl<P: RegisterProtocol + 'static> KeyCell<P> {
@@ -41,6 +77,28 @@ impl<P: RegisterProtocol + 'static> KeyCell<P> {
         KeyCell {
             cell: RegisterCell::new(sim),
             clients: Vec::new(),
+            inflight: Vec::new(),
+        }
+    }
+}
+
+/// Visits one completed operation: bumps the op/byte counters and, for
+/// reads, records end-to-end latency into the hit or rematerialize
+/// histogram.
+fn note_completed(
+    counters: &AtomicCounters,
+    inflight: &mut Vec<InflightOp>,
+    op: OpId,
+    result: &OpResult,
+) {
+    counters.note_completion(result);
+    if let Some(i) = inflight.iter().position(|e| e.op == op) {
+        let entry = inflight.swap_remove(i);
+        if matches!(result, OpResult::Read(_)) {
+            counters.note_read_latency(
+                entry.started.elapsed().as_nanos() as u64,
+                entry.rematerialized,
+            );
         }
     }
 }
@@ -50,16 +108,40 @@ impl<P: RegisterProtocol + 'static> KeyCell<P> {
 /// a snapshot out during rematerialization — it never outlives the key
 /// lock's critical section in `submit`, so no other code path observes
 /// it.
+// `Live` dwarfs the other variants, but it is also the variant every hot
+// operation touches — boxing it to please `large_enum_variant` would buy
+// a smaller *evicted* footprint at the price of a pointer chase on every
+// submit/step.
+#[allow(clippy::large_enum_variant)]
 enum KeyState<P: RegisterProtocol + 'static> {
     Live(KeyCell<P>),
     Evicted(SimSnapshot<P::Object>),
     Vacant,
 }
 
-/// One key's slot: name plus the per-key lock every simulation access
-/// goes through. The shard map lock is *not* needed to step a key.
+/// One key's slot: the per-key lock every simulation access goes
+/// through, plus governor-readable metadata kept *outside* the lock so
+/// cold-scans never contend with a running driver. The shard map lock is
+/// *not* needed to step a key.
 struct KeySlot<P: RegisterProtocol + 'static> {
     state: parking_lot::Mutex<KeyState<P>>,
+    /// Shard tick of the key's most recent activity (submission or step
+    /// batch) — what the idle sweep and the coldest-first order read.
+    /// Written under the key lock, read lock-free by the governor.
+    last_active: AtomicU64,
+    /// Live-simulation bits this key currently contributes to the
+    /// shard's `live_bits` aggregate; zero while evicted.
+    cached_bits: AtomicU64,
+}
+
+impl<P: RegisterProtocol + 'static> KeySlot<P> {
+    fn new(state: KeyState<P>) -> Self {
+        KeySlot {
+            state: parking_lot::Mutex::new(state),
+            last_active: AtomicU64::new(0),
+            cached_bits: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The object-safe surface the store (and its work-stealing driver pool)
@@ -85,6 +167,17 @@ pub(crate) trait ShardEngine: Send + Sync {
 
     /// Evicts every quiescent key to a snapshot; returns how many.
     fn evict_quiescent(&self) -> usize;
+
+    /// Cheap (single atomic comparison) check: does the occupancy
+    /// trigger want a governor pass right now? Drivers call this every
+    /// loop iteration, so it must stay O(1).
+    fn wants_governing(&self) -> bool;
+
+    /// Runs one governor pass under the configured [`EvictionPolicy`].
+    /// `idle` marks a driver with no ready work (the idle-time sweep
+    /// runs only then; the occupancy trigger fires either way). Returns
+    /// how many keys were evicted.
+    fn govern(&self, idle: bool) -> usize;
 
     /// Snapshot of the shard's metrics.
     fn metrics(&self, shard: usize) -> ShardMetrics;
@@ -124,10 +217,26 @@ struct ShardCore<P: RegisterProtocol + Send + Sync + 'static> {
     group: Arc<WorkGroup>,
     counters: Arc<AtomicCounters>,
     policy: HistoryPolicy,
+    eviction: EvictionPolicy,
     batch: usize,
     name: &'static str,
     value_len: usize,
     initial: Value,
+    /// Logical shard clock: one tick per submission or driver step
+    /// batch. Key idle ages are measured against it, so governance is
+    /// wall-clock-free (deterministic under test schedules).
+    ticks: AtomicU64,
+    /// Incrementally-maintained sum of every live key's simulation bits
+    /// — the O(1) value the occupancy trigger compares against its
+    /// watermark (ground-truth occupancy is still re-measured by
+    /// `metrics`, and tests assert the two agree at quiescence).
+    live_bits: AtomicU64,
+    /// Serializes governor sweeps: a second driver finding the lock held
+    /// skips its pass instead of duplicating the cold-scan.
+    govern_lock: parking_lot::Mutex<()>,
+    /// Tick before which the occupancy trigger stays disarmed after a
+    /// futile pass (see [`GOVERN_FUTILE_BACKOFF_TICKS`]).
+    govern_backoff: AtomicU64,
 }
 
 impl<P: RegisterProtocol + Send + Sync + 'static> ShardCore<P>
@@ -147,6 +256,62 @@ where
             self.counters.note_truncated(dropped);
         }
     }
+
+    /// Advances the shard clock and returns the new tick.
+    fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Re-measures one key's live-simulation bits into the shard
+    /// aggregate. Call under the key lock whenever the key's state may
+    /// have changed size (submission, step batch, evict,
+    /// rematerialize); evicted/vacant keys account as zero.
+    fn account_occupancy(&self, slot: &KeySlot<P>, state: &KeyState<P>) {
+        let bits = match state {
+            KeyState::Live(kc) => kc.cell.sim.storage_cost().total(),
+            KeyState::Evicted(_) | KeyState::Vacant => 0,
+        };
+        let prev = slot.cached_bits.swap(bits, Ordering::Relaxed);
+        if bits >= prev {
+            self.live_bits.fetch_add(bits - prev, Ordering::Relaxed);
+        } else {
+            self.live_bits.fetch_sub(prev - bits, Ordering::Relaxed);
+        }
+    }
+
+    /// Tries to evict one key: under its lock, a live, fully-quiescent
+    /// key (no pending completions, no in-flight simulator work) is
+    /// compacted (under a truncating history policy) and snapshotted.
+    /// Returns whether the key was evicted.
+    fn try_evict(&self, slot: &KeySlot<P>, cause: EvictionCause) -> bool {
+        let mut state = slot.state.lock();
+        let KeyState::Live(kc) = &mut *state else {
+            return false;
+        };
+        if !kc.cell.pending.is_empty() || !kc.cell.sim.is_quiescent() {
+            return false;
+        }
+        // Compact before snapshotting — but only under a truncating
+        // policy: `Unbounded` promises the full history, which the
+        // snapshot then carries whole.
+        if self.policy != HistoryPolicy::Unbounded {
+            let dropped = kc.cell.sim.compact_history();
+            self.counters.note_truncated(dropped);
+        }
+        let Some(snap) = kc.cell.sim.snapshot() else {
+            return false;
+        };
+        *state = KeyState::Evicted(snap);
+        self.counters.note_eviction(cause);
+        self.account_occupancy(slot, &state);
+        true
+    }
+
+    /// A snapshot of the slot table (cheap `Arc` clones), so sweeps
+    /// never hold the table lock across key locks.
+    fn slot_table(&self) -> Vec<Arc<KeySlot<P>>> {
+        self.slots.read().clone()
+    }
 }
 
 impl<P: RegisterProtocol + Send + Sync + 'static> ShardEngine for ShardCore<P>
@@ -154,6 +319,7 @@ where
     P::Object: Clone,
 {
     fn submit(&self, key: &str, req: OpRequest) -> Result<Arc<CompletionSlot>, StoreError> {
+        let started = Instant::now();
         // Fast-path reject; the *authoritative* stop check happens under
         // the key lock below, ordered against the shutdown sweep.
         if self.group.is_stopped() {
@@ -171,11 +337,9 @@ where
                 let token = self.ready.register_slot();
                 let mut slots = self.slots.write();
                 debug_assert_eq!(token, slots.len());
-                slots.push(Arc::new(KeySlot {
-                    state: parking_lot::Mutex::new(KeyState::Live(KeyCell::new(
-                        self.proto.new_sim(),
-                    ))),
-                }));
+                slots.push(Arc::new(KeySlot::new(KeyState::Live(KeyCell::new(
+                    self.proto.new_sim(),
+                )))));
                 drop(slots);
                 index.insert(key.to_owned(), token);
                 token
@@ -184,7 +348,8 @@ where
         let key_slot = Arc::clone(&self.slots.read()[token]);
         let slot = {
             let mut state = key_slot.state.lock();
-            if matches!(&*state, KeyState::Evicted(_)) {
+            let rematerialized = matches!(&*state, KeyState::Evicted(_));
+            if rematerialized {
                 // Move the snapshot out (no deep copy): `Vacant` exists
                 // only inside this key-lock critical section.
                 let KeyState::Evicted(snap) = std::mem::replace(&mut *state, KeyState::Vacant)
@@ -212,7 +377,7 @@ where
                 OpRequest::Read => None,
             };
             let slot = match kc.cell.submit(client, req) {
-                Ok(slot) => {
+                Ok((op, slot)) => {
                     match write_bytes {
                         Some(bytes) => self.counters.note_write_submitted(bytes),
                         None => self.counters.note_read_submitted(),
@@ -223,6 +388,18 @@ where
                     // the key lock so a driver cannot race us.
                     if let Some(Ok(result)) = slot.try_outcome() {
                         self.counters.note_completion(&result);
+                        if matches!(result, OpResult::Read(_)) {
+                            self.counters.note_read_latency(
+                                started.elapsed().as_nanos() as u64,
+                                rematerialized,
+                            );
+                        }
+                    } else {
+                        kc.inflight.push(InflightOp {
+                            op,
+                            started,
+                            rematerialized,
+                        });
                     }
                     slot
                 }
@@ -239,11 +416,15 @@ where
             // and we clean up this key ourselves. Never neither.
             if self.group.is_stopped() {
                 let counters = &self.counters;
+                let inflight = &mut kc.inflight;
                 kc.cell
-                    .complete_pending_with(|r| counters.note_completion(r));
+                    .complete_pending_with(|op, r| note_completed(counters, inflight, op, r));
                 kc.cell.fail_pending(&ThreadedError::ShutDown);
+                kc.inflight.clear();
                 return Err(StoreError::ShutDown);
             }
+            key_slot.last_active.store(self.tick(), Ordering::Relaxed);
+            self.account_occupancy(&key_slot, &state);
             slot
         };
         // Out of every lock: publish the key to the ready queue and wake
@@ -266,11 +447,14 @@ where
             if let KeyState::Live(kc) = &mut *state {
                 if kc.cell.step_events(self.batch) > 0 {
                     let counters = &self.counters;
+                    let inflight = &mut kc.inflight;
                     kc.cell
-                        .complete_pending_with(|r| counters.note_completion(r));
+                        .complete_pending_with(|op, r| note_completed(counters, inflight, op, r));
                     self.apply_history_policy(kc);
+                    key_slot.last_active.store(self.tick(), Ordering::Relaxed);
                 }
                 more = kc.cell.has_enabled();
+                self.account_occupancy(&key_slot, &state);
             }
         }
         // Re-enqueueing without a notify is safe: the finishing driver is
@@ -301,34 +485,106 @@ where
                 // Flush results that are ready, then fail what remains so
                 // no client blocks on a dead shard.
                 let counters = &self.counters;
+                let inflight = &mut kc.inflight;
                 kc.cell
-                    .complete_pending_with(|r| counters.note_completion(r));
+                    .complete_pending_with(|op, r| note_completed(counters, inflight, op, r));
                 kc.cell.fail_pending(&ThreadedError::ShutDown);
+                kc.inflight.clear();
             }
         }
     }
 
     fn evict_quiescent(&self) -> usize {
-        let mut evicted = 0;
-        for slot in self.slots.read().iter() {
-            let mut state = slot.state.lock();
-            if let KeyState::Live(kc) = &mut *state {
-                if kc.cell.pending.is_empty() && kc.cell.sim.is_quiescent() {
-                    // Compact before snapshotting — but only under a
-                    // truncating policy: `Unbounded` promises the full
-                    // history, which the snapshot then carries whole.
-                    if self.policy != HistoryPolicy::Unbounded {
-                        let dropped = kc.cell.sim.compact_history();
-                        self.counters.note_truncated(dropped);
+        self.slot_table()
+            .iter()
+            .filter(|slot| self.try_evict(slot, EvictionCause::Manual))
+            .count()
+    }
+
+    fn wants_governing(&self) -> bool {
+        match self.eviction {
+            EvictionPolicy::OccupancyAbove { bits, .. } => {
+                self.live_bits.load(Ordering::Relaxed) > bits
+                    && self.ticks.load(Ordering::Relaxed)
+                        >= self.govern_backoff.load(Ordering::Relaxed)
+            }
+            EvictionPolicy::Manual | EvictionPolicy::IdleAfter(_) => false,
+        }
+    }
+
+    fn govern(&self, idle: bool) -> usize {
+        // One sweeper per shard at a time: a second driver skips instead
+        // of duplicating the cold-scan (the trigger stays armed, so
+        // nothing is lost).
+        let Some(_sweep) = self.govern_lock.try_lock() else {
+            return 0;
+        };
+        match self.eviction {
+            EvictionPolicy::Manual => 0,
+            EvictionPolicy::IdleAfter(threshold) => {
+                if !idle {
+                    return 0;
+                }
+                let now = self.ticks.load(Ordering::Relaxed);
+                // `cached_bits > 0` screens out already-evicted keys
+                // without touching their locks (every live register
+                // holds at least its v₀ blocks, so live keys are never
+                // zero-bit).
+                self.slot_table()
+                    .iter()
+                    .filter(|slot| {
+                        slot.cached_bits.load(Ordering::Relaxed) > 0
+                            && now.saturating_sub(slot.last_active.load(Ordering::Relaxed))
+                                >= threshold
+                            && self.try_evict(slot, EvictionCause::Idle)
+                    })
+                    .count()
+            }
+            EvictionPolicy::OccupancyAbove {
+                bits,
+                low_watermark,
+            } => {
+                if self.live_bits.load(Ordering::Relaxed) <= bits {
+                    return 0;
+                }
+                // Coldest-first: order live keys by their last-activity
+                // tick and evict until the shard is back at (or below)
+                // the low watermark. The per-pass *attempt* cap bounds
+                // key-lock traffic even when nothing is evictable, so a
+                // governing driver is back serving ready keys quickly;
+                // the trigger re-fires on the next loop iteration if
+                // more reclamation is needed.
+                let table = self.slot_table();
+                let mut cold: Vec<(u64, usize)> = table
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, slot)| slot.cached_bits.load(Ordering::Relaxed) > 0)
+                    .map(|(i, slot)| (slot.last_active.load(Ordering::Relaxed), i))
+                    .collect();
+                cold.sort_unstable();
+                let mut evicted = 0;
+                for (attempts, (_, i)) in cold.into_iter().enumerate() {
+                    if self.live_bits.load(Ordering::Relaxed) <= low_watermark
+                        || attempts >= GOVERN_ATTEMPTS_PER_PASS
+                    {
+                        break;
                     }
-                    if let Some(snap) = kc.cell.sim.snapshot() {
-                        *state = KeyState::Evicted(snap);
+                    if self.try_evict(&table[i], EvictionCause::Occupancy) {
                         evicted += 1;
                     }
                 }
+                if evicted == 0 {
+                    // Armed but stuck (everything cold enough to matter
+                    // is busy): back off so the still-armed trigger does
+                    // not re-pay this scan on every driver iteration.
+                    self.govern_backoff.store(
+                        self.ticks.load(Ordering::Relaxed) + GOVERN_FUTILE_BACKOFF_TICKS,
+                        Ordering::Relaxed,
+                    );
+                }
+                evicted
             }
         }
-        evicted
     }
 
     fn metrics(&self, shard: usize) -> ShardMetrics {
@@ -353,7 +609,11 @@ where
                 KeyState::Evicted(snap) => {
                     evicted_keys += 1;
                     snapshot_bits += snap.storage_bits();
-                    live_records += snap.records().len() as u64;
+                    live_records += snap.record_count() as u64;
+                    // Peaks survive eviction: the snapshot carries the
+                    // register's observed peak, so the aggregate doesn't
+                    // silently drop when a key leaves live memory.
+                    peak += snap.peak_bits();
                 }
                 KeyState::Vacant => unreachable!("Vacant never escapes the key lock"),
             }
@@ -369,6 +629,9 @@ where
             evicted_keys,
             snapshot_bits,
             ready_keys: self.ready.len(),
+            governed_bits: self.live_bits.load(Ordering::Relaxed),
+            read_hit_latency: self.counters.read_hit_histogram(),
+            read_remat_latency: self.counters.read_remat_histogram(),
         }
     }
 
@@ -406,14 +669,23 @@ pub(crate) fn build(
     spec: &ShardSpec,
     batch: usize,
     policy: HistoryPolicy,
+    eviction: EvictionPolicy,
     group: Arc<WorkGroup>,
 ) -> Arc<dyn ShardEngine> {
     match spec.protocol {
-        ProtocolSpec::Abd => engine(Abd::new(spec.register), batch, policy, group),
-        ProtocolSpec::AbdAtomic => engine(AbdAtomic::new(spec.register), batch, policy, group),
-        ProtocolSpec::Safe => engine(Safe::new(spec.register), batch, policy, group),
-        ProtocolSpec::Coded => engine(Coded::new(spec.register), batch, policy, group),
-        ProtocolSpec::Adaptive => engine(Adaptive::new(spec.register), batch, policy, group),
+        ProtocolSpec::Abd => engine(Abd::new(spec.register), batch, policy, eviction, group),
+        ProtocolSpec::AbdAtomic => engine(
+            AbdAtomic::new(spec.register),
+            batch,
+            policy,
+            eviction,
+            group,
+        ),
+        ProtocolSpec::Safe => engine(Safe::new(spec.register), batch, policy, eviction, group),
+        ProtocolSpec::Coded => engine(Coded::new(spec.register), batch, policy, eviction, group),
+        ProtocolSpec::Adaptive => {
+            engine(Adaptive::new(spec.register), batch, policy, eviction, group)
+        }
     }
 }
 
@@ -421,6 +693,7 @@ fn engine<P: RegisterProtocol + Send + Sync + 'static>(
     proto: P,
     batch: usize,
     policy: HistoryPolicy,
+    eviction: EvictionPolicy,
     group: Arc<WorkGroup>,
 ) -> Arc<dyn ShardEngine>
 where
@@ -437,9 +710,14 @@ where
         group,
         counters: Arc::new(AtomicCounters::default()),
         policy,
+        eviction,
         batch,
         name,
         value_len,
         initial,
+        ticks: AtomicU64::new(0),
+        live_bits: AtomicU64::new(0),
+        govern_lock: parking_lot::Mutex::new(()),
+        govern_backoff: AtomicU64::new(0),
     })
 }

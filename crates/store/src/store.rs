@@ -93,7 +93,10 @@ pub struct KeyHistory {
 pub struct Store {
     inner: Arc<StoreInner>,
     group: Arc<WorkGroup>,
-    drivers: Vec<std::thread::JoinHandle<()>>,
+    /// Behind a mutex so teardown works from `&self` ([`Store::halt`]):
+    /// the first stopper drains and joins the handles; latecomers find
+    /// the list empty and only re-run the (idempotent) pending sweep.
+    drivers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// Spawns one pool driver. Its loop gives the home shard priority, then
@@ -103,6 +106,13 @@ pub struct Store {
 /// submissions ([`WorkGroup::notify`]) and shutdown
 /// ([`WorkGroup::request_stop`]), and the lock-ordered re-check makes
 /// both race-free.
+///
+/// The driver is also the home shard's *eviction governor*: a cheap
+/// occupancy check runs every iteration (so an `OccupancyAbove` policy
+/// reclaims even under sustained traffic, one bounded pass between
+/// batches), and the idle-time sweep runs when the home queue drains —
+/// reclamation costs zero dedicated threads and never blocks a ready
+/// key.
 fn spawn_pool_driver(
     home: usize,
     shards: Vec<Arc<dyn ShardEngine>>,
@@ -114,12 +124,20 @@ fn spawn_pool_driver(
         .spawn(move || {
             let n = shards.len();
             while !group.is_stopped() {
-                // Home shard first: drain one ready key per iteration so
+                // Occupancy trigger first (one atomic load when idle or
+                // disarmed): a bounded coldest-first pass, then ready
+                // keys run again.
+                if shards[home].wants_governing() {
+                    shards[home].govern(false);
+                }
+                // Home shard next: drain one ready key per iteration so
                 // the stop flag is observed between batches.
                 if shards[home].run_ready(false) {
                     continue;
                 }
-                // Idle at home: steal one ready key from a neighbor.
+                // Idle at home: run the idle-time eviction sweep, then
+                // steal one ready key from a neighbor.
+                let evicted = shards[home].govern(true);
                 let mut stole = false;
                 if work_stealing {
                     for offset in 1..n {
@@ -131,7 +149,9 @@ fn spawn_pool_driver(
                         }
                     }
                 }
-                if stole {
+                if stole || evicted > 0 {
+                    // A sweep may have overlapped new submissions on the
+                    // home queue; re-check before parking.
                     continue;
                 }
                 // The park predicate matches what this driver will run:
@@ -165,6 +185,7 @@ impl Store {
             batch,
             history,
             work_stealing,
+            eviction,
         } = config;
         // With stealing, any single driver can run any ready key, so a
         // submission wakes one driver; without it, queues are disjoint
@@ -176,7 +197,7 @@ impl Store {
         });
         let shards: Vec<Arc<dyn ShardEngine>> = specs
             .iter()
-            .map(|spec| shard::build(spec, batch, history, Arc::clone(&group)))
+            .map(|spec| shard::build(spec, batch, history, eviction, Arc::clone(&group)))
             .collect();
         let drivers = (0..shards.len())
             .map(|home| spawn_pool_driver(home, shards.clone(), Arc::clone(&group), work_stealing))
@@ -184,7 +205,7 @@ impl Store {
         Ok(Store {
             inner: Arc::new(StoreInner { shards }),
             group,
-            drivers,
+            drivers: parking_lot::Mutex::new(drivers),
         })
     }
 
@@ -247,17 +268,32 @@ impl Store {
     /// in-flight operations with [`StoreError::ShutDown`]. Idempotent;
     /// also called on drop. Drivers parked on empty ready queues observe
     /// the stop promptly (no timed waits anywhere).
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         self.stop_drivers();
     }
 
-    fn stop_drivers(&mut self) {
+    /// [`Store::shutdown`] from a shared reference: stops and joins the
+    /// driver pool and fails remaining in-flight operations, while other
+    /// threads may still hold `&Store` (a metrics poller, an eviction
+    /// loop racing the teardown, …). Idempotent, and safe to race with
+    /// [`Store::evict_quiescent`] — the stress tests exercise exactly
+    /// that interleaving.
+    pub fn halt(&self) {
+        self.stop_drivers();
+    }
+
+    fn stop_drivers(&self) {
         self.group.request_stop();
-        for h in self.drivers.drain(..) {
+        let handles: Vec<_> = self.drivers.lock().drain(..).collect();
+        for h in handles {
             let _ = h.join();
         }
-        // With every driver joined, nothing races this cleanup: flush
-        // results that are ready, fail the rest so no client hangs.
+        // The *first* stopper joined every driver above, so its sweep
+        // runs unraced. A concurrent second stopper may sweep while
+        // drivers are still winding down — harmless: the sweep flushes
+        // results that are ready and fails the rest, drivers only ever
+        // fill slots (first outcome wins), and the first stopper's final
+        // sweep is the authoritative one that leaves nothing pending.
         for s in &self.inner.shards {
             s.fail_all_pending();
         }

@@ -3,7 +3,7 @@
 
 use rsb_consistency::{check_atomicity, check_strong_regularity, History};
 use rsb_registers::RegisterConfig;
-use rsb_store::{ProtocolSpec, Store, StoreConfig};
+use rsb_store::{EvictionPolicy, HistoryPolicy, ProtocolSpec, Store, StoreConfig};
 use rsb_workloads::{KeyedAction, KeyedScenario};
 
 /// Drives a keyed scenario with one OS thread per client, blocking ops.
@@ -62,6 +62,70 @@ fn abd_atomic_store_histories_linearize() {
     drive(&store, &scenario);
     check_all_keys(&store, |h| {
         check_atomicity(h).expect("linearizability of an atomic-ABD key history");
+    });
+    store.shutdown();
+}
+
+#[test]
+fn histories_spanning_eviction_cycles_stay_strongly_regular() {
+    // Traffic → evict everything → more traffic → evict → more traffic:
+    // recorded histories span two full evict/rematerialize cycles, and
+    // reads served from a rematerialized key must still be acceptable
+    // to the checkers (same timestamps, same op-id line).
+    let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+    let store = Store::start(
+        StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)
+            .with_history(HistoryPolicy::TruncateAfter(32)),
+    )
+    .unwrap();
+    for round in 0..3u64 {
+        let scenario = KeyedScenario::uniform(6, 25, 12, 0.5, 16, 4_000 + round).with_zipf(0.8);
+        drive(&store, &scenario);
+        if round < 2 {
+            let evicted = store.evict_quiescent();
+            assert!(evicted > 0, "rounds leave quiescent keys to evict");
+        }
+    }
+    let totals = store.metrics().totals();
+    assert!(
+        totals.rematerialized > 0,
+        "later rounds touched evicted keys"
+    );
+    check_all_keys(&store, |h| {
+        check_strong_regularity(h)
+            .expect("strong regularity across eviction/rematerialization cycles");
+    });
+    store.shutdown();
+}
+
+#[test]
+fn abd_atomic_histories_spanning_eviction_linearize() {
+    // Linearizability must also survive the cycle — with the *governor*
+    // doing the evicting (tight occupancy watermarks, so keys cycle
+    // through snapshots mid-run), a rematerialized key's reads still
+    // linearize against the writes recorded before its eviction.
+    let reg = RegisterConfig::new(3, 1, 1, 16).unwrap();
+    let store = Store::start(
+        StoreConfig::uniform(2, ProtocolSpec::AbdAtomic, reg)
+            .with_history(HistoryPolicy::TruncateAfter(64))
+            .with_eviction(EvictionPolicy::OccupancyAbove {
+                bits: 1,
+                low_watermark: 0,
+            }),
+    )
+    .unwrap();
+    for round in 0..2u64 {
+        let scenario = KeyedScenario::uniform(6, 30, 10, 0.6, 16, 7_000 + round);
+        drive(&store, &scenario);
+        // A manual sweep between rounds guarantees cycles even if the
+        // governor's timing didn't catch a quiescent moment.
+        store.evict_quiescent();
+    }
+    let totals = store.metrics().totals();
+    assert!(totals.evictions() > 0, "keys were evicted during the run");
+    assert!(totals.rematerialized > 0, "and brought back by traffic");
+    check_all_keys(&store, |h| {
+        check_atomicity(h).expect("linearizability across eviction/rematerialization cycles");
     });
     store.shutdown();
 }

@@ -196,6 +196,18 @@ impl KeySpace {
         format!("k{i:06}")
     }
 
+    /// Parses a canonical key name back to its rank, or `None` when the
+    /// key is not shaped `k<digits>` or its rank is outside this space —
+    /// the defensive inverse of [`KeySpace::name`]. Use this instead of
+    /// `key[1..].parse().unwrap()`: consumers (consistency spot-checks,
+    /// hit-rate tables) must *skip or report* foreign keys, not panic on
+    /// a future custom key distribution (or a multi-byte first char,
+    /// where the slice itself panics).
+    pub fn rank_of(&self, key: &str) -> Option<usize> {
+        let rank = key_rank(key)?;
+        (rank < self.count).then_some(rank)
+    }
+
     /// Samples a key index.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         if let Some((hot, hot_fraction)) = self.hot_spot {
@@ -222,6 +234,17 @@ impl KeySpace {
 }
 
 use rand::RngCore;
+
+/// Parses a canonical `k<digits>` key name to its rank, or `None` for
+/// any other shape (empty string, different prefix, non-digits, or a
+/// value that overflows `usize`). Never panics, whatever the input.
+pub fn key_rank(key: &str) -> Option<usize> {
+    let digits = key.strip_prefix('k')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
 
 /// A keyed multi-register traffic scenario.
 #[derive(Debug, Clone)]
@@ -471,7 +494,7 @@ mod tests {
 
         let mut counts = vec![0usize; keys];
         for op in s.client_ops(0) {
-            let rank: usize = op.key[1..].parse().expect("canonical k###### name");
+            let rank = space.rank_of(&op.key).expect("canonical k###### name");
             counts[rank] += 1;
         }
         for (rank, &count) in counts.iter().take(8).enumerate() {
@@ -503,8 +526,8 @@ mod tests {
         assert!((space.probability(5) - (0.1 / 30.0)).abs() < 1e-9);
         let mut hot_hits = 0usize;
         for op in s.client_ops(0) {
-            let rank: usize = op.key[1..].parse().unwrap();
-            if rank < 2 {
+            // Defensive parse: a foreign key would be skipped, not panic.
+            if space.rank_of(&op.key).is_some_and(|rank| rank < 2) {
                 hot_hits += 1;
             }
         }
@@ -528,6 +551,37 @@ mod tests {
         }
         let total: f64 = (0..4).map(|i| space.probability(i)).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_rank_parses_canonical_names_and_rejects_everything_else() {
+        let space = KeySpace::new(32, KeyDist::Uniform);
+        for i in [0usize, 1, 7, 31] {
+            assert_eq!(key_rank(&space.name(i)), Some(i));
+            assert_eq!(space.rank_of(&space.name(i)), Some(i));
+        }
+        // Unpadded canonical-ish names still parse.
+        assert_eq!(key_rank("k7"), Some(7));
+        // Foreign shapes must come back as None, never panic — including
+        // the multi-byte first char that would make `key[1..]` itself
+        // panic on a byte-offset boundary.
+        for foreign in [
+            "",
+            "k",
+            "x000001",
+            "k-1",
+            "k1.5",
+            "kabc",
+            "k1a",
+            "user:42",
+            "é42",
+            "k99999999999999999999999999",
+        ] {
+            assert_eq!(key_rank(foreign), None, "key {foreign:?}");
+        }
+        // In-space check: rank must also be inside the population.
+        assert_eq!(space.rank_of("k000031"), Some(31));
+        assert_eq!(space.rank_of("k000032"), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@ mod seeds;
 mod values;
 
 pub use keyed::{
-    KeyDist, KeySpace, KeyedAction, KeyedOp, KeyedOpStream, KeyedScenario, ValueSizeDist,
+    key_rank, KeyDist, KeySpace, KeyedAction, KeyedOp, KeyedOpStream, KeyedScenario, ValueSizeDist,
 };
 pub use scenario::{run_scenario, FailurePlan, Scenario, ScenarioOutcome};
 pub use seeds::SeedSequence;

@@ -33,6 +33,18 @@ impl<T> Mutex<T> {
         MutexGuard { inner: Some(guard) }
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if it is
+    /// held elsewhere. Never poisons.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner
