@@ -1,12 +1,19 @@
 //! B4 — store microbenchmarks: end-to-end operation cost through the
 //! sharded service (submit → ready queue → driver step → completion),
-//! uniform and hot-key shapes, so the bench-regression gate covers the
-//! store execution path alongside the codec and protocol benches.
+//! uniform and hot-key shapes, plus the transport layer — the wire-frame
+//! codec and a full TCP round-trip — so the bench-regression gate covers
+//! the store execution path and the networked client surface alongside
+//! the codec and protocol benches. (`store_write_read` goes through the
+//! [`Loopback`] transport: it *is* the loopback round-trip bench.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rsb_coding::Value;
 use rsb_registers::RegisterConfig;
-use rsb_store::{EvictionPolicy, HistoryPolicy, ProtocolSpec, Store, StoreConfig};
+use rsb_store::frame::{encode_frame, read_frame, Frame};
+use rsb_store::{
+    EvictionPolicy, HistoryPolicy, ListenSpec, ProtocolSpec, Store, StoreClient, StoreConfig,
+    TcpTransport,
+};
 
 const VALUE_LEN: usize = 64;
 
@@ -112,10 +119,66 @@ fn bench_governed_eviction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pure codec cost of the busiest frame on the wire: encode + length-
+/// prefixed decode of a `WriteReq` carrying a bench-sized value.
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_frame_codec");
+    let frame = Frame::WriteReq {
+        id: 42,
+        key: "k000042".into(),
+        value: Value::seeded(7, VALUE_LEN).as_bytes().to_vec(),
+    };
+    let mut encoded = Vec::new();
+    encode_frame(&frame, &mut encoded);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("write_req_64b", |b| {
+        let mut buf = Vec::with_capacity(encoded.len());
+        b.iter(|| {
+            buf.clear();
+            encode_frame(&frame, &mut buf);
+            let decoded = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+            assert!(matches!(decoded, Frame::WriteReq { id: 42, .. }));
+        });
+    });
+    group.finish();
+}
+
+/// The same write+read pair as `store_write_read`, but through a real
+/// socket on 127.0.0.1 — the gate watches the whole wire path (frame
+/// encode, kernel round-trip, reader-thread demux, completion cell).
+fn bench_tcp_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_tcp_roundtrip");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(2));
+    group.bench_function("4shards_localhost", |b| {
+        let reg = RegisterConfig::paper(1, 2, VALUE_LEN).unwrap();
+        let config = StoreConfig::uniform(4, ProtocolSpec::Abd, reg)
+            .with_history(HistoryPolicy::TruncateAfter(256))
+            .with_listen(ListenSpec::new("127.0.0.1:0"));
+        let server = Store::serve(config).unwrap();
+        let client: StoreClient<TcpTransport> =
+            StoreClient::over(TcpTransport::connect(server.local_addr()).unwrap());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("k{:03}", i % 64);
+            client
+                .write_blocking(&key, Value::seeded(i, VALUE_LEN))
+                .unwrap();
+            assert_eq!(client.read_blocking(&key).unwrap().len(), VALUE_LEN);
+        });
+        drop(client);
+        server.shutdown();
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_store_roundtrip,
     bench_hot_key_pipelined,
-    bench_governed_eviction
+    bench_governed_eviction,
+    bench_frame_codec,
+    bench_tcp_roundtrip
 );
 criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Load-generating client for a running `e10_store_server`.
+//!
+//! Closed loop by default; pass `--rate OPS_PER_SEC` for open-loop
+//! arrivals (fixed schedule, latency measured from the scheduled start —
+//! coordinated-omission-free). Each client thread gets its own TCP
+//! connection.
+//!
+//! ```sh
+//! cargo run --release -p rsb-bench --bin e10_store_client -- \
+//!     --addr 127.0.0.1:7400 --clients 16 --ops 500 --rate 10000
+//! ```
+
+use reliable_storage::prelude::*;
+use rsb_bench::print_table;
+use rsb_store::load::{run_load, LoadMode, LoadReport, LoadSpec};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7400".into());
+    let clients: usize = flag(&args, "--clients").map_or(8, |v| v.parse().expect("--clients"));
+    let ops: usize = flag(&args, "--ops").map_or(200, |v| v.parse().expect("--ops"));
+    let keys: usize = flag(&args, "--keys").map_or(128, |v| v.parse().expect("--keys"));
+    let value_len: usize =
+        flag(&args, "--value-len").map_or(64, |v| v.parse().expect("--value-len"));
+    let write_fraction: f64 =
+        flag(&args, "--write-frac").map_or(0.5, |v| v.parse().expect("--write-frac"));
+    let seed: u64 = flag(&args, "--seed").map_or(1, |v| v.parse().expect("--seed"));
+    let rate: Option<f64> = flag(&args, "--rate").map(|v| v.parse().expect("--rate"));
+
+    let spec = LoadSpec {
+        clients: 1, // one spec slice per OS thread; each thread owns a connection
+        ops_per_client: ops,
+        keys,
+        write_fraction,
+        value_len,
+        seed,
+        mode: LoadMode::Closed,
+    };
+    let sock_addr: std::net::SocketAddr = addr.parse().expect("--addr is host:port");
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let slice = LoadSpec {
+                seed: seed.wrapping_add(c as u64),
+                mode: match rate {
+                    None => LoadMode::Closed,
+                    Some(r) => LoadMode::Open {
+                        rate: r / clients as f64,
+                    },
+                },
+                ..spec.clone()
+            };
+            std::thread::spawn(move || {
+                let client: StoreClient<TcpTransport> =
+                    StoreClient::over(TcpTransport::connect(sock_addr).expect("connect to server"));
+                run_load(&client, &slice)
+            })
+        })
+        .collect();
+
+    let mut merged: Option<LoadReport> = None;
+    for h in handles {
+        let r = h.join().expect("load thread");
+        match &mut merged {
+            None => merged = Some(r),
+            Some(m) => {
+                m.issued += r.issued;
+                m.ok += r.ok;
+                m.errors += r.errors;
+                if m.first_error.is_none() {
+                    m.first_error = r.first_error;
+                }
+                m.elapsed = m.elapsed.max(r.elapsed);
+                m.latency.merge(&r.latency);
+            }
+        }
+    }
+    let r = merged.expect("at least one client");
+    if let Some(err) = &r.first_error {
+        eprintln!("first error: {err}");
+    }
+    print_table(
+        &format!(
+            "{addr} — {clients} clients x {ops} ops, {}",
+            rate.map_or_else(|| "closed loop".into(), |x| format!("open loop @ {x:.0}/s"))
+        ),
+        &[
+            "ops", "ok", "errs", "secs", "kops/s", "p50_us", "p99_us", "p999_us",
+        ],
+        &[vec![
+            r.issued.to_string(),
+            r.ok.to_string(),
+            r.errors.to_string(),
+            format!("{:.3}", r.elapsed.as_secs_f64()),
+            format!("{:.1}", r.kops()),
+            format!("{:.0}", r.latency.quantile_us(0.50)),
+            format!("{:.0}", r.latency.quantile_us(0.99)),
+            format!("{:.0}", r.latency.quantile_us(0.999)),
+        ]],
+    );
+    assert_eq!(r.errors, 0, "load run saw errors: {:?}", r.first_error);
+}

@@ -1,0 +1,59 @@
+//! Standalone store server: binds a [`StoreServer`] on a TCP address and
+//! serves until interrupted (or for `--run-secs N`, for scripted smokes).
+//!
+//! ```sh
+//! cargo run --release -p rsb-bench --bin e10_store_server -- \
+//!     --addr 127.0.0.1:7400 --shards 8 --proto adaptive --value-len 64
+//! ```
+
+use reliable_storage::prelude::*;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7400".into());
+    let shards: usize = flag(&args, "--shards").map_or(8, |v| v.parse().expect("--shards"));
+    let value_len: usize =
+        flag(&args, "--value-len").map_or(64, |v| v.parse().expect("--value-len"));
+    let backlog: usize = flag(&args, "--backlog").map_or(64, |v| v.parse().expect("--backlog"));
+    let run_secs: Option<u64> = flag(&args, "--run-secs").map(|v| v.parse().expect("--run-secs"));
+    let proto = match flag(&args, "--proto").as_deref().unwrap_or("adaptive") {
+        "abd" => ProtocolSpec::Abd,
+        "abd-atomic" => ProtocolSpec::AbdAtomic,
+        "safe" => ProtocolSpec::Safe,
+        "coded" => ProtocolSpec::Coded,
+        "adaptive" => ProtocolSpec::Adaptive,
+        other => panic!("unknown --proto {other:?} (abd|abd-atomic|safe|coded|adaptive)"),
+    };
+
+    let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
+    let config = StoreConfig::uniform(shards, proto, reg)
+        .with_listen(ListenSpec::new(addr).with_backlog(backlog));
+    let server = Store::serve(config).expect("bind listen address");
+    println!(
+        "e10_store_server: listening on {} ({shards} shards, {value_len}-byte values, backlog {backlog})",
+        server.local_addr()
+    );
+
+    match run_secs {
+        Some(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let totals = server.store().metrics().totals();
+            println!(
+                "e10_store_server: exiting after {secs}s — {} ops completed",
+                totals.completed()
+            );
+            server.shutdown();
+        }
+        None => loop {
+            // Serve until the process is killed; accept/connection threads
+            // do all the work.
+            std::thread::sleep(std::time::Duration::from_hours(1));
+        },
+    }
+}

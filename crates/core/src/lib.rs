@@ -20,8 +20,10 @@
 //! * [`consistency`] — regularity/safety/liveness checkers;
 //! * [`workloads`] — seeded scenarios (single- and multi-key) and
 //!   failure injection;
-//! * [`store`] — the sharded multi-register storage service with an
-//!   async client surface and live storage metrics;
+//! * [`store`] — the sharded multi-register storage service with a
+//!   transport-generic async client surface (in-process loopback or a
+//!   real TCP wire), live storage metrics, and an open-/closed-loop
+//!   load harness;
 //! * [`experiments`] — the drivers regenerating every quantitative claim
 //!   (see `EXPERIMENTS.md` at the repository root);
 //! * [`verify`] — glue tying scenarios to the checkers.
@@ -67,8 +69,8 @@ pub mod verify;
 pub mod prelude {
     pub use rsb_coding::{Block, Code, Rateless, ReedSolomon, Replication, Value};
     pub use rsb_consistency::{
-        check_liveness, check_strong_regularity, check_strong_safety, check_weak_regularity,
-        History, LivenessLevel,
+        check_atomicity, check_liveness, check_strong_regularity, check_strong_safety,
+        check_weak_regularity, History, LivenessLevel,
     };
     pub use rsb_fpsm::{
         run, run_to_completion, run_until, ClientId, FairScheduler, ObjectId, OpRequest, OpResult,
@@ -79,8 +81,9 @@ pub mod prelude {
         threaded::ThreadedRegister, Abd, Adaptive, Coded, RegisterConfig, RegisterProtocol, Safe,
     };
     pub use rsb_store::{
-        block_on, join_all, EvictionPolicy, HistoryPolicy, LatencyHistogram, ProtocolSpec, Store,
-        StoreClient, StoreConfig, StoreError, StoreMetrics,
+        block_on, frame, join_all, EvictionPolicy, HistoryPolicy, KeyMeta, LatencyHistogram,
+        ListenSpec, Loopback, OpTicket, ProtocolSpec, Store, StoreClient, StoreConfig, StoreError,
+        StoreMetrics, StoreServer, TcpTransport, Transport,
     };
     pub use rsb_workloads::{
         key_rank, run_scenario, FailurePlan, KeyDist, KeyedAction, KeyedScenario, Scenario,

@@ -108,6 +108,46 @@ pub enum EvictionPolicy {
     },
 }
 
+/// Where (and how) [`Store::serve`](crate::Store::serve) exposes the
+/// store over TCP.
+///
+/// Validated by [`StoreConfig::validate`] with the same
+/// reject-at-start discipline as the eviction section: a bad address or
+/// a zero connection bound never gets as far as a bind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListenSpec {
+    /// The address to bind, e.g. `"127.0.0.1:7400"` (use port `0` for an
+    /// ephemeral port, reported by
+    /// [`StoreServer::local_addr`](crate::StoreServer::local_addr)).
+    pub addr: String,
+    /// Maximum concurrent client connections; further connects are
+    /// answered with a `Rejected` error frame and closed.
+    pub backlog: usize,
+    /// Whether to set `TCP_NODELAY` on accepted connections (default
+    /// true — the protocol is request/response, Nagle only adds latency).
+    pub nodelay: bool,
+}
+
+impl ListenSpec {
+    /// Default connection bound.
+    pub const DEFAULT_BACKLOG: usize = 64;
+
+    /// A spec for `addr` with the default backlog and `TCP_NODELAY` on.
+    pub fn new(addr: impl Into<String>) -> Self {
+        ListenSpec {
+            addr: addr.into(),
+            backlog: Self::DEFAULT_BACKLOG,
+            nodelay: true,
+        }
+    }
+
+    /// Overrides the concurrent-connection bound.
+    pub fn with_backlog(mut self, backlog: usize) -> Self {
+        self.backlog = backlog;
+        self
+    }
+}
+
 /// Errors validating a [`StoreConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreConfigError {
@@ -122,6 +162,13 @@ pub enum StoreConfigError {
     /// An occupancy eviction policy whose low watermark exceeds its
     /// high watermark.
     WatermarkAboveBound,
+    /// A listen section with a zero connection bound.
+    ZeroBacklog,
+    /// A listen address that does not parse as a socket address.
+    BadListenAddr(String),
+    /// [`Store::serve`](crate::Store::serve) was called on a
+    /// configuration with no listen section.
+    MissingListen,
 }
 
 impl std::fmt::Display for StoreConfigError {
@@ -142,6 +189,21 @@ impl std::fmt::Display for StoreConfigError {
                 write!(
                     f,
                     "occupancy eviction needs low_watermark <= bits (the high watermark)"
+                )
+            }
+            StoreConfigError::ZeroBacklog => {
+                write!(
+                    f,
+                    "a listen section needs a backlog of at least 1 connection"
+                )
+            }
+            StoreConfigError::BadListenAddr(addr) => {
+                write!(f, "listen address {addr:?} is not a valid socket address")
+            }
+            StoreConfigError::MissingListen => {
+                write!(
+                    f,
+                    "serving requires a listen section (StoreConfig::with_listen)"
                 )
             }
         }
@@ -170,6 +232,10 @@ pub struct StoreConfig {
     pub work_stealing: bool,
     /// How the driver pool reclaims memory from cold keys.
     pub eviction: EvictionPolicy,
+    /// The TCP service surface, if any. `None` (the default) means
+    /// in-process only; [`Store::serve`](crate::Store::serve) requires
+    /// `Some`.
+    pub listen: Option<ListenSpec>,
 }
 
 impl StoreConfig {
@@ -185,6 +251,7 @@ impl StoreConfig {
             history: HistoryPolicy::Unbounded,
             work_stealing: true,
             eviction: EvictionPolicy::Manual,
+            listen: None,
         }
     }
 
@@ -212,13 +279,22 @@ impl StoreConfig {
         self
     }
 
+    /// Adds a TCP listen section, enabling
+    /// [`Store::serve`](crate::Store::serve).
+    pub fn with_listen(mut self, listen: ListenSpec) -> Self {
+        self.listen = Some(listen);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
     /// Rejects an empty shard list, a zero batch size, a zero
-    /// truncate-after-N bound, a zero idle-eviction threshold, and an
-    /// occupancy policy whose low watermark exceeds its high watermark.
+    /// truncate-after-N bound, a zero idle-eviction threshold, an
+    /// occupancy policy whose low watermark exceeds its high watermark,
+    /// and a listen section with a zero backlog or an unparseable
+    /// address.
     pub fn validate(&self) -> Result<(), StoreConfigError> {
         if self.shards.is_empty() {
             return Err(StoreConfigError::NoShards);
@@ -236,6 +312,14 @@ impl StoreConfig {
                 low_watermark,
             } if low_watermark > bits => return Err(StoreConfigError::WatermarkAboveBound),
             _ => {}
+        }
+        if let Some(listen) = &self.listen {
+            if listen.backlog == 0 {
+                return Err(StoreConfigError::ZeroBacklog);
+            }
+            if listen.addr.parse::<std::net::SocketAddr>().is_err() {
+                return Err(StoreConfigError::BadListenAddr(listen.addr.clone()));
+            }
         }
         Ok(())
     }
@@ -301,6 +385,28 @@ mod tests {
             })
             .validate(),
             Err(StoreConfigError::WatermarkAboveBound)
+        );
+    }
+
+    #[test]
+    fn listen_sections_validate() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let cfg = StoreConfig::uniform(2, ProtocolSpec::Abd, reg);
+        assert!(cfg.validate().is_ok(), "no listen section is fine");
+        assert!(cfg
+            .clone()
+            .with_listen(ListenSpec::new("127.0.0.1:0"))
+            .validate()
+            .is_ok());
+        assert_eq!(
+            cfg.clone()
+                .with_listen(ListenSpec::new("127.0.0.1:0").with_backlog(0))
+                .validate(),
+            Err(StoreConfigError::ZeroBacklog)
+        );
+        assert_eq!(
+            cfg.with_listen(ListenSpec::new("not-an-addr")).validate(),
+            Err(StoreConfigError::BadListenAddr("not-an-addr".into()))
         );
     }
 

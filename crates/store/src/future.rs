@@ -1,56 +1,29 @@
 //! Hand-rolled, executor-agnostic operation futures.
 //!
-//! [`ReadFuture`] / [`WriteFuture`] wrap the driver-filled
-//! [`CompletionSlot`](rsb_registers::CompletionSlot)s of
-//! `rsb_registers::threaded`. They implement [`Future`] so any executor
-//! can await them, and each also offers a blocking `wait()` that parks on
-//! the slot's condvar — the tree is offline-vendored, so no tokio (or any
-//! runtime) is required anywhere. [`block_on`] is a minimal thread-parking
-//! executor for contexts with no runtime at all.
+//! [`ReadFuture`] / [`WriteFuture`] wrap the [`OpTicket`] a
+//! [`Transport`](crate::Transport) returned for the submission —
+//! a driver-filled [`CompletionSlot`](rsb_registers::CompletionSlot) on
+//! the loopback path, a TCP-reader-filled cell on the wire. They
+//! implement [`Future`] so any executor can await them, and each also
+//! offers a blocking `wait()` that parks on the underlying condvar — the
+//! tree is offline-vendored, so no tokio (or any runtime) is required
+//! anywhere. [`block_on`] is a minimal thread-parking executor for
+//! contexts with no runtime at all.
 
+use crate::net::OpTicket;
 use crate::store::StoreError;
 use rsb_coding::Value;
 use rsb_fpsm::OpResult;
-use rsb_registers::CompletionSlot;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
-/// Shared core of the two operation futures: either a live completion
-/// slot, or an error determined at submission time (e.g. the store was
-/// already shut down) delivered on first poll.
-#[derive(Debug)]
-pub(crate) enum OpFuture {
-    /// Submitted; the driver will fill the slot.
-    Slot(Arc<CompletionSlot>),
-    /// Failed at submission; `None` after the error has been taken.
-    Failed(Option<StoreError>),
-}
-
-impl OpFuture {
-    fn poll_result(&mut self, cx: &mut Context<'_>) -> Poll<Result<OpResult, StoreError>> {
-        match self {
-            OpFuture::Slot(slot) => slot.poll_outcome(cx).map_err(StoreError::from),
-            OpFuture::Failed(err) => Poll::Ready(Err(err
-                .take()
-                .expect("operation future polled after completion"))),
-        }
-    }
-
-    fn wait(mut self) -> Result<OpResult, StoreError> {
-        match &mut self {
-            OpFuture::Slot(slot) => slot.wait().map_err(StoreError::from),
-            OpFuture::Failed(err) => Err(err.take().expect("freshly constructed")),
-        }
-    }
-}
-
 /// The future of a `read(key)`; resolves to the value read.
 #[derive(Debug)]
 #[must_use = "futures do nothing unless polled or waited on"]
 pub struct ReadFuture {
-    pub(crate) inner: OpFuture,
+    pub(crate) ticket: OpTicket,
 }
 
 impl ReadFuture {
@@ -58,9 +31,10 @@ impl ReadFuture {
     ///
     /// # Errors
     ///
-    /// Fails if the store shut down or the submission was rejected.
+    /// Fails if the store shut down, the submission was rejected, or the
+    /// transport failed.
     pub fn wait(self) -> Result<Value, StoreError> {
-        self.inner.wait().map(into_read)
+        self.ticket.wait().and_then(into_read)
     }
 }
 
@@ -69,9 +43,9 @@ impl Future for ReadFuture {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         self.get_mut()
-            .inner
+            .ticket
             .poll_result(cx)
-            .map(|r| r.map(into_read))
+            .map(|r| r.and_then(into_read))
     }
 }
 
@@ -79,7 +53,7 @@ impl Future for ReadFuture {
 #[derive(Debug)]
 #[must_use = "futures do nothing unless polled or waited on"]
 pub struct WriteFuture {
-    pub(crate) inner: OpFuture,
+    pub(crate) ticket: OpTicket,
 }
 
 impl WriteFuture {
@@ -87,9 +61,10 @@ impl WriteFuture {
     ///
     /// # Errors
     ///
-    /// Fails if the store shut down or the submission was rejected.
+    /// Fails if the store shut down, the submission was rejected, or the
+    /// transport failed.
     pub fn wait(self) -> Result<(), StoreError> {
-        self.inner.wait().map(|_| ())
+        self.ticket.wait().map(|_| ())
     }
 }
 
@@ -97,14 +72,17 @@ impl Future for WriteFuture {
     type Output = Result<(), StoreError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        self.get_mut().inner.poll_result(cx).map(|r| r.map(|_| ()))
+        self.get_mut().ticket.poll_result(cx).map(|r| r.map(|_| ()))
     }
 }
 
-fn into_read(result: OpResult) -> Value {
+/// A write ack delivered to a read is unreachable on loopback (drivers
+/// fill the slot the read registered) but *possible* over a buggy or
+/// hostile wire — so it is an error, never a panic, on the client path.
+fn into_read(result: OpResult) -> Result<Value, StoreError> {
     match result {
-        OpResult::Read(v) => v,
-        OpResult::Write => unreachable!("read future resolved with a write ack"),
+        OpResult::Read(v) => Ok(v),
+        OpResult::Write => Err(StoreError::Decode("write ack delivered to a read".into())),
     }
 }
 

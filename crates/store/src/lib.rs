@@ -17,16 +17,24 @@
 //!
 //! # Client surface
 //!
+//! [`StoreClient`] is generic over a [`Transport`] — [`Loopback`]
+//! (in-process, the default, what [`Store::client`] returns) or
+//! [`TcpTransport`] (a versioned length-prefixed binary protocol over a
+//! std `TcpStream`, served by [`Store::serve`] / [`StoreServer`]).
 //! [`StoreClient::read`] / [`StoreClient::write`] return lightweight
-//! futures backed by the driver-filled condvar completion slots of
-//! `rsb_registers::threaded` — no external async runtime is needed:
+//! futures backed by transport completion cells (driver-filled condvar
+//! slots on loopback, reader-thread-filled cells over TCP) — no external
+//! async runtime is needed anywhere:
 //!
 //! * **async** — the futures implement [`std::future::Future`] and can be
 //!   awaited from any executor, or from the bundled executor-less
 //!   [`block_on`];
 //! * **blocking** — [`ReadFuture::wait`] / [`WriteFuture::wait`] (and the
-//!   `*_blocking` shorthands) park the calling thread on the slot's
+//!   `*_blocking` shorthands) park the calling thread on the cell's
 //!   condvar.
+//!
+//! The [`load`] module offers closed- and open-loop
+//! (coordinated-omission-free) load generation over any transport.
 //!
 //! # Metrics
 //!
@@ -65,13 +73,17 @@
 
 mod config;
 mod future;
+pub mod load;
 mod metrics;
+mod net;
 mod shard;
 mod store;
 
 pub use config::{
-    EvictionPolicy, HistoryPolicy, ProtocolSpec, ShardSpec, StoreConfig, StoreConfigError,
+    EvictionPolicy, HistoryPolicy, ListenSpec, ProtocolSpec, ShardSpec, StoreConfig,
+    StoreConfigError,
 };
 pub use future::{block_on, join_all, ReadFuture, WriteFuture};
 pub use metrics::{EvictionCause, LatencyHistogram, OpCounters, ShardMetrics, StoreMetrics};
+pub use net::{frame, KeyMeta, Loopback, OpTicket, StoreServer, TcpTransport, Transport};
 pub use store::{KeyHistory, Store, StoreClient, StoreError};

@@ -1,0 +1,417 @@
+//! A transport-generic load harness: closed-loop and open-loop drivers
+//! over any [`Transport`], recording latency into the store's log-linear
+//! [`LatencyHistogram`]s.
+//!
+//! The two modes answer different questions:
+//!
+//! * **Closed loop** — each client thread issues its next operation as
+//!   soon as the previous one completes. Measures the service's best
+//!   case at a given concurrency, but hides queueing delay: a stalled
+//!   server simply makes the clients stop offering load.
+//! * **Open loop** — operations arrive on a *fixed schedule* at an
+//!   offered rate, whether or not earlier ones have completed, and each
+//!   latency is measured from the operation's **scheduled** start, not
+//!   from when the harness got around to issuing it. A stall therefore
+//!   shows up as the latency it actually inflicted on the schedule —
+//!   the coordinated-omission-free discipline of wrk2/HdrHistogram.
+//!
+//! Issuing and completion are decoupled: each issuer thread submits
+//! asynchronously and hands the in-flight future to a paired collector
+//! thread, which polls all of its outstanding operations with a
+//! thread-unpark waker and timestamps each completion the moment it
+//! lands — a slow operation never delays the timestamping (or the
+//! issuing) of its neighbors.
+
+use crate::future::{ReadFuture, WriteFuture};
+use crate::metrics::LatencyHistogram;
+use crate::net::Transport;
+use crate::store::{StoreClient, StoreError};
+use rsb_coding::Value;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+/// How the harness offers load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Each client issues its next operation when the previous completes.
+    Closed,
+    /// Operations arrive on a fixed schedule at this *total* rate
+    /// (operations per second across all clients), independent of
+    /// completions.
+    Open {
+        /// Offered load, in operations per second across all clients.
+        rate: f64,
+    },
+}
+
+/// One load run's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSpec {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Operations each client issues.
+    pub ops_per_client: usize,
+    /// Keyspace size; keys are the canonical `k000000`-style names.
+    pub keys: usize,
+    /// Fraction of operations that are writes, in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Payload length of written values (must match the store's register
+    /// value length).
+    pub value_len: usize,
+    /// Master seed for the per-client SplitMix64 op streams.
+    pub seed: u64,
+    /// Closed- or open-loop issuing.
+    pub mode: LoadMode,
+}
+
+impl LoadSpec {
+    /// Total operations the run will issue.
+    pub fn total_ops(&self) -> u64 {
+        self.clients as u64 * self.ops_per_client as u64
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations issued.
+    pub issued: u64,
+    /// Operations that completed successfully.
+    pub ok: u64,
+    /// Operations that returned an error (with the first error seen).
+    pub errors: u64,
+    /// The first error encountered, if any.
+    pub first_error: Option<StoreError>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Completion latency. Closed loop: issue → completion. Open loop:
+    /// *scheduled* start → completion (coordinated-omission-free).
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Achieved completion throughput in kops/s.
+    pub fn kops(&self) -> f64 {
+        (self.ok + self.errors) as f64 / self.elapsed.as_secs_f64().max(1e-9) / 1e3
+    }
+}
+
+/// SplitMix64 — the same tiny deterministic generator the workload crate
+/// seeds with, inlined so the store crate needs no new dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A unit in `[0, 1)` from the generator's top 53 bits.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One client's deterministic operation stream.
+struct OpStream {
+    state: u64,
+    keys: usize,
+    write_fraction: f64,
+    value_len: usize,
+}
+
+impl OpStream {
+    fn new(spec: &LoadSpec, client: usize) -> Self {
+        // Fork a per-client state so streams are independent but the
+        // whole run is reproducible from the master seed.
+        let mut master = spec.seed;
+        let mut state = 0;
+        for _ in 0..=client {
+            state = splitmix(&mut master);
+        }
+        OpStream {
+            state,
+            keys: spec.keys.max(1),
+            write_fraction: spec.write_fraction,
+            value_len: spec.value_len,
+        }
+    }
+
+    fn next_op(&mut self) -> (String, Option<Value>) {
+        let key = format!("k{:06}", splitmix(&mut self.state) % self.keys as u64);
+        if unit(&mut self.state) < self.write_fraction {
+            let payload = splitmix(&mut self.state);
+            (key, Some(Value::seeded(payload, self.value_len)))
+        } else {
+            (key, None)
+        }
+    }
+}
+
+/// An in-flight operation, either kind, polled by a collector.
+enum OpFut {
+    Read(ReadFuture),
+    Write(WriteFuture),
+}
+
+impl OpFut {
+    fn poll_done(&mut self, cx: &mut Context<'_>) -> Poll<Result<(), StoreError>> {
+        match self {
+            OpFut::Read(f) => Pin::new(f).poll(cx).map(|r| r.map(|_| ())),
+            OpFut::Write(f) => Pin::new(f).poll(cx),
+        }
+    }
+}
+
+/// Wakes a collector thread to re-poll its in-flight operations.
+struct CollectorUnparker(std::thread::Thread);
+
+impl Wake for CollectorUnparker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// What one collector accumulated.
+struct Collected {
+    ok: u64,
+    errors: u64,
+    first_error: Option<StoreError>,
+    latency: LatencyHistogram,
+}
+
+/// Polls in-flight operations, timestamping each the moment it lands.
+fn collect_loop(rx: &Receiver<(Instant, OpFut)>) -> Collected {
+    let waker = Waker::from(Arc::new(CollectorUnparker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut in_flight: Vec<(Instant, OpFut)> = Vec::new();
+    let mut out = Collected {
+        ok: 0,
+        errors: 0,
+        first_error: None,
+        latency: LatencyHistogram::default(),
+    };
+    let mut issuer_gone = false;
+    loop {
+        loop {
+            match rx.try_recv() {
+                Ok(entry) => in_flight.push(entry),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    issuer_gone = true;
+                    break;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < in_flight.len() {
+            match in_flight[i].1.poll_done(&mut cx) {
+                Poll::Ready(result) => {
+                    let (scheduled, _) = in_flight.swap_remove(i);
+                    let ns = u64::try_from(scheduled.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    out.latency.record_ns(ns);
+                    match result {
+                        Ok(()) => out.ok += 1,
+                        Err(e) => {
+                            out.errors += 1;
+                            out.first_error.get_or_insert(e);
+                        }
+                    }
+                }
+                Poll::Pending => i += 1,
+            }
+        }
+        if issuer_gone && in_flight.is_empty() {
+            return out;
+        }
+        std::thread::park();
+    }
+}
+
+/// One closed-loop client: issue, wait, record, repeat.
+fn closed_client<T: Transport>(client: &StoreClient<T>, spec: &LoadSpec, c: usize) -> Collected {
+    let mut stream = OpStream::new(spec, c);
+    let mut out = Collected {
+        ok: 0,
+        errors: 0,
+        first_error: None,
+        latency: LatencyHistogram::default(),
+    };
+    for _ in 0..spec.ops_per_client {
+        let (key, write) = stream.next_op();
+        let t = Instant::now();
+        let result = match write {
+            Some(v) => client.write_blocking(&key, v),
+            None => client.read_blocking(&key).map(|_| ()),
+        };
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        out.latency.record_ns(ns);
+        match result {
+            Ok(()) => out.ok += 1,
+            Err(e) => {
+                out.errors += 1;
+                out.first_error.get_or_insert(e);
+            }
+        }
+    }
+    out
+}
+
+/// One open-loop issuer: submit on schedule, hand futures to `tx`.
+///
+/// Client `c` owns the global arrival indices `i ≡ c (mod clients)`, so
+/// the merged arrival process across issuers is uniform at the offered
+/// rate. Latency is measured (by the collector) from the *scheduled*
+/// instant: when the issuer falls behind, the backlog delay is charged
+/// to the operations, not silently dropped.
+fn open_issuer<T: Transport>(
+    client: &StoreClient<T>,
+    spec: &LoadSpec,
+    c: usize,
+    rate: f64,
+    start: Instant,
+    tx: &Sender<(Instant, OpFut)>,
+    collector: &std::thread::Thread,
+) {
+    let period = Duration::from_secs_f64(1.0 / rate.max(1e-9));
+    let mut stream = OpStream::new(spec, c);
+    for j in 0..spec.ops_per_client {
+        let global_index = (j * spec.clients + c) as u32;
+        let scheduled = start + period * global_index;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let (key, write) = stream.next_op();
+        let fut = match write {
+            Some(v) => OpFut::Write(client.write(&key, v)),
+            None => OpFut::Read(client.read(&key)),
+        };
+        if tx.send((scheduled, fut)).is_err() {
+            return;
+        }
+        collector.unpark();
+    }
+}
+
+/// Runs one load profile against a client and reports what it measured.
+///
+/// # Panics
+///
+/// Panics if a collector thread cannot be spawned.
+pub fn run_load<T: Transport>(client: &StoreClient<T>, spec: &LoadSpec) -> LoadReport {
+    let start = Instant::now();
+    let collected: Vec<Collected> = match spec.mode {
+        LoadMode::Closed => std::thread::scope(|s| {
+            let handles: Vec<_> = (0..spec.clients)
+                .map(|c| {
+                    let client = client.clone();
+                    s.spawn(move || closed_client(&client, spec, c))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        }),
+        LoadMode::Open { rate } => std::thread::scope(|s| {
+            let pairs: Vec<_> = (0..spec.clients)
+                .map(|c| {
+                    let (tx, rx) = std::sync::mpsc::channel::<(Instant, OpFut)>();
+                    let collector = s.spawn(move || collect_loop(&rx));
+                    let collector_thread = collector.thread().clone();
+                    let client = client.clone();
+                    let issuer = s.spawn(move || {
+                        open_issuer(&client, spec, c, rate, start, &tx, &collector_thread);
+                    });
+                    (issuer, collector)
+                })
+                .collect();
+            pairs
+                .into_iter()
+                .map(|(issuer, collector)| {
+                    issuer.join().expect("issuer thread");
+                    // The issuer dropped its sender on exit; unpark the
+                    // collector so it notices and drains.
+                    collector.thread().unpark();
+                    collector.join().expect("collector thread")
+                })
+                .collect()
+        }),
+    };
+    let elapsed = start.elapsed();
+    let mut report = LoadReport {
+        issued: spec.total_ops(),
+        ok: 0,
+        errors: 0,
+        first_error: None,
+        elapsed,
+        latency: LatencyHistogram::default(),
+    };
+    for c in collected {
+        report.ok += c.ok;
+        report.errors += c.errors;
+        if report.first_error.is_none() {
+            report.first_error = c.first_error;
+        }
+        report.latency.merge(&c.latency);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProtocolSpec, StoreConfig};
+    use crate::store::Store;
+    use rsb_registers::RegisterConfig;
+
+    fn spec(mode: LoadMode) -> LoadSpec {
+        LoadSpec {
+            clients: 4,
+            ops_per_client: 25,
+            keys: 16,
+            write_fraction: 0.5,
+            value_len: 16,
+            seed: 7,
+            mode,
+        }
+    }
+
+    #[test]
+    fn closed_loop_over_loopback_completes_everything() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)).unwrap();
+        let report = run_load(&store.client(), &spec(LoadMode::Closed));
+        assert_eq!(report.ok, 100);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 100);
+        store.shutdown();
+    }
+
+    #[test]
+    fn open_loop_over_loopback_completes_everything() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)).unwrap();
+        let report = run_load(&store.client(), &spec(LoadMode::Open { rate: 5_000.0 }));
+        assert_eq!(report.ok, 100);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 100);
+        // 100 ops at 5k/s is a 20 ms schedule; the run respected it.
+        assert!(report.elapsed >= Duration::from_millis(19));
+        store.shutdown();
+    }
+
+    #[test]
+    fn op_streams_are_deterministic() {
+        let s = spec(LoadMode::Closed);
+        let mut a = OpStream::new(&s, 2);
+        let mut b = OpStream::new(&s, 2);
+        for _ in 0..20 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

@@ -97,6 +97,16 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Records one latency sample directly (single-threaded recording —
+    /// what the load harness uses; the store's own hot path records
+    /// through lock-free atomics and only snapshots into this type).
+    pub fn record_ns(&mut self, ns: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; HIST_BUCKETS];
+        }
+        self.counts[hist_bucket(ns)] += 1;
+    }
+
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.counts.iter().sum()

@@ -1,0 +1,478 @@
+//! The wire codec: versioned, length-prefixed binary frames.
+//!
+//! Every frame on the wire is `[len: u32 LE][tag: u8][body…]`, where
+//! `len` counts the tag byte plus the body. Integers are little-endian;
+//! strings are length-prefixed UTF-8. The protocol is versioned through
+//! the [`Frame::Hello`]/[`Frame::HelloAck`] handshake (the hello also
+//! carries a magic so a socket speaking something else entirely fails
+//! with a clean [`StoreError::Decode`] instead of garbage):
+//!
+//! | frame       | dir | body |
+//! |-------------|-----|------|
+//! | `Hello`     | c→s | magic `RSBW`, `version: u16` |
+//! | `HelloAck`  | s→c | `version: u16` |
+//! | `ReadReq`   | c→s | `id: u64`, `key: str16` |
+//! | `WriteReq`  | c→s | `id: u64`, `key: str16`, `value: bytes32` |
+//! | `MetaReq`   | c→s | `id: u64`, `key: str16` |
+//! | `ReadResp`  | s→c | `id: u64`, `value: bytes32` |
+//! | `WriteResp` | s→c | `id: u64` |
+//! | `MetaResp`  | s→c | `id: u64`, `value_len: u32`, `protocol: str16` |
+//! | `ErrorResp` | s→c | `id: u64`, `code: u8`, `a: u64`, `b: u64`, `msg: str16` |
+//!
+//! (`str16` = `u16` length + bytes; `bytes32` = `u32` length + bytes.)
+//!
+//! Decoding is total: truncated, oversized, trailing-garbage, and
+//! unknown-tag frames all return [`StoreError::Decode`] — never a panic
+//! — and the length prefix is bounded by [`MAX_FRAME_LEN`] before any
+//! allocation, so a hostile peer cannot make the decoder reserve
+//! gigabytes.
+
+use crate::store::StoreError;
+use std::io::{Read, Write};
+
+/// Wire-protocol version carried in the hello handshake. Bump on any
+/// incompatible frame change; the server rejects mismatches with
+/// [`StoreError::ProtocolVersion`].
+pub const WIRE_VERSION: u16 = 1;
+
+/// Magic prefix of the client hello, so a peer speaking a different
+/// protocol is rejected at the first frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"RSBW";
+
+/// Upper bound on one frame's `len` field (tag + body). Larger prefixes
+/// are rejected before any allocation happens.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Upper bound on a key's byte length on the wire (`str16`).
+pub const MAX_KEY_LEN: usize = u16::MAX as usize;
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_READ_REQ: u8 = 3;
+const TAG_WRITE_REQ: u8 = 4;
+const TAG_META_REQ: u8 = 5;
+const TAG_READ_RESP: u8 = 6;
+const TAG_WRITE_RESP: u8 = 7;
+const TAG_META_RESP: u8 = 8;
+const TAG_ERROR_RESP: u8 = 9;
+
+const ERR_SHUT_DOWN: u8 = 0;
+const ERR_REJECTED: u8 = 1;
+const ERR_BAD_VALUE_LENGTH: u8 = 2;
+const ERR_IO: u8 = 3;
+const ERR_DECODE: u8 = 4;
+const ERR_PROTOCOL_VERSION: u8 = 5;
+const ERR_TIMEOUT: u8 = 6;
+
+/// One protocol frame (either direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client hello: magic + the client's wire version.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// Server accept: the server's wire version (== the client's).
+    HelloAck {
+        /// The server's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// `read(key)` request.
+    ReadReq {
+        /// Per-connection request id, echoed by the response.
+        id: u64,
+        /// The key to read.
+        key: String,
+    },
+    /// `write(key, value)` request.
+    WriteReq {
+        /// Per-connection request id, echoed by the response.
+        id: u64,
+        /// The key to write.
+        key: String,
+        /// The value payload.
+        value: Vec<u8>,
+    },
+    /// Key metadata request (value length + shard protocol).
+    MetaReq {
+        /// Per-connection request id, echoed by the response.
+        id: u64,
+        /// The key whose shard is described.
+        key: String,
+    },
+    /// Successful read completion.
+    ReadResp {
+        /// The request id this responds to.
+        id: u64,
+        /// The value read.
+        value: Vec<u8>,
+    },
+    /// Successful write acknowledgement.
+    WriteResp {
+        /// The request id this responds to.
+        id: u64,
+    },
+    /// Key metadata response.
+    MetaResp {
+        /// The request id this responds to.
+        id: u64,
+        /// The value length the key's shard expects for writes.
+        value_len: u32,
+        /// The register protocol name of the key's shard.
+        protocol: String,
+    },
+    /// Failed completion (any request kind), or — with `id == 0` before
+    /// any request was accepted — a connection-level rejection (version
+    /// mismatch, capacity, handshake garbage).
+    ErrorResp {
+        /// The request id this responds to (0 for connection-level).
+        id: u64,
+        /// The failure, folded into the unified client error type.
+        error: StoreError,
+    },
+}
+
+impl Frame {
+    /// Short stable name of the frame type (diagnostics, tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::HelloAck { .. } => "hello-ack",
+            Frame::ReadReq { .. } => "read-req",
+            Frame::WriteReq { .. } => "write-req",
+            Frame::MetaReq { .. } => "meta-req",
+            Frame::ReadResp { .. } => "read-resp",
+            Frame::WriteResp { .. } => "write-resp",
+            Frame::MetaResp { .. } => "meta-resp",
+            Frame::ErrorResp { .. } => "error-resp",
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(u16::try_from(s.len()).is_ok(), "str16 overflow");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes32(out: &mut Vec<u8>, b: &[u8]) {
+    debug_assert!(u32::try_from(b.len()).is_ok(), "bytes32 overflow");
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// (code, a, b, message) wire representation of a [`StoreError`].
+///
+/// Every transport-visible variant has its own code; the local-only
+/// [`StoreError::Config`] never legitimately crosses the wire and is
+/// folded into `Rejected(msg)` (the remote client can not act on a
+/// server-side configuration type anyway).
+fn error_parts(err: &StoreError) -> (u8, u64, u64, String) {
+    match err {
+        StoreError::ShutDown => (ERR_SHUT_DOWN, 0, 0, String::new()),
+        StoreError::Rejected(msg) => (ERR_REJECTED, 0, 0, msg.clone()),
+        StoreError::BadValueLength { got, want } => (
+            ERR_BAD_VALUE_LENGTH,
+            *got as u64,
+            *want as u64,
+            String::new(),
+        ),
+        StoreError::Io(msg) => (ERR_IO, 0, 0, msg.clone()),
+        StoreError::Decode(msg) => (ERR_DECODE, 0, 0, msg.clone()),
+        StoreError::ProtocolVersion { got, want } => (
+            ERR_PROTOCOL_VERSION,
+            u64::from(*got),
+            u64::from(*want),
+            String::new(),
+        ),
+        StoreError::Timeout => (ERR_TIMEOUT, 0, 0, String::new()),
+        StoreError::Config(e) => (ERR_REJECTED, 0, 0, e.to_string()),
+    }
+}
+
+fn error_from_parts(code: u8, a: u64, b: u64, msg: String) -> Result<StoreError, StoreError> {
+    Ok(match code {
+        ERR_SHUT_DOWN => StoreError::ShutDown,
+        ERR_REJECTED => StoreError::Rejected(msg),
+        ERR_BAD_VALUE_LENGTH => StoreError::BadValueLength {
+            got: a as usize,
+            want: b as usize,
+        },
+        ERR_IO => StoreError::Io(msg),
+        ERR_DECODE => StoreError::Decode(msg),
+        ERR_PROTOCOL_VERSION => StoreError::ProtocolVersion {
+            got: a as u16,
+            want: b as u16,
+        },
+        ERR_TIMEOUT => StoreError::Timeout,
+        other => return Err(decode_err(format!("unknown error code {other}"))),
+    })
+}
+
+fn decode_err(msg: impl Into<String>) -> StoreError {
+    StoreError::Decode(msg.into())
+}
+
+/// A bounds-checked little-endian cursor over one frame's payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| decode_err("truncated frame"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str16(&mut self) -> Result<String, StoreError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| decode_err("non-UTF-8 string field"))
+    }
+
+    fn bytes32(&mut self) -> Result<Vec<u8>, StoreError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), StoreError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(decode_err(format!(
+                "{} trailing bytes after frame body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Appends one frame — `[len][tag][body]` — to `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let len_at = out.len();
+    put_u32(out, 0); // patched below
+    match frame {
+        Frame::Hello { version } => {
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&WIRE_MAGIC);
+            put_u16(out, *version);
+        }
+        Frame::HelloAck { version } => {
+            out.push(TAG_HELLO_ACK);
+            put_u16(out, *version);
+        }
+        Frame::ReadReq { id, key } => {
+            out.push(TAG_READ_REQ);
+            put_u64(out, *id);
+            put_str16(out, key);
+        }
+        Frame::WriteReq { id, key, value } => {
+            out.push(TAG_WRITE_REQ);
+            put_u64(out, *id);
+            put_str16(out, key);
+            put_bytes32(out, value);
+        }
+        Frame::MetaReq { id, key } => {
+            out.push(TAG_META_REQ);
+            put_u64(out, *id);
+            put_str16(out, key);
+        }
+        Frame::ReadResp { id, value } => {
+            out.push(TAG_READ_RESP);
+            put_u64(out, *id);
+            put_bytes32(out, value);
+        }
+        Frame::WriteResp { id } => {
+            out.push(TAG_WRITE_RESP);
+            put_u64(out, *id);
+        }
+        Frame::MetaResp {
+            id,
+            value_len,
+            protocol,
+        } => {
+            out.push(TAG_META_RESP);
+            put_u64(out, *id);
+            put_u32(out, *value_len);
+            put_str16(out, protocol);
+        }
+        Frame::ErrorResp { id, error } => {
+            let (code, a, b, msg) = error_parts(error);
+            out.push(TAG_ERROR_RESP);
+            put_u64(out, *id);
+            out.push(code);
+            put_u64(out, a);
+            put_u64(out, b);
+            put_str16(out, &msg);
+        }
+    }
+    let frame_len = (out.len() - len_at - 4) as u32;
+    debug_assert!(
+        frame_len <= MAX_FRAME_LEN,
+        "encoded frame exceeds MAX_FRAME_LEN"
+    );
+    out[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
+}
+
+/// Decodes one frame payload (`[tag][body]`, the bytes the length prefix
+/// counted).
+///
+/// # Errors
+///
+/// [`StoreError::Decode`] on truncation, trailing bytes, unknown tags,
+/// bad magic, or malformed string fields — never a panic.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, StoreError> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let tag = c.u8()?;
+    let frame = match tag {
+        TAG_HELLO => {
+            let magic = c.take(4)?;
+            if magic != WIRE_MAGIC {
+                return Err(decode_err("bad hello magic"));
+            }
+            Frame::Hello { version: c.u16()? }
+        }
+        TAG_HELLO_ACK => Frame::HelloAck { version: c.u16()? },
+        TAG_READ_REQ => Frame::ReadReq {
+            id: c.u64()?,
+            key: c.str16()?,
+        },
+        TAG_WRITE_REQ => Frame::WriteReq {
+            id: c.u64()?,
+            key: c.str16()?,
+            value: c.bytes32()?,
+        },
+        TAG_META_REQ => Frame::MetaReq {
+            id: c.u64()?,
+            key: c.str16()?,
+        },
+        TAG_READ_RESP => Frame::ReadResp {
+            id: c.u64()?,
+            value: c.bytes32()?,
+        },
+        TAG_WRITE_RESP => Frame::WriteResp { id: c.u64()? },
+        TAG_META_RESP => Frame::MetaResp {
+            id: c.u64()?,
+            value_len: c.u32()?,
+            protocol: c.str16()?,
+        },
+        TAG_ERROR_RESP => {
+            let id = c.u64()?;
+            let code = c.u8()?;
+            let a = c.u64()?;
+            let b = c.u64()?;
+            let msg = c.str16()?;
+            Frame::ErrorResp {
+                id,
+                error: error_from_parts(code, a, b, msg)?,
+            }
+        }
+        other => return Err(decode_err(format!("unknown frame tag {other}"))),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Writes one frame to a stream (single `write_all`, then flush is the
+/// caller's choice — `TcpStream` is unbuffered so no flush is needed).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the peer is gone or the write fails.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(64);
+    encode_frame(frame, &mut buf);
+    w.write_all(&buf).map_err(|e| StoreError::Io(e.to_string()))
+}
+
+/// Reads one frame from a stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed before
+/// any byte of a next frame).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on mid-frame EOF or socket errors,
+/// [`StoreError::Decode`] on an oversized length prefix or a malformed
+/// payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, StoreError> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled first-byte read so a clean close between frames is
+    // distinguishable from truncation inside one.
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(StoreError::Io("connection closed mid-frame".into()));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(StoreError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(decode_err("zero-length frame"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(decode_err(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Io("connection closed mid-frame".into())
+        } else {
+            StoreError::Io(e.to_string())
+        }
+    })?;
+    decode_payload(&payload).map(Some)
+}

@@ -1,0 +1,279 @@
+//! The transport-generic client surface and its two wires.
+//!
+//! A [`Transport`] turns `submit(key, op)` into an eventual completion.
+//! Two implementations ship:
+//!
+//! * [`Loopback`] — the in-process path: submissions go straight onto
+//!   the store's shard engines and complete through the driver-filled
+//!   condvar slots of `rsb_registers::threaded`. Zero copies beyond the
+//!   operation itself, fully deterministic and hermetic — what tier-1
+//!   tests and benches run against.
+//! * [`TcpTransport`] — the real wire: a versioned length-prefixed
+//!   binary protocol (see [`frame`]) over a std `TcpStream`, served by
+//!   [`StoreServer`]. No async runtime anywhere: one reader thread per
+//!   connection fills the same kind of completion cells the futures
+//!   already poll.
+//!
+//! [`StoreClient`](crate::StoreClient) is generic over the transport
+//! (defaulting to [`Loopback`]), so the whole async + blocking client
+//! API — futures, `block_on`, `join_all`, the `*_blocking` shorthands —
+//! is identical whether the store is in-process or across a socket.
+
+pub mod frame;
+mod server;
+mod tcp;
+
+pub use server::StoreServer;
+pub use tcp::TcpTransport;
+
+use crate::store::{StoreError, StoreInner};
+use rsb_coding::Value;
+use rsb_fpsm::{OpRequest, OpResult};
+use rsb_registers::CompletionSlot;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+/// What a transport knows about one key's shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyMeta {
+    /// The value length the key's shard expects for writes.
+    pub value_len: usize,
+    /// The register protocol name of the key's shard.
+    pub protocol: String,
+}
+
+/// A submission path from a client to a store: request in, completion
+/// ticket out.
+///
+/// Implementations must be cheap to share (`&self` submission from many
+/// threads) and must *eventually* resolve every returned ticket — with
+/// the operation's result, or with a [`StoreError`] when the store shut
+/// down or the wire broke. Tickets must never hang forever.
+pub trait Transport: Send + Sync + 'static {
+    /// Submits one operation on a key.
+    fn submit(&self, key: &str, req: OpRequest) -> OpTicket;
+
+    /// Describes the key's shard (write value length, protocol name).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`StoreError::Io`], …) for remote wires;
+    /// infallible for [`Loopback`].
+    fn key_meta(&self, key: &str) -> Result<KeyMeta, StoreError>;
+}
+
+/// A one-shot completion cell filled by a transport's delivery thread
+/// (the TCP reader) rather than a shard driver. Mirrors
+/// [`CompletionSlot`]: blocking wait on a condvar, or future-style poll
+/// through a stored waker.
+#[derive(Debug)]
+pub(crate) struct NetCell<T> {
+    inner: parking_lot::Mutex<NetCellInner<T>>,
+    done: parking_lot::Condvar,
+}
+
+#[derive(Debug)]
+struct NetCellInner<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+impl<T: Clone> NetCell<T> {
+    pub(crate) fn new() -> Self {
+        NetCell {
+            inner: parking_lot::Mutex::new(NetCellInner {
+                result: None,
+                waker: None,
+            }),
+            done: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Fills the cell (first outcome wins), waking waiters and wakers.
+    pub(crate) fn fill(&self, value: T) {
+        let waker = {
+            let mut inner = self.inner.lock();
+            if inner.result.is_some() {
+                return;
+            }
+            inner.result = Some(value);
+            self.done.notify_all();
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// Blocks until filled, or until `timeout` elapses (`None` = forever).
+    /// Returns `None` on timeout.
+    pub(crate) fn wait(&self, timeout: Option<Duration>) -> Option<T> {
+        let mut inner = self.inner.lock();
+        match timeout {
+            None => loop {
+                if let Some(v) = inner.result.clone() {
+                    return Some(v);
+                }
+                self.done.wait(&mut inner);
+            },
+            Some(limit) => {
+                let deadline = std::time::Instant::now() + limit;
+                loop {
+                    if let Some(v) = inner.result.clone() {
+                        return Some(v);
+                    }
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let _ = self.done.wait_for(&mut inner, deadline - now);
+                }
+            }
+        }
+    }
+
+    /// Future-style poll: ready with the value, or registers the waker.
+    pub(crate) fn poll(&self, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self.inner.lock();
+        if let Some(v) = inner.result.clone() {
+            Poll::Ready(v)
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// The completion cell TCP operations resolve through.
+pub(crate) type OpCell = NetCell<Result<OpResult, StoreError>>;
+
+/// A pending operation's completion handle, returned by
+/// [`Transport::submit`] and wrapped by the client's
+/// [`ReadFuture`](crate::ReadFuture) / [`WriteFuture`](crate::WriteFuture).
+///
+/// Transports construct tickets through [`OpTicket::from_slot`] (driver
+/// completion slots, the loopback path), [`OpTicket::failed`]
+/// (submission-time errors), or the crate-internal network variant.
+#[derive(Debug)]
+pub struct OpTicket {
+    pub(crate) inner: TicketInner,
+}
+
+#[derive(Debug)]
+pub(crate) enum TicketInner {
+    /// A driver-filled completion slot (loopback).
+    Slot(Arc<CompletionSlot>),
+    /// A transport-filled completion cell (TCP reader thread), with an
+    /// optional blocking-wait timeout.
+    Net {
+        cell: Arc<OpCell>,
+        timeout: Option<Duration>,
+    },
+    /// Failed at submission; `None` after the error has been taken.
+    Failed(Option<StoreError>),
+}
+
+impl OpTicket {
+    /// A ticket backed by a driver completion slot.
+    pub fn from_slot(slot: Arc<CompletionSlot>) -> Self {
+        OpTicket {
+            inner: TicketInner::Slot(slot),
+        }
+    }
+
+    /// A ticket that already failed at submission time.
+    pub fn failed(err: StoreError) -> Self {
+        OpTicket {
+            inner: TicketInner::Failed(Some(err)),
+        }
+    }
+
+    pub(crate) fn net(cell: Arc<OpCell>, timeout: Option<Duration>) -> Self {
+        OpTicket {
+            inner: TicketInner::Net { cell, timeout },
+        }
+    }
+
+    pub(crate) fn poll_result(
+        &mut self,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<OpResult, StoreError>> {
+        match &mut self.inner {
+            TicketInner::Slot(slot) => slot.poll_outcome(cx).map_err(StoreError::from),
+            TicketInner::Net { cell, .. } => cell.poll(cx),
+            TicketInner::Failed(err) => Poll::Ready(Err(err
+                .take()
+                .expect("operation future polled after completion"))),
+        }
+    }
+
+    /// Blocking wait. The configured per-operation timeout (TCP
+    /// transports only) applies here; the async path has no timer and
+    /// resolves whenever the transport delivers.
+    pub(crate) fn wait(self) -> Result<OpResult, StoreError> {
+        match self.inner {
+            TicketInner::Slot(slot) => slot.wait().map_err(StoreError::from),
+            TicketInner::Net { cell, timeout } => {
+                cell.wait(timeout).unwrap_or(Err(StoreError::Timeout))
+            }
+            TicketInner::Failed(mut err) => Err(err.take().expect("freshly constructed")),
+        }
+    }
+}
+
+/// The in-process transport: submissions go straight to the store's
+/// shard engines, completions come from the driver pool — exactly the
+/// pre-transport `StoreClient` path, unchanged in cost and semantics.
+///
+/// Obtained from [`Store::client`](crate::Store::client) (or
+/// [`Store::loopback`](crate::Store::loopback)); clones share the store.
+#[derive(Clone)]
+pub struct Loopback {
+    pub(crate) inner: Arc<StoreInner>,
+}
+
+impl Transport for Loopback {
+    fn submit(&self, key: &str, req: OpRequest) -> OpTicket {
+        let shard = self.inner.shard_for(key);
+        if let OpRequest::Write(value) = &req {
+            // The write-length precheck stays client-side on loopback —
+            // same immediate rejection as before the transport split.
+            if value.len() != shard.value_len() {
+                return OpTicket::failed(StoreError::BadValueLength {
+                    got: value.len(),
+                    want: shard.value_len(),
+                });
+            }
+        }
+        match shard.submit(key, req) {
+            Ok(slot) => OpTicket::from_slot(slot),
+            Err(e) => OpTicket::failed(e),
+        }
+    }
+
+    fn key_meta(&self, key: &str) -> Result<KeyMeta, StoreError> {
+        let shard = self.inner.shard_for(key);
+        Ok(KeyMeta {
+            value_len: shard.value_len(),
+            protocol: shard.protocol_name().to_string(),
+        })
+    }
+}
+
+/// Resolves a server-side submission result into a response frame body.
+pub(crate) fn result_frame(id: u64, result: Result<OpResult, StoreError>) -> frame::Frame {
+    match result {
+        Ok(OpResult::Read(v)) => frame::Frame::ReadResp {
+            id,
+            value: v.as_bytes().to_vec(),
+        },
+        Ok(OpResult::Write) => frame::Frame::WriteResp { id },
+        Err(error) => frame::Frame::ErrorResp { id, error },
+    }
+}
+
+/// Converts wire value bytes into the store's [`Value`].
+pub(crate) fn value_from_wire(bytes: Vec<u8>) -> Value {
+    Value::from_bytes(bytes)
+}

@@ -1,0 +1,379 @@
+//! The TCP service surface: [`StoreServer`] accepts connections and
+//! bridges their frames onto the store's existing async completion
+//! machinery — no async runtime, no per-operation threads.
+//!
+//! Per connection, two threads:
+//!
+//! * a **reader** that decodes request frames and submits them through
+//!   the in-process [`Loopback`](super::Loopback) transport, forwarding
+//!   each returned [`OpTicket`](super::OpTicket) to the pump;
+//! * a **pump** that polls every in-flight ticket with a thread-unpark
+//!   waker and writes response frames as results land — out of order,
+//!   so a slow key never blocks a fast one's response.
+//!
+//! Shutdown stops the accept loop (a self-connect unblocks it), shuts
+//! down every live connection socket (unblocking the readers), and
+//! halts the store — driver slots then fail with `ShutDown`, the pumps
+//! flush those as error frames, and every thread joins.
+
+use super::frame::{read_frame, write_frame, Frame, WIRE_VERSION};
+use super::{result_frame, value_from_wire, Loopback, OpTicket, Transport};
+use crate::config::ListenSpec;
+use crate::store::{Store, StoreError};
+use rsb_fpsm::OpRequest;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+
+/// What a connection's reader hands its pump.
+enum ConnMsg {
+    /// An operation in flight: respond with `id` when the ticket lands.
+    Ticket(u64, OpTicket),
+    /// A response that is already complete (meta, protocol errors).
+    Ready(Frame),
+}
+
+/// Wakes the pump thread so it re-polls its in-flight tickets.
+struct PumpUnparker(std::thread::Thread);
+
+impl Wake for PumpUnparker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Book-keeping shared by the accept loop and the server handle.
+struct ServerShared {
+    stopping: AtomicBool,
+    /// Live connection sockets by connection id, so shutdown can
+    /// unblock every reader stuck in a blocking read.
+    conns: parking_lot::Mutex<HashMap<u64, TcpStream>>,
+    /// Reader-thread handles (each reader joins its own pump). Finished
+    /// threads linger here until shutdown joins them — cheap, bounded
+    /// by the connection cap.
+    handles: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP front-end over a [`Store`].
+///
+/// Built by [`Store::serve`]; [`StoreServer::shutdown`] (or drop) stops
+/// accepting, severs live connections, and halts the store.
+pub struct StoreServer {
+    store: Store,
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: parking_lot::Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for StoreServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreServer")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StoreServer {
+    /// Binds the listener and spawns the accept loop over `store`.
+    pub(crate) fn bind(store: Store, spec: &ListenSpec) -> Result<Self, StoreError> {
+        let listener = TcpListener::bind(&spec.addr).map_err(|e| StoreError::Io(e.to_string()))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        let shared = Arc::new(ServerShared {
+            stopping: AtomicBool::new(false),
+            conns: parking_lot::Mutex::new(HashMap::new()),
+            handles: parking_lot::Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let loopback = store.loopback();
+            let spec = spec.clone();
+            std::thread::Builder::new()
+                .name("store-accept".into())
+                .spawn(move || accept_loop(&listener, &loopback, &shared, &spec))
+                .map_err(|e| StoreError::Io(e.to_string()))?
+        };
+        Ok(StoreServer {
+            store,
+            local_addr,
+            shared,
+            accept: parking_lot::Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address — with an `:0` bind, the actual ephemeral port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The store being served: metrics, key histories, and the in-process
+    /// [`Loopback`](super::Loopback) client path remain fully available
+    /// while the server runs.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Stops accepting, severs live connections, and halts the store.
+    /// In-flight operations fail with [`StoreError::ShutDown`] delivered
+    /// as error frames before the sockets close. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(self) {
+        self.stop();
+    }
+
+    fn stop(&self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop: it re-checks the stop flag per
+        // iteration, so one throwaway local connection gets it to exit.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+        // Halting the store fails every in-flight driver slot with
+        // ShutDown; the pumps flush those results as error frames.
+        self.store.halt();
+        // Sever live sockets so readers blocked mid-read return.
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.shared.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    loopback: &Loopback,
+    shared: &Arc<ServerShared>,
+    spec: &ListenSpec,
+) {
+    let next_conn = AtomicU64::new(0);
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        // `backlog` bounds live connections: over it, answer the
+        // client's pending hello with a rejection and close.
+        if shared.conns.lock().len() >= spec.backlog {
+            let _ = write_frame(
+                &mut &stream,
+                &Frame::ErrorResp {
+                    id: 0,
+                    error: StoreError::Rejected(format!(
+                        "server at capacity ({} connections)",
+                        spec.backlog
+                    )),
+                },
+            );
+            continue;
+        }
+        if spec.nodelay {
+            let _ = stream.set_nodelay(true);
+        }
+        let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        shared.conns.lock().insert(conn_id, registered);
+        let handle = {
+            let loopback = loopback.clone();
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("store-conn-{conn_id}"))
+                .spawn(move || {
+                    connection(&stream, &loopback);
+                    shared.conns.lock().remove(&conn_id);
+                })
+        };
+        match handle {
+            Ok(h) => shared.handles.lock().push(h),
+            Err(_) => {
+                shared.conns.lock().remove(&conn_id);
+            }
+        }
+    }
+}
+
+/// One connection, start to finish: handshake, then decode-and-submit
+/// until the stream ends, with a pump thread writing the responses.
+fn connection(stream: &TcpStream, loopback: &Loopback) {
+    // Handshake first, single-threaded on the socket.
+    let mut io = stream;
+    match read_frame(&mut io) {
+        Ok(Some(Frame::Hello { version })) if version == WIRE_VERSION => {
+            if write_frame(
+                &mut io,
+                &Frame::HelloAck {
+                    version: WIRE_VERSION,
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+        Ok(Some(Frame::Hello { version })) => {
+            let _ = write_frame(
+                &mut io,
+                &Frame::ErrorResp {
+                    id: 0,
+                    error: StoreError::ProtocolVersion {
+                        got: version,
+                        want: WIRE_VERSION,
+                    },
+                },
+            );
+            return;
+        }
+        Ok(Some(_) | None) | Err(_) => return,
+    }
+
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = std::sync::mpsc::channel::<ConnMsg>();
+    let Ok(pump) = std::thread::Builder::new()
+        .name("store-conn-pump".into())
+        .spawn(move || pump_loop(&write_stream, &rx))
+    else {
+        return;
+    };
+    let pump_thread = pump.thread().clone();
+
+    read_requests(stream, loopback, &tx, &pump_thread);
+
+    // Dropping the sender tells the pump to exit once its in-flight
+    // tickets have drained (each resolves eventually — completion or
+    // ShutDown — per the Transport contract).
+    drop(tx);
+    pump_thread.unpark();
+    let _ = pump.join();
+}
+
+/// The reader half: decodes request frames and forwards work to the
+/// pump until EOF, a decode error, or a protocol violation.
+fn read_requests(
+    stream: &TcpStream,
+    loopback: &Loopback,
+    tx: &Sender<ConnMsg>,
+    pump: &std::thread::Thread,
+) {
+    let mut r = BufReader::new(stream);
+    loop {
+        let msg = match read_frame(&mut r) {
+            Ok(Some(Frame::ReadReq { id, key })) => {
+                ConnMsg::Ticket(id, loopback.submit(&key, OpRequest::Read))
+            }
+            Ok(Some(Frame::WriteReq { id, key, value })) => ConnMsg::Ticket(
+                id,
+                loopback.submit(&key, OpRequest::Write(value_from_wire(value))),
+            ),
+            Ok(Some(Frame::MetaReq { id, key })) => match loopback.key_meta(&key) {
+                Ok(meta) => ConnMsg::Ready(Frame::MetaResp {
+                    id,
+                    value_len: u32::try_from(meta.value_len).unwrap_or(u32::MAX),
+                    protocol: meta.protocol,
+                }),
+                Err(error) => ConnMsg::Ready(Frame::ErrorResp { id, error }),
+            },
+            Ok(Some(other)) => {
+                // A hello or response frame mid-session is a protocol
+                // violation: answer once, then drop the connection.
+                let frame = Frame::ErrorResp {
+                    id: 0,
+                    error: StoreError::Decode(format!(
+                        "unexpected {} frame from client",
+                        other.kind()
+                    )),
+                };
+                let _ = tx.send(ConnMsg::Ready(frame));
+                pump.unpark();
+                return;
+            }
+            Ok(None) => return,
+            Err(error) => {
+                // Truncated/oversized/garbled input: answer with the
+                // decode error (id 0 = not tied to a request), then close
+                // — resynchronizing a corrupt length-prefixed stream is
+                // not possible.
+                let _ = tx.send(ConnMsg::Ready(Frame::ErrorResp { id: 0, error }));
+                pump.unpark();
+                return;
+            }
+        };
+        if tx.send(msg).is_err() {
+            return;
+        }
+        pump.unpark();
+    }
+}
+
+/// The writer half: polls in-flight tickets with an unpark waker and
+/// writes each response frame the moment its result lands.
+fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>) {
+    let waker = Waker::from(Arc::new(PumpUnparker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut in_flight: Vec<(u64, OpTicket)> = Vec::new();
+    let mut reader_gone = false;
+    let mut w = stream;
+    loop {
+        // Drain new work from the reader.
+        loop {
+            match rx.try_recv() {
+                Ok(ConnMsg::Ticket(id, ticket)) => in_flight.push((id, ticket)),
+                Ok(ConnMsg::Ready(frame)) => {
+                    if write_frame(&mut w, &frame).is_err() {
+                        return;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    reader_gone = true;
+                    break;
+                }
+            }
+        }
+        // Poll every in-flight ticket; write results as they land.
+        let mut i = 0;
+        while i < in_flight.len() {
+            match in_flight[i].1.poll_result(&mut cx) {
+                Poll::Ready(result) => {
+                    let (id, _) = in_flight.swap_remove(i);
+                    if write_frame(&mut w, &result_frame(id, result)).is_err() {
+                        // Client gone: drop remaining tickets (drivers
+                        // fill their slots; nobody listens) and exit.
+                        return;
+                    }
+                }
+                Poll::Pending => i += 1,
+            }
+        }
+        if reader_gone && in_flight.is_empty() {
+            return;
+        }
+        // Park until a waker fires or the reader unparks us with new
+        // work; both re-enter the drain-and-poll loop above. A token
+        // stored by an unpark that raced this check makes park return
+        // immediately, so no wakeup is lost.
+        std::thread::park();
+    }
+}

@@ -1,0 +1,305 @@
+//! The client side of the wire: a [`TcpTransport`] speaking the
+//! length-prefixed frame protocol over one `TcpStream`.
+//!
+//! One connection multiplexes any number of client threads: submissions
+//! assign a connection-unique request id, register a completion cell,
+//! and write the request frame under a short writer lock; a single
+//! reader thread demultiplexes response frames back into the cells by
+//! id. Completions therefore arrive out of order — a slow key never
+//! head-of-line-blocks a fast one — and the same futures the loopback
+//! path returns work unchanged.
+//!
+//! When the connection dies (server gone, decode failure, socket error)
+//! every in-flight operation fails with the connection's terminal
+//! [`StoreError`], and later submissions fail fast with a clone of it.
+
+use super::frame::{read_frame, write_frame, Frame, WIRE_VERSION};
+use super::{value_from_wire, KeyMeta, NetCell, OpCell, OpTicket, Transport};
+use crate::store::StoreError;
+use rsb_fpsm::{OpRequest, OpResult};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A pending request's completion cell, by kind.
+enum Pending {
+    Op(Arc<OpCell>),
+    Meta(Arc<NetCell<Result<KeyMeta, StoreError>>>),
+}
+
+/// Shared between submitters and the reader thread.
+struct Shared {
+    pending: parking_lot::Mutex<HashMap<u64, Pending>>,
+    /// The connection's terminal error, once it has one: submissions
+    /// fail fast with a clone instead of writing into a dead socket.
+    dead: parking_lot::Mutex<Option<StoreError>>,
+}
+
+impl Shared {
+    /// Marks the connection dead and fails every pending completion.
+    fn fail_all(&self, err: &StoreError) {
+        {
+            let mut dead = self.dead.lock();
+            if dead.is_none() {
+                *dead = Some(err.clone());
+            }
+        }
+        let drained: Vec<Pending> = {
+            let mut pending = self.pending.lock();
+            pending.drain().map(|(_, p)| p).collect()
+        };
+        for p in drained {
+            match p {
+                Pending::Op(cell) => cell.fill(Err(err.clone())),
+                Pending::Meta(cell) => cell.fill(Err(err.clone())),
+            }
+        }
+    }
+}
+
+/// A connection to a [`StoreServer`](super::StoreServer): the TCP
+/// implementation of [`Transport`].
+///
+/// Cheap to share behind the client's `Arc`; all methods take `&self`.
+/// Dropping the transport closes the socket and joins the reader
+/// thread, failing whatever was still in flight.
+pub struct TcpTransport {
+    writer: parking_lot::Mutex<TcpStream>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    timeout: Option<Duration>,
+    reader: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("peer", &self.writer.lock().peer_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpTransport {
+    /// Connects and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the server is unreachable,
+    /// [`StoreError::ProtocolVersion`] on a version mismatch,
+    /// [`StoreError::Rejected`] when the server is at capacity,
+    /// [`StoreError::Decode`] when the peer does not speak the protocol.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, StoreError> {
+        Self::connect_with(addr, None)
+    }
+
+    /// Like [`TcpTransport::connect`], with a per-operation timeout
+    /// applied by the *blocking* wait paths (`read_blocking`,
+    /// `ReadFuture::wait`, …): an operation whose response has not
+    /// arrived within `timeout` fails with [`StoreError::Timeout`]. The
+    /// pure-async poll path carries no timer and resolves whenever the
+    /// response lands.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Self, StoreError> {
+        let stream = TcpStream::connect(addr).map_err(|e| StoreError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        // Handshake, still single-threaded on this socket.
+        write_frame(
+            &mut &stream,
+            &Frame::Hello {
+                version: WIRE_VERSION,
+            },
+        )?;
+        match read_frame(&mut &stream)? {
+            Some(Frame::HelloAck { version }) if version == WIRE_VERSION => {}
+            Some(Frame::HelloAck { version }) => {
+                return Err(StoreError::ProtocolVersion {
+                    got: version,
+                    want: WIRE_VERSION,
+                })
+            }
+            Some(Frame::ErrorResp { error, .. }) => return Err(error),
+            Some(other) => {
+                return Err(StoreError::Decode(format!(
+                    "expected hello-ack, got {}",
+                    other.kind()
+                )))
+            }
+            None => return Err(StoreError::Io("connection closed during handshake".into())),
+        }
+        let reader_stream = stream
+            .try_clone()
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        let shared = Arc::new(Shared {
+            pending: parking_lot::Mutex::new(HashMap::new()),
+            dead: parking_lot::Mutex::new(None),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("store-tcp-reader".into())
+                .spawn(move || read_loop(reader_stream, &shared))
+                .map_err(|e| StoreError::Io(e.to_string()))?
+        };
+        Ok(TcpTransport {
+            writer: parking_lot::Mutex::new(stream),
+            shared,
+            next_id: AtomicU64::new(1),
+            timeout,
+            reader: parking_lot::Mutex::new(Some(reader)),
+        })
+    }
+
+    /// The connection's terminal error, if it has died.
+    pub fn connection_error(&self) -> Option<StoreError> {
+        self.shared.dead.lock().clone()
+    }
+
+    /// Registers a pending entry and writes its request frame; on a
+    /// write failure the entry is withdrawn and the error returned.
+    fn send(&self, id: u64, entry: Pending, frame: &Frame) -> Result<(), StoreError> {
+        if let Some(err) = self.shared.dead.lock().clone() {
+            return Err(err);
+        }
+        self.shared.pending.lock().insert(id, entry);
+        let result = {
+            let mut w = self.writer.lock();
+            write_frame(&mut *w, frame)
+        };
+        if let Err(e) = result {
+            self.shared.pending.lock().remove(&id);
+            // A failed write means the socket is gone for everyone.
+            self.shared.fail_all(&e);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn submit(&self, key: &str, req: OpRequest) -> OpTicket {
+        if key.len() > super::frame::MAX_KEY_LEN {
+            return OpTicket::failed(StoreError::Rejected(format!(
+                "key length {} exceeds the wire bound {}",
+                key.len(),
+                super::frame::MAX_KEY_LEN
+            )));
+        }
+        let id = self.next_id();
+        let cell: Arc<OpCell> = Arc::new(NetCell::new());
+        let frame = match req {
+            OpRequest::Read => Frame::ReadReq {
+                id,
+                key: key.to_owned(),
+            },
+            OpRequest::Write(value) => Frame::WriteReq {
+                id,
+                key: key.to_owned(),
+                value: value.as_bytes().to_vec(),
+            },
+        };
+        match self.send(id, Pending::Op(Arc::clone(&cell)), &frame) {
+            Ok(()) => OpTicket::net(cell, self.timeout),
+            Err(e) => OpTicket::failed(e),
+        }
+    }
+
+    fn key_meta(&self, key: &str) -> Result<KeyMeta, StoreError> {
+        let id = self.next_id();
+        let cell: Arc<NetCell<Result<KeyMeta, StoreError>>> = Arc::new(NetCell::new());
+        self.send(
+            id,
+            Pending::Meta(Arc::clone(&cell)),
+            &Frame::MetaReq {
+                id,
+                key: key.to_owned(),
+            },
+        )?;
+        cell.wait(self.timeout).unwrap_or(Err(StoreError::Timeout))
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Closing the socket makes the reader's blocking read return,
+        // which fails anything still pending and exits the thread.
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.reader.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The per-connection reader: demultiplexes response frames into the
+/// pending completion cells until the stream ends or breaks.
+fn read_loop(stream: TcpStream, shared: &Shared) {
+    let mut r = BufReader::new(stream);
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some(frame)) => {
+                let (id, outcome): (u64, Result<OpResult, StoreError>) = match frame {
+                    Frame::ReadResp { id, value } => {
+                        (id, Ok(OpResult::Read(value_from_wire(value))))
+                    }
+                    Frame::WriteResp { id } => (id, Ok(OpResult::Write)),
+                    Frame::ErrorResp { id, error } => (id, Err(error)),
+                    Frame::MetaResp {
+                        id,
+                        value_len,
+                        protocol,
+                    } => {
+                        match shared.pending.lock().remove(&id) {
+                            Some(Pending::Meta(cell)) => cell.fill(Ok(KeyMeta {
+                                value_len: value_len as usize,
+                                protocol,
+                            })),
+                            Some(Pending::Op(cell)) => cell.fill(Err(StoreError::Decode(
+                                "meta response to an operation request".into(),
+                            ))),
+                            None => {}
+                        }
+                        continue;
+                    }
+                    other => {
+                        // A request frame (or hello) from the server is a
+                        // protocol violation; kill the connection cleanly.
+                        shared.fail_all(&StoreError::Decode(format!(
+                            "unexpected {} frame from server",
+                            other.kind()
+                        )));
+                        return;
+                    }
+                };
+                match shared.pending.lock().remove(&id) {
+                    Some(Pending::Op(cell)) => cell.fill(outcome),
+                    Some(Pending::Meta(cell)) => {
+                        cell.fill(outcome.and(Err(StoreError::Decode(
+                            "operation response to a meta request".into(),
+                        ))));
+                    }
+                    // Unknown id: a response to a timed-out-and-forgotten
+                    // op, or a server bug — either way, nothing to fill.
+                    None => {}
+                }
+            }
+            Ok(None) => {
+                shared.fail_all(&StoreError::Io("connection closed by server".into()));
+                return;
+            }
+            Err(e) => {
+                shared.fail_all(&e);
+                return;
+            }
+        }
+    }
+}

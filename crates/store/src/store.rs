@@ -1,16 +1,18 @@
 //! The store: shard fan-out, the work-stealing driver pool, client
 //! handles, lifecycle.
 
-use crate::config::StoreConfig;
-use crate::future::{OpFuture, ReadFuture, WriteFuture};
+use crate::config::{StoreConfig, StoreConfigError};
+use crate::future::{ReadFuture, WriteFuture};
 use crate::metrics::StoreMetrics;
+use crate::net::{KeyMeta, Loopback, StoreServer, Transport};
 use crate::shard::{self, ShardEngine};
 use rsb_coding::Value;
 use rsb_fpsm::{OpRecord, OpRequest};
 use rsb_registers::{ThreadedError, WorkGroup};
 use std::sync::Arc;
 
-/// Errors from the store's client surface.
+/// Errors from the store's client surface — one type across every
+/// transport, so loopback and TCP callers handle failures identically.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// The store (or the key's shard) has been shut down.
@@ -24,6 +26,24 @@ pub enum StoreError {
         /// Bytes the shard's registers hold.
         want: usize,
     },
+    /// A transport I/O failure (connect, read, or write on the wire).
+    Io(String),
+    /// A malformed frame: truncated, oversized, unknown tag, or a
+    /// protocol violation. The connection is closed after one of these.
+    Decode(String),
+    /// The peer speaks a different wire protocol version.
+    ProtocolVersion {
+        /// The version the peer offered.
+        got: u16,
+        /// The version this side requires.
+        want: u16,
+    },
+    /// A blocking wait outlived the transport's configured per-operation
+    /// timeout ([`TcpTransport::connect_with`](crate::TcpTransport::connect_with)).
+    Timeout,
+    /// An invalid configuration reached [`Store::serve`] (never crosses
+    /// the wire — serve-time only).
+    Config(StoreConfigError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -34,6 +54,16 @@ impl std::fmt::Display for StoreError {
             StoreError::BadValueLength { got, want } => {
                 write!(f, "value is {got} bytes, shard registers hold {want}")
             }
+            StoreError::Io(msg) => write!(f, "transport i/o error: {msg}"),
+            StoreError::Decode(msg) => write!(f, "wire decode error: {msg}"),
+            StoreError::ProtocolVersion { got, want } => {
+                write!(
+                    f,
+                    "peer speaks wire protocol v{got}, this side needs v{want}"
+                )
+            }
+            StoreError::Timeout => write!(f, "operation timed out"),
+            StoreError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
@@ -49,6 +79,12 @@ impl From<ThreadedError> for StoreError {
     }
 }
 
+impl From<StoreConfigError> for StoreError {
+    fn from(e: StoreConfigError) -> Self {
+        StoreError::Config(e)
+    }
+}
+
 /// FNV-1a, hand-rolled so the key → shard placement is stable across
 /// platforms and runs (unlike `DefaultHasher`, which is randomized).
 fn fnv1a(key: &str) -> u64 {
@@ -60,16 +96,16 @@ fn fnv1a(key: &str) -> u64 {
     hash
 }
 
-struct StoreInner {
-    shards: Vec<Arc<dyn ShardEngine>>,
+pub(crate) struct StoreInner {
+    pub(crate) shards: Vec<Arc<dyn ShardEngine>>,
 }
 
 impl StoreInner {
-    fn index_for(&self, key: &str) -> usize {
+    pub(crate) fn index_for(&self, key: &str) -> usize {
         (fnv1a(key) % self.shards.len() as u64) as usize
     }
 
-    fn shard_for(&self, key: &str) -> &Arc<dyn ShardEngine> {
+    pub(crate) fn shard_for(&self, key: &str) -> &Arc<dyn ShardEngine> {
         &self.shards[self.index_for(key)]
     }
 }
@@ -186,6 +222,9 @@ impl Store {
             history,
             work_stealing,
             eviction,
+            // An in-process store ignores the listen section (validated
+            // above regardless); `Store::serve` is the path that binds.
+            listen: _,
         } = config;
         // With stealing, any single driver can run any ready key, so a
         // submission wakes one driver; without it, queues are disjoint
@@ -209,9 +248,37 @@ impl Store {
         })
     }
 
-    /// A new client handle (cheap; usable from any thread, cloneable).
+    /// Starts the service *and* its TCP front-end: validates the
+    /// configuration (which must carry a listen section — see
+    /// [`StoreConfig::with_listen`](crate::StoreConfig::with_listen)),
+    /// starts the store exactly as [`Store::start`] would, binds the
+    /// listener, and spawns the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] on an invalid or listen-less
+    /// configuration; [`StoreError::Io`] when the bind fails.
+    pub fn serve(config: StoreConfig) -> Result<StoreServer, StoreError> {
+        config.validate()?;
+        let spec = config
+            .listen
+            .clone()
+            .ok_or(StoreError::Config(StoreConfigError::MissingListen))?;
+        let store = Store::start(config)?;
+        StoreServer::bind(store, &spec)
+    }
+
+    /// A new in-process client handle (cheap; usable from any thread,
+    /// cloneable) — a [`StoreClient`] over the [`Loopback`] transport.
     pub fn client(&self) -> StoreClient {
-        StoreClient {
+        StoreClient::over(self.loopback())
+    }
+
+    /// The store's in-process [`Loopback`] transport, for callers that
+    /// build clients explicitly ([`StoreClient::over`]) or feed a
+    /// transport-generic harness.
+    pub fn loopback(&self) -> Loopback {
+        Loopback {
             inner: Arc::clone(&self.inner),
         }
     }
@@ -306,25 +373,59 @@ impl Drop for Store {
     }
 }
 
-/// A handle for submitting operations; clone freely, share across
-/// threads, and keep past the store's shutdown (submissions then error
-/// instead of hanging).
-#[derive(Clone)]
-pub struct StoreClient {
-    inner: Arc<StoreInner>,
+/// A handle for submitting operations, generic over how they reach the
+/// store: [`Loopback`] (the default — in-process, what
+/// [`Store::client`] returns) or
+/// [`TcpTransport`](crate::TcpTransport) (the real wire). The async and
+/// blocking surfaces are identical across transports, and so is the
+/// error type.
+///
+/// Clone freely, share across threads, and keep past the store's
+/// shutdown (submissions then error instead of hanging).
+pub struct StoreClient<T: Transport = Loopback> {
+    transport: Arc<T>,
 }
 
-impl StoreClient {
+// Hand-rolled so clones never require `T: Clone` (the transport is
+// shared, not duplicated).
+impl<T: Transport> Clone for StoreClient<T> {
+    fn clone(&self) -> Self {
+        StoreClient {
+            transport: Arc::clone(&self.transport),
+        }
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for StoreClient<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreClient").finish_non_exhaustive()
+    }
+}
+
+impl<T: Transport> StoreClient<T> {
+    /// A client over an explicit transport — the only way to build one
+    /// (there is deliberately no constructor from raw store internals):
+    /// `StoreClient::over(store.loopback())` in-process, or
+    /// `StoreClient::over(TcpTransport::connect(addr)?)` across the wire.
+    pub fn over(transport: T) -> Self {
+        StoreClient {
+            transport: Arc::new(transport),
+        }
+    }
+
+    /// The transport this client submits through.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     /// Starts an asynchronous `read(key)`.
     ///
     /// A key that was never written reads as the register's initial value
     /// `v₀` (all zeroes).
     pub fn read(&self, key: &str) -> ReadFuture {
-        let inner = match self.inner.shard_for(key).submit(key, OpRequest::Read) {
-            Ok(slot) => OpFuture::Slot(slot),
-            Err(e) => OpFuture::Failed(Some(e)),
-        };
-        ReadFuture { inner }
+        ReadFuture {
+            ticket: self.transport.submit(key, OpRequest::Read),
+        }
     }
 
     /// Starts an asynchronous `write(key, value)`.
@@ -332,26 +433,17 @@ impl StoreClient {
     /// The value length must match the key's shard register length
     /// (`RegisterConfig::value_len`).
     pub fn write(&self, key: &str, value: Value) -> WriteFuture {
-        let shard = self.inner.shard_for(key);
-        let inner = if value.len() != shard.value_len() {
-            OpFuture::Failed(Some(StoreError::BadValueLength {
-                got: value.len(),
-                want: shard.value_len(),
-            }))
-        } else {
-            match shard.submit(key, OpRequest::Write(value)) {
-                Ok(slot) => OpFuture::Slot(slot),
-                Err(e) => OpFuture::Failed(Some(e)),
-            }
-        };
-        WriteFuture { inner }
+        WriteFuture {
+            ticket: self.transport.submit(key, OpRequest::Write(value)),
+        }
     }
 
     /// Blocking `read(key)`.
     ///
     /// # Errors
     ///
-    /// Fails if the store shut down or the submission was rejected.
+    /// Fails if the store shut down, the submission was rejected, or the
+    /// transport failed ([`StoreError::Io`] and friends over TCP).
     pub fn read_blocking(&self, key: &str) -> Result<Value, StoreError> {
         self.read(key).wait()
     }
@@ -366,14 +458,32 @@ impl StoreClient {
         self.write(key, value).wait()
     }
 
+    /// What the transport knows about the key's shard (write value
+    /// length, protocol name).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; infallible over [`Loopback`].
+    pub fn key_meta(&self, key: &str) -> Result<KeyMeta, StoreError> {
+        self.transport.key_meta(key)
+    }
+
     /// The value length the key's shard expects for writes.
-    pub fn value_len(&self, key: &str) -> usize {
-        self.inner.shard_for(key).value_len()
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; infallible over [`Loopback`].
+    pub fn value_len(&self, key: &str) -> Result<usize, StoreError> {
+        Ok(self.key_meta(key)?.value_len)
     }
 
     /// The protocol name of the key's shard.
-    pub fn protocol_of(&self, key: &str) -> &'static str {
-        self.inner.shard_for(key).protocol_name()
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; infallible over [`Loopback`].
+    pub fn protocol_of(&self, key: &str) -> Result<String, StoreError> {
+        Ok(self.key_meta(key)?.protocol)
     }
 }
 

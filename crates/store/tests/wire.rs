@@ -1,0 +1,259 @@
+//! Wire-codec tests: SplitMix64-fuzzed round-trips of every frame type,
+//! plus rejection of truncated, oversized, zero-length, unknown-tag, and
+//! bad-magic frames — always a clean [`StoreError::Decode`] (or `Io` for
+//! mid-frame EOF), never a panic.
+
+use rsb_store::frame::{
+    decode_payload, encode_frame, read_frame, write_frame, Frame, MAX_FRAME_LEN, WIRE_VERSION,
+};
+use rsb_store::StoreError;
+
+/// SplitMix64 — the repo's standard deterministic fuzz generator.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_string(state: &mut u64, max_len: u64) -> String {
+    let len = splitmix(state) % (max_len + 1);
+    (0..len)
+        .map(|_| char::from(b'a' + (splitmix(state) % 26) as u8))
+        .collect()
+}
+
+fn random_bytes(state: &mut u64, max_len: u64) -> Vec<u8> {
+    let len = splitmix(state) % (max_len + 1);
+    (0..len).map(|_| (splitmix(state) & 0xff) as u8).collect()
+}
+
+fn random_error(state: &mut u64) -> StoreError {
+    match splitmix(state) % 7 {
+        0 => StoreError::ShutDown,
+        1 => StoreError::Rejected(random_string(state, 40)),
+        2 => StoreError::BadValueLength {
+            got: (splitmix(state) % 10_000) as usize,
+            want: (splitmix(state) % 10_000) as usize,
+        },
+        3 => StoreError::Io(random_string(state, 40)),
+        4 => StoreError::Decode(random_string(state, 40)),
+        5 => StoreError::ProtocolVersion {
+            got: (splitmix(state) & 0xffff) as u16,
+            want: (splitmix(state) & 0xffff) as u16,
+        },
+        _ => StoreError::Timeout,
+    }
+}
+
+fn random_frame(state: &mut u64) -> Frame {
+    match splitmix(state) % 9 {
+        0 => Frame::Hello {
+            version: (splitmix(state) & 0xffff) as u16,
+        },
+        1 => Frame::HelloAck {
+            version: (splitmix(state) & 0xffff) as u16,
+        },
+        2 => Frame::ReadReq {
+            id: splitmix(state),
+            key: random_string(state, 64),
+        },
+        3 => Frame::WriteReq {
+            id: splitmix(state),
+            key: random_string(state, 64),
+            value: random_bytes(state, 256),
+        },
+        4 => Frame::MetaReq {
+            id: splitmix(state),
+            key: random_string(state, 64),
+        },
+        5 => Frame::ReadResp {
+            id: splitmix(state),
+            value: random_bytes(state, 256),
+        },
+        6 => Frame::WriteResp {
+            id: splitmix(state),
+        },
+        7 => Frame::MetaResp {
+            id: splitmix(state),
+            value_len: splitmix(state) as u32,
+            protocol: random_string(state, 16),
+        },
+        _ => Frame::ErrorResp {
+            id: splitmix(state),
+            error: random_error(state),
+        },
+    }
+}
+
+#[test]
+fn fuzz_round_trips_every_frame_type() {
+    let mut state = 0xE10_u64;
+    let mut seen = [0u32; 9];
+    for _ in 0..4000 {
+        let frame = random_frame(&mut state);
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        let decoded = read_frame(&mut buf.as_slice())
+            .expect("well-formed frame decodes")
+            .expect("frame present");
+        assert_eq!(decoded, frame, "round-trip must be lossless");
+        let tag = buf[4] as usize;
+        seen[tag - 1] += 1;
+    }
+    assert!(
+        seen.iter().all(|&c| c > 0),
+        "fuzz covered every frame type: {seen:?}"
+    );
+}
+
+#[test]
+fn fuzz_round_trips_back_to_back_streams() {
+    let mut state = 0xBEEF_u64;
+    for _ in 0..50 {
+        let frames: Vec<Frame> = (0..=(splitmix(&mut state) % 8))
+            .map(|_| random_frame(&mut state))
+            .collect();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).expect("vec write");
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF after frames");
+    }
+}
+
+#[test]
+fn every_truncation_of_every_frame_is_rejected_cleanly() {
+    let mut state = 0x7_u64;
+    for _ in 0..200 {
+        let frame = random_frame(&mut state);
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        for cut in 0..buf.len() {
+            match read_frame(&mut &buf[..cut]) {
+                Ok(None) => assert_eq!(cut, 0, "Ok(None) only before any byte"),
+                Ok(Some(_)) => panic!("truncated frame decoded at cut {cut}"),
+                Err(StoreError::Io(_) | StoreError::Decode(_)) => {}
+                Err(other) => panic!("unexpected error {other:?} at cut {cut}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_payloads_decode_to_errors_not_panics() {
+    let mut state = 0x51_u64;
+    for _ in 0..200 {
+        let frame = random_frame(&mut state);
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        let payload = &buf[4..];
+        for cut in 0..payload.len() {
+            assert!(
+                matches!(decode_payload(&payload[..cut]), Err(StoreError::Decode(_))),
+                "payload cut at {cut} must be a Decode error"
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut state = 0x99_u64;
+    for _ in 0..100 {
+        let frame = random_frame(&mut state);
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        let mut payload = buf[4..].to_vec();
+        payload.push(0xAA);
+        assert!(matches!(
+            decode_payload(&payload),
+            Err(StoreError::Decode(_))
+        ));
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    for len in [MAX_FRAME_LEN + 1, u32::MAX] {
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.push(1);
+        match read_frame(&mut buf.as_slice()) {
+            Err(StoreError::Decode(msg)) => assert!(msg.contains("bound"), "got: {msg}"),
+            other => panic!("oversized prefix must be a Decode error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn zero_length_and_unknown_tag_frames_are_rejected() {
+    assert!(matches!(
+        read_frame(&mut [0u8, 0, 0, 0].as_slice()),
+        Err(StoreError::Decode(_))
+    ));
+    // Tag 0 and tags past the last known one are both unknown.
+    for tag in [0u8, 10, 0xFF] {
+        let buf = [1u8, 0, 0, 0, tag];
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(StoreError::Decode(_))
+        ));
+    }
+}
+
+#[test]
+fn hello_with_bad_magic_is_rejected() {
+    let mut buf = Vec::new();
+    encode_frame(
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+        &mut buf,
+    );
+    buf[5] = b'X'; // corrupt the magic
+    assert!(matches!(
+        read_frame(&mut buf.as_slice()),
+        Err(StoreError::Decode(_))
+    ));
+}
+
+#[test]
+fn every_error_code_round_trips_exactly() {
+    let cases = [
+        StoreError::ShutDown,
+        StoreError::Rejected("nope".into()),
+        StoreError::BadValueLength { got: 3, want: 64 },
+        StoreError::Io("broken pipe".into()),
+        StoreError::Decode("garbage".into()),
+        StoreError::ProtocolVersion { got: 2, want: 1 },
+        StoreError::Timeout,
+    ];
+    for error in cases {
+        let frame = Frame::ErrorResp {
+            id: 9,
+            error: error.clone(),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap().unwrap(), frame);
+    }
+}
+
+#[test]
+fn local_only_config_error_folds_to_rejected_on_the_wire() {
+    let error = StoreError::Config(rsb_store::StoreConfigError::ZeroBacklog);
+    let mut buf = Vec::new();
+    encode_frame(&Frame::ErrorResp { id: 1, error }, &mut buf);
+    match read_frame(&mut buf.as_slice()).unwrap().unwrap() {
+        Frame::ErrorResp {
+            error: StoreError::Rejected(msg),
+            ..
+        } => assert!(msg.contains("backlog"), "folded message: {msg}"),
+        other => panic!("expected a folded Rejected, got {other:?}"),
+    }
+}
