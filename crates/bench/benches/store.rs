@@ -173,12 +173,52 @@ fn bench_tcp_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
+/// The metrics exposition path: a full `StatsResp` scrape over a real
+/// socket (snapshot every shard, encode histograms, decode + re-validate
+/// bucket bounds client-side), on a store warmed with enough traffic to
+/// populate all six histograms. Scrapes run concurrently with load in
+/// production, so their cost bounds the monitoring tax.
+fn bench_stats_scrape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_stats_scrape");
+    group.sample_size(20);
+    let reg = RegisterConfig::paper(1, 2, VALUE_LEN).unwrap();
+    let config = StoreConfig::uniform(4, ProtocolSpec::Abd, reg)
+        .with_history(HistoryPolicy::TruncateAfter(256))
+        .with_listen(ListenSpec::new("127.0.0.1:0"));
+    let server = Store::serve(config).unwrap();
+    let client: StoreClient<TcpTransport> =
+        StoreClient::over(TcpTransport::connect(server.local_addr()).unwrap());
+    for i in 0..256u64 {
+        let key = format!("k{:03}", i % 64);
+        client
+            .write_blocking(&key, Value::seeded(i, VALUE_LEN))
+            .unwrap();
+        client.read_blocking(&key).unwrap();
+    }
+    group.bench_function("4shards_localhost", |b| {
+        b.iter(|| {
+            let m = client.stats().unwrap();
+            assert_eq!(m.totals().completed(), 512);
+        });
+    });
+    group.bench_function("render_prometheus", |b| {
+        let m = client.stats().unwrap();
+        b.iter(|| {
+            assert!(m.render_prometheus().len() > 512);
+        });
+    });
+    drop(client);
+    server.shutdown();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_store_roundtrip,
     bench_hot_key_pipelined,
     bench_governed_eviction,
     bench_frame_codec,
-    bench_tcp_roundtrip
+    bench_tcp_roundtrip,
+    bench_stats_scrape
 );
 criterion_main!(benches);

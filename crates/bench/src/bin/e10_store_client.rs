@@ -5,9 +5,16 @@
 //! coordinated-omission-free). Each client thread gets its own TCP
 //! connection.
 //!
+//! Pass `--stats` to skip the load entirely and scrape the server's
+//! live metrics over the wire instead, printed as Prometheus-style
+//! exposition text; add `--check` to also assert the metric invariants
+//! (submissions ≥ completions, phase histograms covering completions).
+//!
 //! ```sh
 //! cargo run --release -p rsb-bench --bin e10_store_client -- \
 //!     --addr 127.0.0.1:7400 --clients 16 --ops 500 --rate 10000
+//! cargo run --release -p rsb-bench --bin e10_store_client -- \
+//!     --addr 127.0.0.1:7400 --stats --check
 //! ```
 
 use reliable_storage::prelude::*;
@@ -20,9 +27,53 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Scrapes the server's metrics over the wire and prints them. With
+/// `check`, asserts the invariants an external monitor may rely on.
+fn scrape_stats(addr: std::net::SocketAddr, check: bool) {
+    let client: StoreClient<TcpTransport> =
+        StoreClient::over(TcpTransport::connect(addr).expect("connect to server"));
+    let m = client.stats().expect("stats scrape");
+    print!("{}", m.render_prometheus());
+    if check {
+        let t = m.totals();
+        assert!(
+            t.submitted() >= t.completed(),
+            "submissions {} must cover completions {}",
+            t.submitted(),
+            t.completed()
+        );
+        // Phase samples are recorded per completion; a scrape of a live
+        // server can catch a completion between its two histogram
+        // updates, so allow a sliver of in-flight skew.
+        let (q, e) = (m.queue_wait().count(), m.execute().count());
+        assert!(
+            q.abs_diff(e) <= 16,
+            "phase counts diverged: queue {q}, exec {e}"
+        );
+        assert!(
+            q <= t.completed() && m.end_to_end_latency().count() <= t.completed(),
+            "phase samples {} exceed completions {}",
+            q,
+            t.completed()
+        );
+        // Wire samples lag completions by in-flight response writes.
+        assert!(m.wire().count() <= t.completed());
+        eprintln!("stats check: ok ({} ops completed)", t.completed());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7400".into());
+    if has_flag(&args, "--stats") {
+        let sock_addr: std::net::SocketAddr = addr.parse().expect("--addr is host:port");
+        scrape_stats(sock_addr, has_flag(&args, "--check"));
+        return;
+    }
     let clients: usize = flag(&args, "--clients").map_or(8, |v| v.parse().expect("--clients"));
     let ops: usize = flag(&args, "--ops").map_or(200, |v| v.parse().expect("--ops"));
     let keys: usize = flag(&args, "--keys").map_or(128, |v| v.parse().expect("--keys"));

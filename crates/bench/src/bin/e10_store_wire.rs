@@ -21,7 +21,9 @@
 use reliable_storage::prelude::*;
 use rsb_bench::{banner, print_table};
 use rsb_store::load::{run_load, LoadMode, LoadReport, LoadSpec};
-use rsb_store::StoreServer;
+use rsb_store::{LatencyHistogram, StoreServer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 fn serve(shards: usize, protocol: ProtocolSpec, value_len: usize) -> StoreServer {
     let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
@@ -75,6 +77,116 @@ fn run_per_connection(server: &StoreServer, spec: &LoadSpec) -> LoadReport {
     }
     merged.expect("at least one client")
 }
+
+/// Runs a load closure while a sampler thread scrapes the store's
+/// metrics every 50 ms through `scrape` — the same [`Transport::stats`]
+/// path an external monitor would use (a live TCP scrape when the load
+/// runs over the wire). Returns the report and the scrape series; the
+/// last element is always a post-run scrape of the quiesced store.
+fn run_scraped<T: Transport>(
+    scrape: &StoreClient<T>,
+    run: impl FnOnce() -> LoadReport,
+) -> (LoadReport, Vec<StoreMetrics>) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            let mut series = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(50));
+                if let Ok(m) = scrape.stats() {
+                    series.push(m);
+                }
+            }
+            if let Ok(m) = scrape.stats() {
+                series.push(m);
+            }
+            series
+        });
+        let report = run();
+        stop.store(true, Ordering::Relaxed);
+        (report, sampler.join().expect("sampler thread"))
+    })
+}
+
+/// Conservative histogram sum bounds from the bucket boundaries.
+fn bucket_sum_lo(h: &LatencyHistogram) -> u128 {
+    h.buckets()
+        .map(|(lo, _, c)| u128::from(lo) * u128::from(c))
+        .sum()
+}
+
+fn bucket_sum_hi(h: &LatencyHistogram) -> u128 {
+    h.buckets()
+        .map(|(_, hi, c)| u128::from(hi) * u128::from(c))
+        .sum()
+}
+
+/// One row of the phase-attribution table, from the final scrape of a
+/// rate's run — plus the sum-consistency checks the scrape must satisfy.
+fn phase_row(label: &str, rate: f64, series: &[StoreMetrics]) -> Vec<String> {
+    let m = series.last().expect("final scrape");
+    let totals = m.totals();
+    let e2e = m.end_to_end_latency();
+    let queue = m.queue_wait();
+    let exec = m.execute();
+    let wire = m.wire();
+    // Invariants of a quiesced scrape: everything submitted completed,
+    // every completion carries exactly one sample in each phase
+    // histogram, and the phases can't sum past the end-to-end latency.
+    assert_eq!(totals.submitted(), totals.completed(), "{label} quiesced");
+    assert_eq!(
+        queue.count(),
+        totals.completed(),
+        "{label} queue_wait coverage"
+    );
+    assert_eq!(exec.count(), totals.completed(), "{label} execute coverage");
+    assert_eq!(
+        e2e.count(),
+        totals.completed(),
+        "{label} end-to-end coverage"
+    );
+    assert!(
+        bucket_sum_lo(&queue) + bucket_sum_lo(&exec) <= bucket_sum_hi(&e2e),
+        "{label} phase sums exceed end-to-end"
+    );
+    vec![
+        label.to_string(),
+        format!("{:.0}", rate / 1e3),
+        (series.len() - 1).to_string(),
+        totals.completed().to_string(),
+        format!("{:.0}", e2e.quantile_us(0.50)),
+        format!("{:.0}", e2e.quantile_us(0.99)),
+        format!("{:.0}", queue.quantile_us(0.50)),
+        format!("{:.0}", queue.quantile_us(0.99)),
+        format!("{:.0}", exec.quantile_us(0.50)),
+        format!("{:.0}", exec.quantile_us(0.99)),
+        if wire.count() == 0 {
+            "-".into()
+        } else {
+            format!("{:.0}", wire.quantile_us(0.50))
+        },
+        if wire.count() == 0 {
+            "-".into()
+        } else {
+            format!("{:.0}", wire.quantile_us(0.99))
+        },
+    ]
+}
+
+const PHASE_HEADER: [&str; 12] = [
+    "transport",
+    "rate_kops",
+    "scrapes",
+    "done",
+    "e2e_p50",
+    "e2e_p99",
+    "queue_p50",
+    "queue_p99",
+    "exec_p50",
+    "exec_p99",
+    "wire_p50",
+    "wire_p99",
+];
 
 fn report_row(label: &str, rate: Option<f64>, r: &LoadReport) -> Vec<String> {
     vec![
@@ -199,6 +311,7 @@ fn main() {
         &[1_000.0, 5_000.0, 10_000.0, 20_000.0, 40_000.0]
     };
     let mut rows = Vec::new();
+    let mut phase_rows = Vec::new();
     for (i, &rate) in rates.iter().enumerate() {
         let spec = LoadSpec {
             seed: 20 + i as u64,
@@ -212,13 +325,33 @@ fn main() {
                 RegisterConfig::paper(1, 2, value_len).expect("valid parameters"),
             ))
             .expect("valid config");
-            let r = run_load(&store.client(), &spec);
+            let scrape = store.client();
+            let (r, series) = run_scraped(&scrape, || run_load(&store.client(), &spec));
             rows.push(report_row("loopback", Some(rate), &r));
+            phase_rows.push(phase_row("loopback", rate, &series));
             store.shutdown();
         } else {
             let server = serve(shards, ProtocolSpec::Adaptive, value_len);
-            let r = run_per_connection(&server, &spec);
+            // The scraper gets its own connection, so the periodic
+            // stats frames travel the same wire the load does without
+            // sharing a load connection's socket.
+            let scrape: StoreClient<TcpTransport> =
+                StoreClient::over(TcpTransport::connect(server.local_addr()).expect("connect"));
+            let (r, mut series) = run_scraped(&scrape, || run_per_connection(&server, &spec));
+            // Wire-time samples land *after* each response is written,
+            // so the post-run scrape can race the last few; take one
+            // settled scrape for the phase table.
+            std::thread::sleep(Duration::from_millis(50));
+            series.push(scrape.stats().expect("final scrape"));
             rows.push(report_row("tcp 16-conn", Some(rate), &r));
+            let row = phase_row("tcp 16-conn", rate, &series);
+            let m = series.last().expect("final scrape");
+            assert_eq!(
+                m.wire().count(),
+                m.totals().completed(),
+                "every TCP op is wire-timed"
+            );
+            phase_rows.push(row);
             server.shutdown();
         }
     }
@@ -233,6 +366,18 @@ fn main() {
     println!(
         "open-loop note: p99/p999 include queueing delay once the offered rate nears the \
          service's capacity — the closed-loop table cannot show that.\n"
+    );
+    print_table(
+        "phase attribution, scraped over the live stats wire (us; server-side clocks: e2e = \
+         submit->completion, queue = submit->execute-start, exec = execute batch, wire = frame \
+         decode->response flush)",
+        &PHASE_HEADER,
+        &phase_rows,
+    );
+    println!(
+        "phase note: e2e here is server-side (submit to completion), so open-loop schedule \
+         backlog does not inflate it; queue+exec partition it, and wire adds the socket path \
+         on TCP rows. 'scrapes' counts live mid-run stats snapshots.\n"
     );
 
     // ---- linearizability through the wire ---------------------------

@@ -389,6 +389,7 @@ fn memory_governance_section(quick: bool, value_len: usize) {
         let m = store.metrics();
         let hit = m.read_hit_latency();
         let remat = m.read_remat_latency();
+        let write = m.write_latency();
         latency_rows.push(vec![
             label.to_string(),
             hit.count().to_string(),
@@ -399,6 +400,9 @@ fn memory_governance_section(quick: bool, value_len: usize) {
             format!("{:.0}", remat.quantile_us(0.50)),
             format!("{:.0}", remat.quantile_us(0.99)),
             format!("{:.0}", remat.quantile_us(0.999)),
+            write.count().to_string(),
+            format!("{:.0}", write.quantile_us(0.50)),
+            format!("{:.0}", write.quantile_us(0.99)),
         ]);
         if label == "occupancy" {
             governed_store = Some(store);
@@ -426,7 +430,7 @@ fn memory_governance_section(quick: bool, value_len: usize) {
         &rows,
     );
     print_table(
-        "read latency by outcome (store-measured, submit -> completion)",
+        "latency by outcome (store-measured, submit -> completion)",
         &[
             "policy",
             "hits",
@@ -437,6 +441,9 @@ fn memory_governance_section(quick: bool, value_len: usize) {
             "r_p50_us",
             "r_p99_us",
             "r_p999_us",
+            "writes",
+            "w_p50_us",
+            "w_p99_us",
         ],
         &latency_rows,
     );
@@ -579,7 +586,7 @@ fn main() {
             .map(|s| {
                 vec![
                     s.shard.to_string(),
-                    s.protocol.to_string(),
+                    s.protocol.clone(),
                     s.keys.to_string(),
                     s.ops.reads_completed.to_string(),
                     s.ops.writes_completed.to_string(),

@@ -81,9 +81,10 @@ pub mod prelude {
         threaded::ThreadedRegister, Abd, Adaptive, Coded, RegisterConfig, RegisterProtocol, Safe,
     };
     pub use rsb_store::{
-        block_on, frame, join_all, EvictionPolicy, HistoryPolicy, KeyMeta, LatencyHistogram,
-        ListenSpec, Loopback, OpTicket, ProtocolSpec, Store, StoreClient, StoreConfig, StoreError,
-        StoreMetrics, StoreServer, TcpTransport, Transport,
+        block_on, frame, join_all, EvictionPolicy, FlightEvent, FlightEventKind, FlightRecorder,
+        HistoryPolicy, KeyMeta, LatencyHistogram, ListenSpec, Loopback, OpTicket, ProtocolSpec,
+        Store, StoreClient, StoreConfig, StoreError, StoreMetrics, StoreServer, TcpTransport,
+        Transport,
     };
     pub use rsb_workloads::{
         key_rank, run_scenario, FailurePlan, KeyDist, KeyedAction, KeyedScenario, Scenario,

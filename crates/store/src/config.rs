@@ -169,6 +169,8 @@ pub enum StoreConfigError {
     /// [`Store::serve`](crate::Store::serve) was called on a
     /// configuration with no listen section.
     MissingListen,
+    /// A flight-recorder capacity of zero events.
+    ZeroRecorderCapacity,
 }
 
 impl std::fmt::Display for StoreConfigError {
@@ -206,6 +208,9 @@ impl std::fmt::Display for StoreConfigError {
                     "serving requires a listen section (StoreConfig::with_listen)"
                 )
             }
+            StoreConfigError::ZeroRecorderCapacity => {
+                write!(f, "the flight recorder needs capacity for at least 1 event")
+            }
         }
     }
 }
@@ -236,11 +241,17 @@ pub struct StoreConfig {
     /// in-process only; [`Store::serve`](crate::Store::serve) requires
     /// `Some`.
     pub listen: Option<ListenSpec>,
+    /// Capacity, in events, of the store's flight recorder
+    /// (overwrite-oldest; fixed memory of ~16 bytes per slot).
+    pub recorder_capacity: usize,
 }
 
 impl StoreConfig {
     /// Default driver batch size.
     pub const DEFAULT_BATCH: usize = 64;
+
+    /// Default flight-recorder window.
+    pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
 
     /// A homogeneous store: `shard_count` shards all running `protocol`
     /// with `register` parameters.
@@ -252,6 +263,7 @@ impl StoreConfig {
             work_stealing: true,
             eviction: EvictionPolicy::Manual,
             listen: None,
+            recorder_capacity: Self::DEFAULT_RECORDER_CAPACITY,
         }
     }
 
@@ -286,6 +298,13 @@ impl StoreConfig {
         self
     }
 
+    /// Overrides the flight recorder's event window (tests shrink it to
+    /// exercise wrap-around; long-lived servers may want more context).
+    pub fn with_recorder_capacity(mut self, recorder_capacity: usize) -> Self {
+        self.recorder_capacity = recorder_capacity;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -293,8 +312,8 @@ impl StoreConfig {
     /// Rejects an empty shard list, a zero batch size, a zero
     /// truncate-after-N bound, a zero idle-eviction threshold, an
     /// occupancy policy whose low watermark exceeds its high watermark,
-    /// and a listen section with a zero backlog or an unparseable
-    /// address.
+    /// a listen section with a zero backlog or an unparseable address,
+    /// and a zero-capacity flight recorder.
     pub fn validate(&self) -> Result<(), StoreConfigError> {
         if self.shards.is_empty() {
             return Err(StoreConfigError::NoShards);
@@ -320,6 +339,9 @@ impl StoreConfig {
             if listen.addr.parse::<std::net::SocketAddr>().is_err() {
                 return Err(StoreConfigError::BadListenAddr(listen.addr.clone()));
             }
+        }
+        if self.recorder_capacity == 0 {
+            return Err(StoreConfigError::ZeroRecorderCapacity);
         }
         Ok(())
     }
@@ -347,6 +369,10 @@ mod tests {
                 .with_history(HistoryPolicy::TruncateAfter(0))
                 .validate(),
             Err(StoreConfigError::ZeroHistoryBound)
+        );
+        assert_eq!(
+            cfg.clone().with_recorder_capacity(0).validate(),
+            Err(StoreConfigError::ZeroRecorderCapacity)
         );
         assert!(cfg
             .with_history(HistoryPolicy::TruncateOnQuiescence)

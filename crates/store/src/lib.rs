@@ -76,6 +76,7 @@ mod future;
 pub mod load;
 mod metrics;
 mod net;
+mod recorder;
 mod shard;
 mod store;
 
@@ -86,4 +87,5 @@ pub use config::{
 pub use future::{block_on, join_all, ReadFuture, WriteFuture};
 pub use metrics::{EvictionCause, LatencyHistogram, OpCounters, ShardMetrics, StoreMetrics};
 pub use net::{frame, KeyMeta, Loopback, OpTicket, StoreServer, TcpTransport, Transport};
+pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use store::{KeyHistory, Store, StoreClient, StoreError};

@@ -23,12 +23,13 @@
 //! issuing) of its neighbors.
 
 use crate::future::{ReadFuture, WriteFuture};
-use crate::metrics::LatencyHistogram;
+use crate::metrics::{LatencyHistogram, StoreMetrics};
 use crate::net::Transport;
 use crate::store::{StoreClient, StoreError};
 use rsb_coding::Value;
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
@@ -362,6 +363,56 @@ pub fn run_load<T: Transport>(client: &StoreClient<T>, spec: &LoadSpec) -> LoadR
     report
 }
 
+/// Runs one load profile while a sampler thread scrapes the transport's
+/// metrics ([`Transport::stats`]) every `interval`, coarsely observing
+/// the run the way an external monitoring system would — over the same
+/// wire the load travels on when the transport is TCP.
+///
+/// Returns the load report plus the scrape series, in sample order. One
+/// final scrape is always taken *after* the run finishes, so the last
+/// element reflects the quiesced store (modulo wire-time samples still
+/// in flight on remote transports). Failed scrapes (e.g. a scrape
+/// timing out under overload) are dropped from the series rather than
+/// aborting the run.
+///
+/// # Panics
+///
+/// Panics if the sampler or a collector thread cannot be spawned.
+pub fn run_load_scraped<T: Transport>(
+    client: &StoreClient<T>,
+    spec: &LoadSpec,
+    interval: Duration,
+) -> (LoadReport, Vec<StoreMetrics>) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            let mut series = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                // Sleep in short slices so the sampler notices the end
+                // of the run promptly even with a long interval.
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(m) = client.stats() {
+                    series.push(m);
+                }
+            }
+            if let Ok(m) = client.stats() {
+                series.push(m);
+            }
+            series
+        });
+        let report = run_load(client, spec);
+        stop.store(true, Ordering::Relaxed);
+        let series = sampler.join().expect("sampler thread");
+        (report, series)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +453,32 @@ mod tests {
         assert_eq!(report.latency.count(), 100);
         // 100 ops at 5k/s is a 20 ms schedule; the run respected it.
         assert!(report.elapsed >= Duration::from_millis(19));
+        store.shutdown();
+    }
+
+    #[test]
+    fn scraped_run_samples_live_metrics() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)).unwrap();
+        let (report, series) = run_load_scraped(
+            &store.client(),
+            &spec(LoadMode::Open { rate: 5_000.0 }),
+            Duration::from_millis(5),
+        );
+        assert_eq!(report.ok, 100);
+        // The trailing post-run scrape is unconditional, so the series
+        // is never empty and its last element shows the whole run.
+        let last = series.last().expect("final scrape");
+        let totals = last.totals();
+        assert_eq!(totals.reads_completed + totals.writes_completed, 100);
+        // Scrape counters are monotone along the series.
+        for pair in series.windows(2) {
+            assert!(pair[0].totals().completed() <= pair[1].totals().completed());
+        }
+        // Phase attribution covers every completed op.
+        assert_eq!(last.queue_wait().count(), 100);
+        assert_eq!(last.execute().count(), 100);
+        assert_eq!(last.end_to_end_latency().count(), 100);
         store.shutdown();
     }
 

@@ -26,9 +26,9 @@ pub enum EvictionCause {
 /// (log-linear, ~±12.5% resolution) — enough to separate a cache-hit
 /// read from one that pays a rematerialization, at tail quantiles.
 const HIST_SUBS: usize = 4;
-const HIST_BUCKETS: usize = 64 * HIST_SUBS;
+pub(crate) const HIST_BUCKETS: usize = 64 * HIST_SUBS;
 
-fn hist_bucket(ns: u64) -> usize {
+pub(crate) fn hist_bucket(ns: u64) -> usize {
     let n = ns.max(1);
     let exp = 63 - n.leading_zeros() as usize;
     let sub = if exp >= 2 {
@@ -37,6 +37,26 @@ fn hist_bucket(ns: u64) -> usize {
         0
     };
     exp * HIST_SUBS + sub
+}
+
+/// The half-open `[lo_ns, hi_ns)` range of nanosecond samples a bucket
+/// absorbs. Bucket 0 also absorbs the clamped `ns == 0` sample, so its
+/// lower bound reads 0; the top bucket's upper bound saturates at
+/// `u64::MAX`.
+pub(crate) fn hist_bucket_bounds(bucket: usize) -> (u64, u64) {
+    let exp = bucket / HIST_SUBS;
+    let sub = bucket % HIST_SUBS;
+    if exp < 2 {
+        // Sub-buckets collapse below 4 ns; only `sub == 0` is reachable.
+        let lo = if bucket == 0 { 0 } else { 1u64 << exp };
+        return (lo, 1u64 << (exp + 1));
+    }
+    let lo = ((4 + sub) as u128) << (exp - 2);
+    let hi = ((5 + sub) as u128) << (exp - 2);
+    (
+        lo.min(u128::from(u64::MAX)) as u64,
+        hi.min(u128::from(u64::MAX)) as u64,
+    )
 }
 
 fn hist_representative_ns(bucket: usize) -> f64 {
@@ -91,10 +111,24 @@ impl AtomicHistogram {
 /// quantiles carry ~±12.5% resolution — plenty to tell a hit read from
 /// one that paid a rematerialization, while recording stays a single
 /// relaxed atomic increment on the hot path.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
 }
+
+/// A freshly-constructed histogram holds an empty `counts` vec while a
+/// recorded-then-drained one holds 256 zeros; both mean "no samples", so
+/// equality compares bucket-by-bucket with missing buckets read as zero.
+impl PartialEq for LatencyHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        let len = self.counts.len().max(other.counts.len());
+        (0..len).all(|i| {
+            self.counts.get(i).copied().unwrap_or(0) == other.counts.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for LatencyHistogram {}
 
 impl LatencyHistogram {
     /// Records one latency sample directly (single-threaded recording —
@@ -145,6 +179,36 @@ impl LatencyHistogram {
     pub fn quantile_us(&self, p: f64) -> f64 {
         self.quantile_ns(p).unwrap_or(0.0) / 1e3
     }
+
+    /// Iterates the occupied buckets as `(lo_ns, hi_ns, count)` triples
+    /// with `count > 0`, in ascending latency order. Each sample counted
+    /// fell in the half-open range `[lo_ns, hi_ns)` (the clamped 0-ns
+    /// sample lands in the first bucket, whose `lo_ns` is 0).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(bucket, &c)| {
+                let (lo, hi) = hist_bucket_bounds(bucket);
+                (lo, hi, c)
+            })
+    }
+
+    /// Adds `count` samples to the bucket spanning `[lo_ns, hi_ns)` (the
+    /// wire decoder's inverse of [`Self::buckets`]). Returns false when
+    /// the pair is not an exact bucket boundary.
+    pub(crate) fn add_bucket(&mut self, lo_ns: u64, hi_ns: u64, count: u64) -> bool {
+        let bucket = hist_bucket(lo_ns.max(1));
+        if hist_bucket_bounds(bucket) != (lo_ns, hi_ns) {
+            return false;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; HIST_BUCKETS];
+        }
+        self.counts[bucket] = self.counts[bucket].saturating_add(count);
+        true
+    }
 }
 
 /// Lock-free counters one shard's submit path and driver bump.
@@ -166,6 +230,10 @@ pub(crate) struct AtomicCounters {
     evicted_occupancy: AtomicU64,
     read_hit_ns: AtomicHistogram,
     read_remat_ns: AtomicHistogram,
+    write_ns: AtomicHistogram,
+    queue_wait_ns: AtomicHistogram,
+    execute_ns: AtomicHistogram,
+    wire_ns: AtomicHistogram,
 }
 
 impl AtomicCounters {
@@ -232,12 +300,49 @@ impl AtomicCounters {
         }
     }
 
+    /// Records a completed write's end-to-end latency.
+    pub(crate) fn note_write_latency(&self, ns: u64) {
+        self.write_ns.record(ns);
+    }
+
+    /// Records one completed op's phase split: time spent waiting for a
+    /// driver (submit → execute-start) and time inside the simulator
+    /// batch that delivered it (execute-start → completion). Every
+    /// completion records exactly one sample in each, so the phase
+    /// histogram counts must agree with the end-to-end ones.
+    pub(crate) fn note_phases(&self, queue_ns: u64, execute_ns: u64) {
+        self.queue_wait_ns.record(queue_ns);
+        self.execute_ns.record(execute_ns);
+    }
+
+    /// Records server-side wire time for one TCP op: frame decode →
+    /// response flushed. Loopback ops never record here.
+    pub(crate) fn note_wire_latency(&self, ns: u64) {
+        self.wire_ns.record(ns);
+    }
+
     pub(crate) fn read_hit_histogram(&self) -> LatencyHistogram {
         self.read_hit_ns.snapshot()
     }
 
     pub(crate) fn read_remat_histogram(&self) -> LatencyHistogram {
         self.read_remat_ns.snapshot()
+    }
+
+    pub(crate) fn write_histogram(&self) -> LatencyHistogram {
+        self.write_ns.snapshot()
+    }
+
+    pub(crate) fn queue_wait_histogram(&self) -> LatencyHistogram {
+        self.queue_wait_ns.snapshot()
+    }
+
+    pub(crate) fn execute_histogram(&self) -> LatencyHistogram {
+        self.execute_ns.snapshot()
+    }
+
+    pub(crate) fn wire_histogram(&self) -> LatencyHistogram {
+        self.wire_ns.snapshot()
     }
 
     pub(crate) fn snapshot(&self) -> OpCounters {
@@ -296,6 +401,11 @@ pub struct OpCounters {
 }
 
 impl OpCounters {
+    /// Submitted operations of both kinds.
+    pub fn submitted(&self) -> u64 {
+        self.reads_submitted + self.writes_submitted
+    }
+
     /// Completed operations of both kinds.
     pub fn completed(&self) -> u64 {
         self.reads_completed + self.writes_completed
@@ -326,12 +436,16 @@ impl OpCounters {
 }
 
 /// One shard's metrics snapshot.
-#[derive(Debug, Clone)]
+///
+/// Owned data only (`protocol` is a `String`, histograms own their
+/// buckets), so a snapshot decoded from a remote server's `StatsResp`
+/// frame compares equal to the same snapshot taken in-process.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardMetrics {
     /// Shard index within the store.
     pub shard: usize,
     /// The register emulation the shard runs.
-    pub protocol: &'static str,
+    pub protocol: String,
     /// Keys (registers) materialized on the shard so far.
     pub keys: usize,
     /// Operation counters.
@@ -366,14 +480,32 @@ pub struct ShardMetrics {
     /// End-to-end latency of completed reads whose submission had to
     /// rematerialize an evicted key first.
     pub read_remat_latency: LatencyHistogram,
+    /// End-to-end latency of completed writes.
+    pub write_latency: LatencyHistogram,
+    /// Per-op time from submit to execute-start (waiting for a driver);
+    /// one sample per completed op of either kind.
+    pub queue_wait: LatencyHistogram,
+    /// Per-op time inside the simulator batch that delivered the result
+    /// (execute-start to completion); one sample per completed op.
+    pub execute: LatencyHistogram,
+    /// Server-side wire time per TCP op (frame decode to response
+    /// flush). Empty on loopback-only stores; lags completions by the
+    /// in-flight ops whose responses are still being written.
+    pub wire: LatencyHistogram,
 }
 
+// Every field is integral (or a histogram of integral counts), so
+// `PartialEq` is total and the marker holds.
+impl Eq for ShardMetrics {}
+
 /// A whole-store metrics snapshot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreMetrics {
     /// Per-shard snapshots, indexed by shard.
     pub shards: Vec<ShardMetrics>,
 }
+
+impl Eq for StoreMetrics {}
 
 impl StoreMetrics {
     /// Aggregate operation counters over all shards.
@@ -433,6 +565,219 @@ impl StoreMetrics {
         }
         out
     }
+
+    /// Merged write end-to-end latency histogram across shards.
+    pub fn write_latency(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for s in &self.shards {
+            out.merge(&s.write_latency);
+        }
+        out
+    }
+
+    /// Merged submit→execute-start queue-wait histogram across shards.
+    pub fn queue_wait(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for s in &self.shards {
+            out.merge(&s.queue_wait);
+        }
+        out
+    }
+
+    /// Merged execute-start→completion histogram across shards.
+    pub fn execute(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for s in &self.shards {
+            out.merge(&s.execute);
+        }
+        out
+    }
+
+    /// Merged server-side wire-time histogram across shards.
+    pub fn wire(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for s in &self.shards {
+            out.merge(&s.wire);
+        }
+        out
+    }
+
+    /// Merged end-to-end latency over every completed op (reads of both
+    /// kinds plus writes) — the histogram the phase pair
+    /// ([`Self::queue_wait`], [`Self::execute`]) decomposes.
+    pub fn end_to_end_latency(&self) -> LatencyHistogram {
+        let mut out = self.read_hit_latency();
+        out.merge(&self.read_remat_latency());
+        out.merge(&self.write_latency());
+        out
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition:
+    /// `# TYPE`-annotated counters, gauges, and cumulative-`le`
+    /// histograms, all prefixed `rsb_store_`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let t = self.totals();
+        let counters: [(&str, &str, u64); 14] = [
+            (
+                "reads_submitted",
+                "Reads accepted by the submit path",
+                t.reads_submitted,
+            ),
+            (
+                "writes_submitted",
+                "Writes accepted by the submit path",
+                t.writes_submitted,
+            ),
+            (
+                "reads_completed",
+                "Reads whose result was delivered",
+                t.reads_completed,
+            ),
+            (
+                "writes_completed",
+                "Writes whose ack was delivered",
+                t.writes_completed,
+            ),
+            (
+                "bytes_read",
+                "Payload bytes returned by completed reads",
+                t.bytes_read,
+            ),
+            (
+                "bytes_written",
+                "Payload bytes accepted by submitted writes",
+                t.bytes_written,
+            ),
+            (
+                "rejected",
+                "Submissions the simulation rejected",
+                t.rejected,
+            ),
+            (
+                "steals",
+                "Ready keys executed by non-home drivers",
+                t.steals,
+            ),
+            (
+                "truncated_records",
+                "Records dropped by history compaction",
+                t.truncated_records,
+            ),
+            (
+                "rematerialized",
+                "Evicted keys brought back by an op",
+                t.rematerialized,
+            ),
+            ("evicted_manual", "Manual evictions", t.evicted_manual),
+            ("evicted_idle", "Idle-sweep evictions", t.evicted_idle),
+            (
+                "evicted_occupancy",
+                "Occupancy-trigger evictions",
+                t.evicted_occupancy,
+            ),
+            (
+                "stolen",
+                "Ready keys of a shard run by other drivers",
+                t.stolen,
+            ),
+        ];
+        for (name, help, value) in counters {
+            let _ = writeln!(out, "# HELP rsb_store_{name}_total {help}");
+            let _ = writeln!(out, "# TYPE rsb_store_{name}_total counter");
+            let _ = writeln!(out, "rsb_store_{name}_total {value}");
+        }
+        let gauges: [(&str, &str, u64); 6] = [
+            (
+                "occupancy_bits",
+                "Live storage occupancy (paper Definition-2 bits)",
+                self.occupancy_bits(),
+            ),
+            (
+                "peak_register_bits",
+                "Sum of per-register peak storage bits",
+                self.peak_register_bits(),
+            ),
+            (
+                "snapshot_bits",
+                "Bits held by evicted keys' snapshots",
+                self.snapshot_bits(),
+            ),
+            (
+                "keys",
+                "Keys materialized across shards",
+                self.keys() as u64,
+            ),
+            (
+                "evicted_keys",
+                "Keys currently evicted to snapshots",
+                self.evicted_keys() as u64,
+            ),
+            (
+                "live_records",
+                "Operation records currently retained",
+                self.live_records(),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(out, "# HELP rsb_store_{name} {help}");
+            let _ = writeln!(out, "# TYPE rsb_store_{name} gauge");
+            let _ = writeln!(out, "rsb_store_{name} {value}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP rsb_store_shard_ready_keys Keys waiting in a shard's ready queue"
+        );
+        let _ = writeln!(out, "# TYPE rsb_store_shard_ready_keys gauge");
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "rsb_store_shard_ready_keys{{shard=\"{}\",protocol=\"{}\"}} {}",
+                s.shard, s.protocol, s.ready_keys
+            );
+        }
+        let hists: [(&str, &str, LatencyHistogram); 6] = [
+            (
+                "read_hit_latency_ns",
+                "End-to-end latency of live-key reads",
+                self.read_hit_latency(),
+            ),
+            (
+                "read_remat_latency_ns",
+                "End-to-end latency of rematerializing reads",
+                self.read_remat_latency(),
+            ),
+            (
+                "write_latency_ns",
+                "End-to-end latency of writes",
+                self.write_latency(),
+            ),
+            (
+                "queue_wait_ns",
+                "Submit to execute-start wait",
+                self.queue_wait(),
+            ),
+            ("execute_ns", "Execute-start to completion", self.execute()),
+            (
+                "wire_ns",
+                "Server-side frame decode to response flush",
+                self.wire(),
+            ),
+        ];
+        for (name, help, hist) in hists {
+            let _ = writeln!(out, "# HELP rsb_store_{name} {help}");
+            let _ = writeln!(out, "# TYPE rsb_store_{name} histogram");
+            let mut cumulative = 0u64;
+            for (_, hi, count) in hist.buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "rsb_store_{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "rsb_store_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "rsb_store_{name}_count {cumulative}");
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +809,101 @@ mod tests {
             "p99 ≈ 1ms, got {p99} ns"
         );
         assert!(LatencyHistogram::default().quantile_ns(0.5).is_none());
+    }
+
+    #[test]
+    fn empty_histogram_equals_drained_histogram() {
+        // Regression: the derived PartialEq compared the raw `counts`
+        // vecs, so a default (empty-vec) histogram != an allocated
+        // all-zeros one even though both mean "no samples".
+        let mut recorded = LatencyHistogram::default();
+        recorded.record_ns(500);
+        // A snapshot of an untouched AtomicHistogram has the allocated
+        // all-zeros shape a "recorded then drained" histogram would.
+        let zeroed = AtomicHistogram::default().snapshot();
+        assert_eq!(zeroed.count(), 0);
+        assert_eq!(LatencyHistogram::default(), zeroed);
+        assert_eq!(zeroed, LatencyHistogram::default());
+        assert_ne!(LatencyHistogram::default(), recorded);
+        assert_ne!(zeroed, recorded);
+    }
+
+    #[test]
+    fn bucket_bounds_agree_with_hist_bucket() {
+        // Every recorded sample must land in a bucket whose reported
+        // bounds contain it, and the bounds must be the exact preimage:
+        // lo maps to the bucket, hi maps to the next occupied one.
+        let mut state = 0x0B5E_u64;
+        let mut h = LatencyHistogram::default();
+        let mut samples = Vec::new();
+        for i in 0..2000u64 {
+            // Mix uniform small values with exponentially-spread ones so
+            // every octave range gets coverage, including u64::MAX.
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(i);
+            let shift = (state >> 58) as u32; // 0..63
+            let ns = match i % 4 {
+                0 => i,
+                1 => state >> shift.min(63),
+                2 => 1u64 << shift,
+                _ => u64::MAX - (state & 0xff),
+            };
+            h.record_ns(ns);
+            samples.push(ns);
+        }
+        let total: u64 = h.buckets().map(|(_, _, c)| c).sum();
+        assert_eq!(total, h.count(), "buckets() covers every sample");
+        let mut prev_hi = 0u64;
+        for (lo, hi, count) in h.buckets() {
+            assert!(count > 0, "buckets() yields occupied buckets only");
+            assert!(lo < hi, "non-empty range [{lo}, {hi})");
+            assert!(lo >= prev_hi, "ranges ascend without overlap");
+            prev_hi = hi;
+            let bucket = hist_bucket(lo.max(1));
+            assert_eq!(hist_bucket_bounds(bucket), (lo, hi));
+            // The bucket's representative sits inside its own bounds.
+            let rep = hist_representative_ns(bucket);
+            assert!(
+                rep >= lo as f64 && rep < hi as f64,
+                "representative {rep} outside [{lo}, {hi})"
+            );
+            // Boundary samples: lo maps into this bucket; hi-1 as well
+            // (unless hi saturated at u64::MAX, where hi-1 still must
+            // not map below this bucket).
+            assert_eq!(hist_bucket(lo.max(1)), bucket);
+            assert!(hist_bucket(hi - 1) >= bucket);
+            if hi < u64::MAX {
+                assert!(hist_bucket(hi) > bucket, "hi is exclusive");
+            }
+        }
+        for &ns in &samples {
+            let bucket = hist_bucket(ns);
+            let (lo, hi) = hist_bucket_bounds(bucket);
+            assert!(
+                ns.max(1) >= lo.max(1) && (ns < hi || hi == u64::MAX),
+                "sample {ns} outside its bucket bounds [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn add_bucket_inverts_buckets_iteration() {
+        let mut h = LatencyHistogram::default();
+        for ns in [0, 1, 3, 17, 1_000, 1_000_000, u64::MAX] {
+            h.record_ns(ns);
+        }
+        let mut rebuilt = LatencyHistogram::default();
+        for (lo, hi, count) in h.buckets() {
+            assert!(
+                rebuilt.add_bucket(lo, hi, count),
+                "({lo}, {hi}) is a bucket"
+            );
+        }
+        assert_eq!(rebuilt, h);
+        // Non-boundary bounds are rejected.
+        assert!(!LatencyHistogram::default().add_bucket(1_001, 1_024, 1));
+        assert!(!LatencyHistogram::default().add_bucket(1_024, 1_100, 1));
     }
 
     #[test]

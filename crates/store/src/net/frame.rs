@@ -18,8 +18,18 @@
 //! | `WriteResp` | s→c | `id: u64` |
 //! | `MetaResp`  | s→c | `id: u64`, `value_len: u32`, `protocol: str16` |
 //! | `ErrorResp` | s→c | `id: u64`, `code: u8`, `a: u64`, `b: u64`, `msg: str16` |
+//! | `StatsReq`  | c→s | `id: u64` |
+//! | `StatsResp` | s→c | `id: u64`, `shard_count: u32`, shards… |
 //!
 //! (`str16` = `u16` length + bytes; `bytes32` = `u32` length + bytes.)
+//!
+//! A `StatsResp` shard body is `shard: u64`, `protocol: str16`,
+//! `keys: u64`, the 14 operation counters as `u64`s, the 4 storage-cost
+//! components, 6 `u64` occupancy gauges, then 6 latency histograms, each
+//! a `u16` entry count followed by `(lo_ns: u64, hi_ns: u64, count:
+//! u64)` triples — bucket bounds travel explicitly, so a scraper needs
+//! no knowledge of the server's bucketing scheme, and the decoder
+//! re-validates each pair against its own.
 //!
 //! Decoding is total: truncated, oversized, trailing-garbage, and
 //! unknown-tag frames all return [`StoreError::Decode`] — never a panic
@@ -27,7 +37,9 @@
 //! allocation, so a hostile peer cannot make the decoder reserve
 //! gigabytes.
 
+use crate::metrics::{LatencyHistogram, OpCounters, ShardMetrics, StoreMetrics};
 use crate::store::StoreError;
+use rsb_fpsm::StorageCost;
 use std::io::{Read, Write};
 
 /// Wire-protocol version carried in the hello handshake. Bump on any
@@ -55,6 +67,8 @@ const TAG_READ_RESP: u8 = 6;
 const TAG_WRITE_RESP: u8 = 7;
 const TAG_META_RESP: u8 = 8;
 const TAG_ERROR_RESP: u8 = 9;
+const TAG_STATS_REQ: u8 = 10;
+const TAG_STATS_RESP: u8 = 11;
 
 const ERR_SHUT_DOWN: u8 = 0;
 const ERR_REJECTED: u8 = 1;
@@ -130,6 +144,20 @@ pub enum Frame {
         /// The failure, folded into the unified client error type.
         error: StoreError,
     },
+    /// Store-wide metrics scrape request.
+    StatsReq {
+        /// Per-connection request id, echoed by the response.
+        id: u64,
+    },
+    /// Metrics snapshot response: the server's full [`StoreMetrics`],
+    /// counters and histograms included, with explicit bucket bounds.
+    StatsResp {
+        /// The request id this responds to.
+        id: u64,
+        /// The snapshot, identical to what [`Store::metrics`]
+        /// (`crate::Store::metrics`) returns in-process.
+        metrics: StoreMetrics,
+    },
 }
 
 impl Frame {
@@ -145,6 +173,8 @@ impl Frame {
             Frame::WriteResp { .. } => "write-resp",
             Frame::MetaResp { .. } => "meta-resp",
             Frame::ErrorResp { .. } => "error-resp",
+            Frame::StatsReq { .. } => "stats-req",
+            Frame::StatsResp { .. } => "stats-resp",
         }
     }
 }
@@ -225,6 +255,67 @@ fn decode_err(msg: impl Into<String>) -> StoreError {
     StoreError::Decode(msg.into())
 }
 
+fn put_histogram(out: &mut Vec<u8>, h: &LatencyHistogram) {
+    let at = out.len();
+    put_u16(out, 0); // patched below — occupied buckets only
+    let mut entries = 0u16;
+    for (lo, hi, count) in h.buckets() {
+        put_u64(out, lo);
+        put_u64(out, hi);
+        put_u64(out, count);
+        entries += 1;
+    }
+    out[at..at + 2].copy_from_slice(&entries.to_le_bytes());
+}
+
+fn put_counters(out: &mut Vec<u8>, t: &OpCounters) {
+    for v in [
+        t.reads_submitted,
+        t.writes_submitted,
+        t.reads_completed,
+        t.writes_completed,
+        t.bytes_read,
+        t.bytes_written,
+        t.rejected,
+        t.steals,
+        t.stolen,
+        t.truncated_records,
+        t.rematerialized,
+        t.evicted_manual,
+        t.evicted_idle,
+        t.evicted_occupancy,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn put_shard_metrics(out: &mut Vec<u8>, s: &ShardMetrics) {
+    put_u64(out, s.shard as u64);
+    put_str16(out, &s.protocol);
+    put_u64(out, s.keys as u64);
+    put_counters(out, &s.ops);
+    put_u64(out, s.occupancy.object_bits);
+    put_u64(out, s.occupancy.client_bits);
+    put_u64(out, s.occupancy.inflight_param_bits);
+    put_u64(out, s.occupancy.inflight_resp_bits);
+    put_u64(out, s.peak_register_bits);
+    put_u64(out, s.live_records);
+    put_u64(out, s.evicted_keys as u64);
+    put_u64(out, s.snapshot_bits);
+    put_u64(out, s.ready_keys as u64);
+    put_u64(out, s.governed_bits);
+    for h in [
+        &s.read_hit_latency,
+        &s.read_remat_latency,
+        &s.write_latency,
+        &s.queue_wait,
+        &s.execute,
+        &s.wire,
+    ] {
+        put_histogram(out, h);
+    }
+}
+
 /// A bounds-checked little-endian cursor over one frame's payload.
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -286,6 +377,75 @@ impl<'a> Cursor<'a> {
             )))
         }
     }
+
+    fn usize(&mut self) -> Result<usize, StoreError> {
+        usize::try_from(self.u64()?).map_err(|_| decode_err("count overflows usize"))
+    }
+
+    fn histogram(&mut self) -> Result<LatencyHistogram, StoreError> {
+        let entries = self.u16()?;
+        let mut h = LatencyHistogram::default();
+        for _ in 0..entries {
+            let lo = self.u64()?;
+            let hi = self.u64()?;
+            let count = self.u64()?;
+            if count == 0 {
+                return Err(decode_err("histogram entry with zero count"));
+            }
+            if !h.add_bucket(lo, hi, count) {
+                return Err(decode_err(format!(
+                    "histogram entry [{lo}, {hi}) is not a bucket boundary"
+                )));
+            }
+        }
+        Ok(h)
+    }
+
+    fn counters(&mut self) -> Result<OpCounters, StoreError> {
+        Ok(OpCounters {
+            reads_submitted: self.u64()?,
+            writes_submitted: self.u64()?,
+            reads_completed: self.u64()?,
+            writes_completed: self.u64()?,
+            bytes_read: self.u64()?,
+            bytes_written: self.u64()?,
+            rejected: self.u64()?,
+            steals: self.u64()?,
+            stolen: self.u64()?,
+            truncated_records: self.u64()?,
+            rematerialized: self.u64()?,
+            evicted_manual: self.u64()?,
+            evicted_idle: self.u64()?,
+            evicted_occupancy: self.u64()?,
+        })
+    }
+
+    fn shard_metrics(&mut self) -> Result<ShardMetrics, StoreError> {
+        Ok(ShardMetrics {
+            shard: self.usize()?,
+            protocol: self.str16()?,
+            keys: self.usize()?,
+            ops: self.counters()?,
+            occupancy: StorageCost {
+                object_bits: self.u64()?,
+                client_bits: self.u64()?,
+                inflight_param_bits: self.u64()?,
+                inflight_resp_bits: self.u64()?,
+            },
+            peak_register_bits: self.u64()?,
+            live_records: self.u64()?,
+            evicted_keys: self.usize()?,
+            snapshot_bits: self.u64()?,
+            ready_keys: self.usize()?,
+            governed_bits: self.u64()?,
+            read_hit_latency: self.histogram()?,
+            read_remat_latency: self.histogram()?,
+            write_latency: self.histogram()?,
+            queue_wait: self.histogram()?,
+            execute: self.histogram()?,
+            wire: self.histogram()?,
+        })
+    }
 }
 
 /// Appends one frame — `[len][tag][body]` — to `out`.
@@ -345,6 +505,18 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             put_u64(out, a);
             put_u64(out, b);
             put_str16(out, &msg);
+        }
+        Frame::StatsReq { id } => {
+            out.push(TAG_STATS_REQ);
+            put_u64(out, *id);
+        }
+        Frame::StatsResp { id, metrics } => {
+            out.push(TAG_STATS_RESP);
+            put_u64(out, *id);
+            put_u32(out, metrics.shards.len() as u32);
+            for s in &metrics.shards {
+                put_shard_metrics(out, s);
+            }
         }
     }
     let frame_len = (out.len() - len_at - 4) as u32;
@@ -409,6 +581,21 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, StoreError> {
             Frame::ErrorResp {
                 id,
                 error: error_from_parts(code, a, b, msg)?,
+            }
+        }
+        TAG_STATS_REQ => Frame::StatsReq { id: c.u64()? },
+        TAG_STATS_RESP => {
+            let id = c.u64()?;
+            let shard_count = c.u32()?;
+            // No `with_capacity(shard_count)`: a hostile count must not
+            // drive an allocation — growth is bounded by real bytes.
+            let mut shards = Vec::new();
+            for _ in 0..shard_count {
+                shards.push(c.shard_metrics()?);
+            }
+            Frame::StatsResp {
+                id,
+                metrics: StoreMetrics { shards },
             }
         }
         other => return Err(decode_err(format!("unknown frame tag {other}"))),

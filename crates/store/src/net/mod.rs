@@ -26,6 +26,7 @@ mod tcp;
 pub use server::StoreServer;
 pub use tcp::TcpTransport;
 
+use crate::metrics::StoreMetrics;
 use crate::store::{StoreError, StoreInner};
 use rsb_coding::Value;
 use rsb_fpsm::{OpRequest, OpResult};
@@ -61,6 +62,16 @@ pub trait Transport: Send + Sync + 'static {
     /// Transport failures ([`StoreError::Io`], …) for remote wires;
     /// infallible for [`Loopback`].
     fn key_meta(&self, key: &str) -> Result<KeyMeta, StoreError>;
+
+    /// Scrapes the store's full metrics snapshot — in-process for
+    /// [`Loopback`], over the `StatsReq`/`StatsResp` frame pair for
+    /// remote wires.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`StoreError::Io`], …) for remote wires;
+    /// infallible for [`Loopback`].
+    fn stats(&self) -> Result<StoreMetrics, StoreError>;
 }
 
 /// A one-shot completion cell filled by a transport's delivery thread
@@ -258,6 +269,10 @@ impl Transport for Loopback {
             value_len: shard.value_len(),
             protocol: shard.protocol_name().to_string(),
         })
+    }
+
+    fn stats(&self) -> Result<StoreMetrics, StoreError> {
+        Ok(self.inner.metrics())
     }
 }
 

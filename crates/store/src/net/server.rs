@@ -19,6 +19,7 @@
 use super::frame::{read_frame, write_frame, Frame, WIRE_VERSION};
 use super::{result_frame, value_from_wire, Loopback, OpTicket, Transport};
 use crate::config::ListenSpec;
+use crate::recorder::FlightEventKind;
 use crate::store::{Store, StoreError};
 use rsb_fpsm::OpRequest;
 use std::collections::HashMap;
@@ -29,12 +30,25 @@ use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Where one TCP op's wire time is attributed: the key's home shard,
+/// stamped when the request frame finished decoding. The pump closes the
+/// interval after flushing the response, so `wire` covers queueing
+/// behind the store *plus* response serialization — everything
+/// server-side that loopback clients never pay.
+struct WireStamp {
+    shard: usize,
+    decoded: Instant,
+}
 
 /// What a connection's reader hands its pump.
 enum ConnMsg {
-    /// An operation in flight: respond with `id` when the ticket lands.
-    Ticket(u64, OpTicket),
-    /// A response that is already complete (meta, protocol errors).
+    /// An operation in flight: respond with `id` when the ticket lands,
+    /// then record its wire latency on the stamped shard.
+    Ticket(u64, OpTicket, WireStamp),
+    /// A response that is already complete (meta, stats, protocol
+    /// errors).
     Ready(Frame),
 }
 
@@ -174,6 +188,10 @@ fn accept_loop(
         // `backlog` bounds live connections: over it, answer the
         // client's pending hello with a rejection and close.
         if shared.conns.lock().len() >= spec.backlog {
+            loopback
+                .inner
+                .recorder
+                .record(FlightEventKind::Rejected, None, spec.backlog as u64);
             let _ = write_frame(
                 &mut &stream,
                 &Frame::ErrorResp {
@@ -246,15 +264,20 @@ fn connection(stream: &TcpStream, loopback: &Loopback) {
         }
         Ok(Some(_) | None) | Err(_) => return,
     }
+    let recorder = Arc::clone(&loopback.inner.recorder);
+    recorder.record(FlightEventKind::ConnOpen, None, 0);
 
     let Ok(write_stream) = stream.try_clone() else {
+        recorder.record(FlightEventKind::ConnClose, None, 0);
         return;
     };
     let (tx, rx) = std::sync::mpsc::channel::<ConnMsg>();
+    let pump_loopback = loopback.clone();
     let Ok(pump) = std::thread::Builder::new()
         .name("store-conn-pump".into())
-        .spawn(move || pump_loop(&write_stream, &rx))
+        .spawn(move || pump_loop(&write_stream, &rx, &pump_loopback))
     else {
+        recorder.record(FlightEventKind::ConnClose, None, 0);
         return;
     };
     let pump_thread = pump.thread().clone();
@@ -267,6 +290,7 @@ fn connection(stream: &TcpStream, loopback: &Loopback) {
     drop(tx);
     pump_thread.unpark();
     let _ = pump.join();
+    recorder.record(FlightEventKind::ConnClose, None, 0);
 }
 
 /// The reader half: decodes request frames and forwards work to the
@@ -281,12 +305,27 @@ fn read_requests(
     loop {
         let msg = match read_frame(&mut r) {
             Ok(Some(Frame::ReadReq { id, key })) => {
-                ConnMsg::Ticket(id, loopback.submit(&key, OpRequest::Read))
+                let stamp = WireStamp {
+                    shard: loopback.inner.index_for(&key),
+                    decoded: Instant::now(),
+                };
+                ConnMsg::Ticket(id, loopback.submit(&key, OpRequest::Read), stamp)
             }
-            Ok(Some(Frame::WriteReq { id, key, value })) => ConnMsg::Ticket(
+            Ok(Some(Frame::WriteReq { id, key, value })) => {
+                let stamp = WireStamp {
+                    shard: loopback.inner.index_for(&key),
+                    decoded: Instant::now(),
+                };
+                ConnMsg::Ticket(
+                    id,
+                    loopback.submit(&key, OpRequest::Write(value_from_wire(value))),
+                    stamp,
+                )
+            }
+            Ok(Some(Frame::StatsReq { id })) => ConnMsg::Ready(Frame::StatsResp {
                 id,
-                loopback.submit(&key, OpRequest::Write(value_from_wire(value))),
-            ),
+                metrics: loopback.inner.metrics(),
+            }),
             Ok(Some(Frame::MetaReq { id, key })) => match loopback.key_meta(&key) {
                 Ok(meta) => ConnMsg::Ready(Frame::MetaResp {
                     id,
@@ -298,6 +337,10 @@ fn read_requests(
             Ok(Some(other)) => {
                 // A hello or response frame mid-session is a protocol
                 // violation: answer once, then drop the connection.
+                loopback
+                    .inner
+                    .recorder
+                    .record(FlightEventKind::DecodeError, None, 0);
                 let frame = Frame::ErrorResp {
                     id: 0,
                     error: StoreError::Decode(format!(
@@ -315,6 +358,10 @@ fn read_requests(
                 // decode error (id 0 = not tied to a request), then close
                 // — resynchronizing a corrupt length-prefixed stream is
                 // not possible.
+                loopback
+                    .inner
+                    .recorder
+                    .record(FlightEventKind::DecodeError, None, 0);
                 let _ = tx.send(ConnMsg::Ready(Frame::ErrorResp { id: 0, error }));
                 pump.unpark();
                 return;
@@ -328,18 +375,19 @@ fn read_requests(
 }
 
 /// The writer half: polls in-flight tickets with an unpark waker and
-/// writes each response frame the moment its result lands.
-fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>) {
+/// writes each response frame the moment its result lands, closing each
+/// op's wire-time interval afterwards.
+fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>, loopback: &Loopback) {
     let waker = Waker::from(Arc::new(PumpUnparker(std::thread::current())));
     let mut cx = Context::from_waker(&waker);
-    let mut in_flight: Vec<(u64, OpTicket)> = Vec::new();
+    let mut in_flight: Vec<(u64, OpTicket, WireStamp)> = Vec::new();
     let mut reader_gone = false;
     let mut w = stream;
     loop {
         // Drain new work from the reader.
         loop {
             match rx.try_recv() {
-                Ok(ConnMsg::Ticket(id, ticket)) => in_flight.push((id, ticket)),
+                Ok(ConnMsg::Ticket(id, ticket, stamp)) => in_flight.push((id, ticket, stamp)),
                 Ok(ConnMsg::Ready(frame)) => {
                     if write_frame(&mut w, &frame).is_err() {
                         return;
@@ -357,12 +405,14 @@ fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>) {
         while i < in_flight.len() {
             match in_flight[i].1.poll_result(&mut cx) {
                 Poll::Ready(result) => {
-                    let (id, _) = in_flight.swap_remove(i);
+                    let (id, _, stamp) = in_flight.swap_remove(i);
                     if write_frame(&mut w, &result_frame(id, result)).is_err() {
                         // Client gone: drop remaining tickets (drivers
                         // fill their slots; nobody listens) and exit.
                         return;
                     }
+                    loopback.inner.shards[stamp.shard]
+                        .note_wire_latency(stamp.decoded.elapsed().as_nanos() as u64);
                 }
                 Poll::Pending => i += 1,
             }

@@ -15,6 +15,7 @@
 
 use super::frame::{read_frame, write_frame, Frame, WIRE_VERSION};
 use super::{value_from_wire, KeyMeta, NetCell, OpCell, OpTicket, Transport};
+use crate::metrics::StoreMetrics;
 use crate::store::StoreError;
 use rsb_fpsm::{OpRequest, OpResult};
 use std::collections::HashMap;
@@ -28,6 +29,7 @@ use std::time::Duration;
 enum Pending {
     Op(Arc<OpCell>),
     Meta(Arc<NetCell<Result<KeyMeta, StoreError>>>),
+    Stats(Arc<NetCell<Result<StoreMetrics, StoreError>>>),
 }
 
 /// Shared between submitters and the reader thread.
@@ -55,6 +57,7 @@ impl Shared {
             match p {
                 Pending::Op(cell) => cell.fill(Err(err.clone())),
                 Pending::Meta(cell) => cell.fill(Err(err.clone())),
+                Pending::Stats(cell) => cell.fill(Err(err.clone())),
             }
         }
     }
@@ -227,6 +230,17 @@ impl Transport for TcpTransport {
         )?;
         cell.wait(self.timeout).unwrap_or(Err(StoreError::Timeout))
     }
+
+    fn stats(&self) -> Result<StoreMetrics, StoreError> {
+        let id = self.next_id();
+        let cell: Arc<NetCell<Result<StoreMetrics, StoreError>>> = Arc::new(NetCell::new());
+        self.send(
+            id,
+            Pending::Stats(Arc::clone(&cell)),
+            &Frame::StatsReq { id },
+        )?;
+        cell.wait(self.timeout).unwrap_or(Err(StoreError::Timeout))
+    }
 }
 
 impl Drop for TcpTransport {
@@ -266,6 +280,22 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                             Some(Pending::Op(cell)) => cell.fill(Err(StoreError::Decode(
                                 "meta response to an operation request".into(),
                             ))),
+                            Some(Pending::Stats(cell)) => cell.fill(Err(StoreError::Decode(
+                                "meta response to a stats request".into(),
+                            ))),
+                            None => {}
+                        }
+                        continue;
+                    }
+                    Frame::StatsResp { id, metrics } => {
+                        match shared.pending.lock().remove(&id) {
+                            Some(Pending::Stats(cell)) => cell.fill(Ok(metrics)),
+                            Some(Pending::Op(cell)) => cell.fill(Err(StoreError::Decode(
+                                "stats response to an operation request".into(),
+                            ))),
+                            Some(Pending::Meta(cell)) => cell.fill(Err(StoreError::Decode(
+                                "stats response to a meta request".into(),
+                            ))),
                             None => {}
                         }
                         continue;
@@ -285,6 +315,11 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                     Some(Pending::Meta(cell)) => {
                         cell.fill(outcome.and(Err(StoreError::Decode(
                             "operation response to a meta request".into(),
+                        ))));
+                    }
+                    Some(Pending::Stats(cell)) => {
+                        cell.fill(outcome.and(Err(StoreError::Decode(
+                            "operation response to a stats request".into(),
                         ))));
                     }
                     // Unknown id: a response to a timed-out-and-forgotten

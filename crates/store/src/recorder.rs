@@ -1,0 +1,311 @@
+//! Flight recorder: a lock-free, fixed-capacity ring of structured
+//! events, cheap enough to leave on in production.
+//!
+//! Every noteworthy store event (submit, steal, evict, rematerialize,
+//! compaction, wire decode error, connection open/close, rejection) is
+//! stamped with a monotonically-increasing sequence number and packed
+//! into one atomic word; when the ring wraps, the oldest events are
+//! overwritten. [`FlightRecorder::dump`] snapshots the surviving window
+//! without stopping writers — the post-incident "what just happened"
+//! view that per-shard counters cannot give.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Widest detail payload an event word can carry (40 bits); larger
+/// values are clamped on record.
+const DETAIL_BITS: u32 = 40;
+const DETAIL_MASK: u64 = (1 << DETAIL_BITS) - 1;
+/// Shard field sentinel for store-wide events (connection churn, wire
+/// decode errors) that have no home shard.
+const NO_SHARD: u64 = u16::MAX as u64;
+
+/// What happened, for one recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A read was accepted by the submit path.
+    SubmitRead,
+    /// A write was accepted by the submit path; detail is the payload
+    /// length in bytes.
+    SubmitWrite,
+    /// A foreign driver executed one of this shard's ready keys; the
+    /// event's shard is the victim whose key was stolen.
+    Steal,
+    /// A key was evicted by an explicit
+    /// [`Store::evict_quiescent`](crate::Store::evict_quiescent) call;
+    /// detail is the snapshot size in bits.
+    EvictManual,
+    /// A key was evicted by the governor's idle sweep; detail is the
+    /// snapshot size in bits.
+    EvictIdle,
+    /// A key was evicted by the governor's occupancy trigger; detail is
+    /// the snapshot size in bits.
+    EvictOccupancy,
+    /// An operation on an evicted key rebuilt its live simulation.
+    Rematerialize,
+    /// History compaction dropped records; detail is how many.
+    Compaction,
+    /// A connection's frame stream failed to decode; the connection was
+    /// closed.
+    DecodeError,
+    /// A TCP connection completed its handshake.
+    ConnOpen,
+    /// A TCP connection closed (cleanly or not).
+    ConnClose,
+    /// A submission was rejected (simulation refusal or server at
+    /// connection capacity).
+    Rejected,
+}
+
+impl FlightEventKind {
+    fn from_code(code: u8) -> Option<FlightEventKind> {
+        Some(match code {
+            0 => FlightEventKind::SubmitRead,
+            1 => FlightEventKind::SubmitWrite,
+            2 => FlightEventKind::Steal,
+            3 => FlightEventKind::EvictManual,
+            4 => FlightEventKind::EvictIdle,
+            5 => FlightEventKind::EvictOccupancy,
+            6 => FlightEventKind::Rematerialize,
+            7 => FlightEventKind::Compaction,
+            8 => FlightEventKind::DecodeError,
+            9 => FlightEventKind::ConnOpen,
+            10 => FlightEventKind::ConnClose,
+            11 => FlightEventKind::Rejected,
+            _ => return None,
+        })
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            FlightEventKind::SubmitRead => 0,
+            FlightEventKind::SubmitWrite => 1,
+            FlightEventKind::Steal => 2,
+            FlightEventKind::EvictManual => 3,
+            FlightEventKind::EvictIdle => 4,
+            FlightEventKind::EvictOccupancy => 5,
+            FlightEventKind::Rematerialize => 6,
+            FlightEventKind::Compaction => 7,
+            FlightEventKind::DecodeError => 8,
+            FlightEventKind::ConnOpen => 9,
+            FlightEventKind::ConnClose => 10,
+            FlightEventKind::Rejected => 11,
+        }
+    }
+
+    /// Short fixed label for dump tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightEventKind::SubmitRead => "submit-read",
+            FlightEventKind::SubmitWrite => "submit-write",
+            FlightEventKind::Steal => "steal",
+            FlightEventKind::EvictManual => "evict-manual",
+            FlightEventKind::EvictIdle => "evict-idle",
+            FlightEventKind::EvictOccupancy => "evict-occupancy",
+            FlightEventKind::Rematerialize => "rematerialize",
+            FlightEventKind::Compaction => "compaction",
+            FlightEventKind::DecodeError => "decode-error",
+            FlightEventKind::ConnOpen => "conn-open",
+            FlightEventKind::ConnClose => "conn-close",
+            FlightEventKind::Rejected => "rejected",
+        }
+    }
+}
+
+/// One recovered ring entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number, assigned at record time. Dense: a dump's
+    /// sequence numbers are gapless over the surviving window.
+    pub seq: u64,
+    /// What happened.
+    pub kind: FlightEventKind,
+    /// Home shard of the event, or `None` for store-wide events
+    /// (connection churn, decode errors, capacity rejections).
+    pub shard: Option<usize>,
+    /// Kind-specific payload (bytes, bits, dropped records, victim
+    /// shard), clamped to 40 bits.
+    pub detail: u64,
+}
+
+/// Fixed-capacity, overwrite-oldest ring of [`FlightEvent`]s.
+///
+/// Recording is two relaxed/release atomic stores plus one relaxed
+/// fetch-add — no locks, no allocation — so it stays on in production
+/// and inside benches. A slot is claimed (sequence word zeroed), its
+/// payload written, then published (sequence word set); [`Self::dump`]
+/// re-reads the sequence word around the payload and drops entries it
+/// caught mid-write, so a torn pair is never returned. Under extreme
+/// same-slot contention a dump may miss an event that a quiescent dump
+/// would see — the recorder trades that sliver of completeness for a
+/// hot path with no synchronization.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    head: AtomicU64,
+    /// Per-slot published sequence number plus one; 0 means "never
+    /// written" or "write in progress".
+    seqs: Vec<AtomicU64>,
+    /// Per-slot packed payload: kind (8 bits) | shard (16 bits,
+    /// `NO_SHARD` sentinel) | detail (40 bits).
+    words: Vec<AtomicU64>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` most-recent events
+    /// (`capacity` ≥ 1; enforced by config validation upstream, clamped
+    /// here for safety).
+    pub(crate) fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            seqs: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Total events ever recorded (not just the surviving window).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one event; the hot-path entry point.
+    pub(crate) fn record(&self, kind: FlightEventKind, shard: Option<usize>, detail: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq % self.seqs.len() as u64) as usize;
+        let shard_field = match shard {
+            Some(s) => (s as u64).min(NO_SHARD - 1),
+            None => NO_SHARD,
+        };
+        let word =
+            (u64::from(kind.code()) << 56) | (shard_field << DETAIL_BITS) | (detail & DETAIL_MASK);
+        // Claim, write payload, publish — dump() rejects the slot while
+        // the sequence word is zero or changes across its payload read.
+        self.seqs[idx].store(0, Ordering::Release);
+        self.words[idx].store(word, Ordering::Release);
+        self.seqs[idx].store(seq + 1, Ordering::Release);
+    }
+
+    /// Snapshots the surviving window, oldest first, without stopping
+    /// writers. Entries caught mid-overwrite are skipped; the returned
+    /// sequence numbers are strictly increasing.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut events = Vec::with_capacity(self.seqs.len());
+        for idx in 0..self.seqs.len() {
+            let before = self.seqs[idx].load(Ordering::Acquire);
+            if before == 0 {
+                continue;
+            }
+            let word = self.words[idx].load(Ordering::Acquire);
+            let after = self.seqs[idx].load(Ordering::Acquire);
+            if before != after {
+                continue; // torn: a writer republished mid-read
+            }
+            let code = (word >> 56) as u8;
+            let Some(kind) = FlightEventKind::from_code(code) else {
+                continue;
+            };
+            let shard_field = (word >> DETAIL_BITS) & NO_SHARD;
+            events.push(FlightEvent {
+                seq: before - 1,
+                kind,
+                shard: (shard_field != NO_SHARD).then_some(shard_field as usize),
+                detail: word & DETAIL_MASK,
+            });
+        }
+        events.sort_unstable_by_key(|e| e.seq);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_is_gapless_and_ordered_before_wrap() {
+        let r = FlightRecorder::new(64);
+        for i in 0..40u64 {
+            r.record(FlightEventKind::SubmitRead, Some(3), i);
+        }
+        let dump = r.dump();
+        assert_eq!(dump.len(), 40);
+        for (i, e) in dump.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.kind, FlightEventKind::SubmitRead);
+            assert_eq!(e.shard, Some(3));
+            assert_eq!(e.detail, i as u64);
+        }
+        assert_eq!(r.recorded(), 40);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_stays_gapless() {
+        let r = FlightRecorder::new(8);
+        for i in 0..27u64 {
+            r.record(FlightEventKind::SubmitWrite, Some(0), i);
+        }
+        let dump = r.dump();
+        assert_eq!(dump.len(), 8, "window is the ring capacity");
+        let seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (19..27).collect::<Vec<u64>>());
+        assert_eq!(r.recorded(), 27);
+    }
+
+    #[test]
+    fn store_wide_events_have_no_shard_and_details_clamp() {
+        let r = FlightRecorder::new(4);
+        r.record(FlightEventKind::ConnOpen, None, 0);
+        r.record(FlightEventKind::Compaction, Some(1), u64::MAX);
+        let dump = r.dump();
+        assert_eq!(dump[0].shard, None);
+        assert_eq!(dump[0].kind, FlightEventKind::ConnOpen);
+        assert_eq!(dump[1].detail, DETAIL_MASK, "detail clamps to 40 bits");
+        assert_eq!(dump[1].shard, Some(1));
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..=11u8 {
+            let kind = FlightEventKind::from_code(code).expect("known code");
+            assert_eq!(kind.code(), code);
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(FlightEventKind::from_code(12), None);
+    }
+
+    #[test]
+    fn concurrent_recording_never_tears() {
+        let r = std::sync::Arc::new(FlightRecorder::new(32));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        r.record(FlightEventKind::Steal, Some(t), i);
+                        if i % 64 == 0 {
+                            // Dumps interleave with writers; every entry
+                            // returned must be internally consistent.
+                            for e in r.dump() {
+                                assert_eq!(e.kind, FlightEventKind::Steal);
+                                assert!(e.shard.is_some_and(|s| s < 4));
+                                assert!(e.detail < 2000);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(r.recorded(), 8000);
+        let final_dump = r.dump();
+        assert!(final_dump.len() <= 32);
+        let seqs: Vec<u64> = final_dump.iter().map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seqs, sorted, "strictly increasing sequence numbers");
+    }
+}

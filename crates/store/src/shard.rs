@@ -27,6 +27,7 @@
 use crate::config::ShardSpec;
 use crate::config::{EvictionPolicy, HistoryPolicy, ProtocolSpec};
 use crate::metrics::{AtomicCounters, EvictionCause, ShardMetrics};
+use crate::recorder::{FlightEventKind, FlightRecorder};
 use crate::store::StoreError;
 use rsb_coding::Value;
 use rsb_fpsm::{
@@ -57,10 +58,16 @@ const GOVERN_FUTILE_BACKOFF_TICKS: u64 = 64;
 
 /// Submission-time bookkeeping for one in-flight operation, matched up
 /// at completion to record end-to-end latency split by whether the
-/// submission had to rematerialize an evicted key.
+/// submission had to rematerialize an evicted key, plus the phase split
+/// (queue wait vs execution).
 struct InflightOp {
     op: OpId,
     started: Instant,
+    /// First driver step batch that picked the key up after this op was
+    /// submitted — the queue-wait → execute boundary. Phase attribution
+    /// is batch-granular: every op in flight on a key shares the batch's
+    /// execute-start stamp.
+    exec_start: Option<Instant>,
     rematerialized: bool,
 }
 
@@ -82,23 +89,33 @@ impl<P: RegisterProtocol + 'static> KeyCell<P> {
     }
 }
 
-/// Visits one completed operation: bumps the op/byte counters and, for
-/// reads, records end-to-end latency into the hit or rematerialize
-/// histogram.
+/// Visits one completed operation: bumps the op/byte counters, records
+/// end-to-end latency (reads into the hit/rematerialize histograms,
+/// writes into theirs), and splits the op's lifetime into queue-wait
+/// (submit → first executing batch) and execute (batch → completion)
+/// phase samples. `done` is the completion stamp, taken once per flush
+/// so a large batch pays one clock read.
 fn note_completed(
     counters: &AtomicCounters,
     inflight: &mut Vec<InflightOp>,
     op: OpId,
     result: &OpResult,
+    done: Instant,
 ) {
     counters.note_completion(result);
     if let Some(i) = inflight.iter().position(|e| e.op == op) {
         let entry = inflight.swap_remove(i);
-        if matches!(result, OpResult::Read(_)) {
-            counters.note_read_latency(
-                entry.started.elapsed().as_nanos() as u64,
-                entry.rematerialized,
-            );
+        let total_ns = done.saturating_duration_since(entry.started).as_nanos() as u64;
+        let exec_start = entry.exec_start.unwrap_or(done);
+        counters.note_phases(
+            exec_start
+                .saturating_duration_since(entry.started)
+                .as_nanos() as u64,
+            done.saturating_duration_since(exec_start).as_nanos() as u64,
+        );
+        match result {
+            OpResult::Read(_) => counters.note_read_latency(total_ns, entry.rematerialized),
+            OpResult::Write => counters.note_write_latency(total_ns),
         }
     }
 }
@@ -180,7 +197,11 @@ pub(crate) trait ShardEngine: Send + Sync {
     fn govern(&self, idle: bool) -> usize;
 
     /// Snapshot of the shard's metrics.
-    fn metrics(&self, shard: usize) -> ShardMetrics;
+    fn metrics(&self) -> ShardMetrics;
+
+    /// Records server-side wire time (frame decode → response flushed)
+    /// for one TCP op homed on this shard.
+    fn note_wire_latency(&self, ns: u64);
 
     /// The register value length every write must match.
     fn value_len(&self) -> usize;
@@ -216,6 +237,10 @@ struct ShardCore<P: RegisterProtocol + Send + Sync + 'static> {
     ready: ReadyQueue,
     group: Arc<WorkGroup>,
     counters: Arc<AtomicCounters>,
+    /// This shard's index within the store (stable event/metrics label).
+    shard: usize,
+    /// The store-wide flight recorder every shard stamps events into.
+    recorder: Arc<FlightRecorder>,
     policy: HistoryPolicy,
     eviction: EvictionPolicy,
     batch: usize,
@@ -254,6 +279,10 @@ where
         if compact {
             let dropped = kc.cell.sim.compact_history();
             self.counters.note_truncated(dropped);
+            if dropped > 0 {
+                self.recorder
+                    .record(FlightEventKind::Compaction, Some(self.shard), dropped);
+            }
         }
     }
 
@@ -297,12 +326,23 @@ where
         if self.policy != HistoryPolicy::Unbounded {
             let dropped = kc.cell.sim.compact_history();
             self.counters.note_truncated(dropped);
+            if dropped > 0 {
+                self.recorder
+                    .record(FlightEventKind::Compaction, Some(self.shard), dropped);
+            }
         }
         let Some(snap) = kc.cell.sim.snapshot() else {
             return false;
         };
+        let snap_bits = snap.storage_bits();
         *state = KeyState::Evicted(snap);
         self.counters.note_eviction(cause);
+        let kind = match cause {
+            EvictionCause::Manual => FlightEventKind::EvictManual,
+            EvictionCause::Idle => FlightEventKind::EvictIdle,
+            EvictionCause::Occupancy => FlightEventKind::EvictOccupancy,
+        };
+        self.recorder.record(kind, Some(self.shard), snap_bits);
         self.account_occupancy(slot, &state);
         true
     }
@@ -358,6 +398,8 @@ where
                 };
                 *state = KeyState::Live(KeyCell::new(Simulation::restore(snap)));
                 self.counters.note_rematerialized();
+                self.recorder
+                    .record(FlightEventKind::Rematerialize, Some(self.shard), 0);
             }
             let KeyState::Live(kc) = &mut *state else {
                 unreachable!("rematerialized above");
@@ -378,26 +420,36 @@ where
             };
             let slot = match kc.cell.submit(client, req) {
                 Ok((op, slot)) => {
-                    match write_bytes {
-                        Some(bytes) => self.counters.note_write_submitted(bytes),
-                        None => self.counters.note_read_submitted(),
+                    if let Some(bytes) = write_bytes {
+                        self.counters.note_write_submitted(bytes);
+                        self.recorder
+                            .record(FlightEventKind::SubmitWrite, Some(self.shard), bytes);
+                    } else {
+                        self.counters.note_read_submitted();
+                        self.recorder
+                            .record(FlightEventKind::SubmitRead, Some(self.shard), 0);
                     }
                     // A protocol could in principle complete synchronously
                     // (the slot is then filled with no pending entry, so
                     // no driver ever sees it); count it here, still under
-                    // the key lock so a driver cannot race us.
+                    // the key lock so a driver cannot race us. The op
+                    // never waited for a driver, so its queue-wait phase
+                    // is zero and its whole lifetime is execute.
                     if let Some(Ok(result)) = slot.try_outcome() {
                         self.counters.note_completion(&result);
-                        if matches!(result, OpResult::Read(_)) {
-                            self.counters.note_read_latency(
-                                started.elapsed().as_nanos() as u64,
-                                rematerialized,
-                            );
+                        let total_ns = started.elapsed().as_nanos() as u64;
+                        self.counters.note_phases(0, total_ns);
+                        match result {
+                            OpResult::Read(_) => {
+                                self.counters.note_read_latency(total_ns, rematerialized);
+                            }
+                            OpResult::Write => self.counters.note_write_latency(total_ns),
                         }
                     } else {
                         kc.inflight.push(InflightOp {
                             op,
                             started,
+                            exec_start: None,
                             rematerialized,
                         });
                     }
@@ -405,6 +457,8 @@ where
                 }
                 Err(e) => {
                     self.counters.note_rejected();
+                    self.recorder
+                        .record(FlightEventKind::Rejected, Some(self.shard), 0);
                     return Err(e.into());
                 }
             };
@@ -417,8 +471,9 @@ where
             if self.group.is_stopped() {
                 let counters = &self.counters;
                 let inflight = &mut kc.inflight;
+                let done = Instant::now();
                 kc.cell
-                    .complete_pending_with(|op, r| note_completed(counters, inflight, op, r));
+                    .complete_pending_with(|op, r| note_completed(counters, inflight, op, r, done));
                 kc.cell.fail_pending(&ThreadedError::ShutDown);
                 kc.inflight.clear();
                 return Err(StoreError::ShutDown);
@@ -445,11 +500,20 @@ where
         {
             let mut state = key_slot.state.lock();
             if let KeyState::Live(kc) = &mut *state {
+                // Everything in flight on this key leaves its queue-wait
+                // phase now (batch-granular execute-start stamp; the
+                // first batch wins for ops spanning several).
+                let exec_start = Instant::now();
+                for entry in &mut kc.inflight {
+                    entry.exec_start.get_or_insert(exec_start);
+                }
                 if kc.cell.step_events(self.batch) > 0 {
                     let counters = &self.counters;
                     let inflight = &mut kc.inflight;
-                    kc.cell
-                        .complete_pending_with(|op, r| note_completed(counters, inflight, op, r));
+                    let done = Instant::now();
+                    kc.cell.complete_pending_with(|op, r| {
+                        note_completed(counters, inflight, op, r, done);
+                    });
                     self.apply_history_policy(kc);
                     key_slot.last_active.store(self.tick(), Ordering::Relaxed);
                 }
@@ -462,6 +526,8 @@ where
         self.ready.finish(token, more);
         if thief {
             self.counters.note_stolen();
+            self.recorder
+                .record(FlightEventKind::Steal, Some(self.shard), 0);
         }
         true
     }
@@ -479,6 +545,7 @@ where
         // under each key lock (see `submit`), so a pending op either
         // landed before this sweep's key-lock acquisition (failed here)
         // or its submitter observes the stop and cleans up itself.
+        let done = Instant::now();
         for slot in self.slots.read().iter() {
             let mut state = slot.state.lock();
             if let KeyState::Live(kc) = &mut *state {
@@ -487,7 +554,7 @@ where
                 let counters = &self.counters;
                 let inflight = &mut kc.inflight;
                 kc.cell
-                    .complete_pending_with(|op, r| note_completed(counters, inflight, op, r));
+                    .complete_pending_with(|op, r| note_completed(counters, inflight, op, r, done));
                 kc.cell.fail_pending(&ThreadedError::ShutDown);
                 kc.inflight.clear();
             }
@@ -587,7 +654,7 @@ where
         }
     }
 
-    fn metrics(&self, shard: usize) -> ShardMetrics {
+    fn metrics(&self) -> ShardMetrics {
         let slots = self.slots.read();
         let mut occupancy = StorageCost::default();
         let mut peak = 0u64;
@@ -619,8 +686,8 @@ where
             }
         }
         ShardMetrics {
-            shard,
-            protocol: self.name,
+            shard: self.shard,
+            protocol: self.name.to_owned(),
             keys: slots.len(),
             ops: self.counters.snapshot(),
             occupancy,
@@ -632,7 +699,15 @@ where
             governed_bits: self.live_bits.load(Ordering::Relaxed),
             read_hit_latency: self.counters.read_hit_histogram(),
             read_remat_latency: self.counters.read_remat_histogram(),
+            write_latency: self.counters.write_histogram(),
+            queue_wait: self.counters.queue_wait_histogram(),
+            execute: self.counters.execute_histogram(),
+            wire: self.counters.wire_histogram(),
         }
+    }
+
+    fn note_wire_latency(&self, ns: u64) {
+        self.counters.note_wire_latency(ns);
     }
 
     fn value_len(&self) -> usize {
@@ -664,37 +739,47 @@ where
 }
 
 /// Builds a shard engine from its spec. Driver threads are pooled at the
-/// store level (see `store.rs`), not per shard.
+/// store level (see `store.rs`), not per shard. `shard` is the shard's
+/// index within the store; `recorder` the store-wide flight recorder.
 pub(crate) fn build(
     spec: &ShardSpec,
     batch: usize,
     policy: HistoryPolicy,
     eviction: EvictionPolicy,
     group: Arc<WorkGroup>,
+    shard: usize,
+    recorder: Arc<FlightRecorder>,
 ) -> Arc<dyn ShardEngine> {
+    let parts = EngineParts {
+        batch,
+        policy,
+        eviction,
+        group,
+        shard,
+        recorder,
+    };
     match spec.protocol {
-        ProtocolSpec::Abd => engine(Abd::new(spec.register), batch, policy, eviction, group),
-        ProtocolSpec::AbdAtomic => engine(
-            AbdAtomic::new(spec.register),
-            batch,
-            policy,
-            eviction,
-            group,
-        ),
-        ProtocolSpec::Safe => engine(Safe::new(spec.register), batch, policy, eviction, group),
-        ProtocolSpec::Coded => engine(Coded::new(spec.register), batch, policy, eviction, group),
-        ProtocolSpec::Adaptive => {
-            engine(Adaptive::new(spec.register), batch, policy, eviction, group)
-        }
+        ProtocolSpec::Abd => engine(Abd::new(spec.register), parts),
+        ProtocolSpec::AbdAtomic => engine(AbdAtomic::new(spec.register), parts),
+        ProtocolSpec::Safe => engine(Safe::new(spec.register), parts),
+        ProtocolSpec::Coded => engine(Coded::new(spec.register), parts),
+        ProtocolSpec::Adaptive => engine(Adaptive::new(spec.register), parts),
     }
 }
 
-fn engine<P: RegisterProtocol + Send + Sync + 'static>(
-    proto: P,
+/// Protocol-independent construction parameters for one shard engine.
+struct EngineParts {
     batch: usize,
     policy: HistoryPolicy,
     eviction: EvictionPolicy,
     group: Arc<WorkGroup>,
+    shard: usize,
+    recorder: Arc<FlightRecorder>,
+}
+
+fn engine<P: RegisterProtocol + Send + Sync + 'static>(
+    proto: P,
+    parts: EngineParts,
 ) -> Arc<dyn ShardEngine>
 where
     P::Object: Clone,
@@ -707,11 +792,13 @@ where
         map: parking_lot::Mutex::new(HashMap::new()),
         slots: parking_lot::RwLock::new(Vec::new()),
         ready: ReadyQueue::new(),
-        group,
+        group: parts.group,
         counters: Arc::new(AtomicCounters::default()),
-        policy,
-        eviction,
-        batch,
+        shard: parts.shard,
+        recorder: parts.recorder,
+        policy: parts.policy,
+        eviction: parts.eviction,
+        batch: parts.batch,
         name,
         value_len,
         initial,

@@ -5,6 +5,7 @@ use crate::config::{StoreConfig, StoreConfigError};
 use crate::future::{ReadFuture, WriteFuture};
 use crate::metrics::StoreMetrics;
 use crate::net::{KeyMeta, Loopback, StoreServer, Transport};
+use crate::recorder::FlightRecorder;
 use crate::shard::{self, ShardEngine};
 use rsb_coding::Value;
 use rsb_fpsm::{OpRecord, OpRequest};
@@ -98,6 +99,7 @@ fn fnv1a(key: &str) -> u64 {
 
 pub(crate) struct StoreInner {
     pub(crate) shards: Vec<Arc<dyn ShardEngine>>,
+    pub(crate) recorder: Arc<FlightRecorder>,
 }
 
 impl StoreInner {
@@ -107,6 +109,14 @@ impl StoreInner {
 
     pub(crate) fn shard_for(&self, key: &str) -> &Arc<dyn ShardEngine> {
         &self.shards[self.index_for(key)]
+    }
+
+    /// A metrics snapshot across all shards (shared by [`Store::metrics`]
+    /// and the wire `StatsReq` path, so both expose identical data).
+    pub(crate) fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            shards: self.shards.iter().map(|s| s.metrics()).collect(),
+        }
     }
 }
 
@@ -225,7 +235,9 @@ impl Store {
             // An in-process store ignores the listen section (validated
             // above regardless); `Store::serve` is the path that binds.
             listen: _,
+            recorder_capacity,
         } = config;
+        let recorder = Arc::new(FlightRecorder::new(recorder_capacity));
         // With stealing, any single driver can run any ready key, so a
         // submission wakes one driver; without it, queues are disjoint
         // and the wakeup must broadcast to reach the right driver.
@@ -236,13 +248,24 @@ impl Store {
         });
         let shards: Vec<Arc<dyn ShardEngine>> = specs
             .iter()
-            .map(|spec| shard::build(spec, batch, history, eviction, Arc::clone(&group)))
+            .enumerate()
+            .map(|(i, spec)| {
+                shard::build(
+                    spec,
+                    batch,
+                    history,
+                    eviction,
+                    Arc::clone(&group),
+                    i,
+                    Arc::clone(&recorder),
+                )
+            })
             .collect();
         let drivers = (0..shards.len())
             .map(|home| spawn_pool_driver(home, shards.clone(), Arc::clone(&group), work_stealing))
             .collect();
         Ok(Store {
-            inner: Arc::new(StoreInner { shards }),
+            inner: Arc::new(StoreInner { shards, recorder }),
             group,
             drivers: parking_lot::Mutex::new(drivers),
         })
@@ -295,15 +318,15 @@ impl Store {
 
     /// A metrics snapshot across all shards.
     pub fn metrics(&self) -> StoreMetrics {
-        StoreMetrics {
-            shards: self
-                .inner
-                .shards
-                .iter()
-                .enumerate()
-                .map(|(i, s)| s.metrics(i))
-                .collect(),
-        }
+        self.inner.metrics()
+    }
+
+    /// The store's flight recorder: the fixed-capacity, overwrite-oldest
+    /// ring of structured events every shard (and the TCP front-end)
+    /// stamps into. Dump it after an incident — or in a test — with
+    /// [`FlightRecorder::dump`].
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
     }
 
     /// The recorded history of one key's register, if the key was ever
@@ -484,6 +507,19 @@ impl<T: Transport> StoreClient<T> {
     /// Transport failures; infallible over [`Loopback`].
     pub fn protocol_of(&self, key: &str) -> Result<String, StoreError> {
         Ok(self.key_meta(key)?.protocol)
+    }
+
+    /// Scrapes the store's full [`StoreMetrics`] snapshot through the
+    /// transport — in-process over [`Loopback`], or from a live remote
+    /// server over TCP (the `StatsReq`/`StatsResp` frame pair). Render
+    /// it for humans with
+    /// [`StoreMetrics::render_prometheus`](crate::StoreMetrics::render_prometheus).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; infallible over [`Loopback`].
+    pub fn stats(&self) -> Result<StoreMetrics, StoreError> {
+        self.transport.stats()
     }
 }
 

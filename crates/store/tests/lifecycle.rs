@@ -155,7 +155,8 @@ fn mixed_protocol_shards_coexist() {
     }
     let m = s.metrics();
     assert_eq!(m.totals().writes_completed, 32);
-    let protos: std::collections::HashSet<_> = m.shards.iter().map(|sh| sh.protocol).collect();
+    let protos: std::collections::HashSet<_> =
+        m.shards.iter().map(|sh| sh.protocol.clone()).collect();
     assert!(protos.len() >= 2, "placement reached differing protocols");
     s.shutdown();
 }

@@ -235,6 +235,65 @@ fn one_connection_shared_by_many_threads_multiplexes() {
 }
 
 #[test]
+fn stats_scrape_crosses_the_wire_and_matches_in_process_metrics() {
+    let server = serve(4, ProtocolSpec::Adaptive, 16);
+    let client = connect(&server);
+    for i in 0..20u64 {
+        let key = format!("k{}", i % 5);
+        client.write_blocking(&key, Value::seeded(i, 16)).unwrap();
+        client.read_blocking(&key).unwrap();
+    }
+    // The pump records wire time *after* writing each response, so the
+    // scrape that observes our own completions may race the last wire
+    // sample by a few microseconds — poll until it lands.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let scraped = loop {
+        let m = client.stats().unwrap();
+        // 40 ops + the scrapes themselves are not wire-timed (stats
+        // frames bypass shard submission), so exactly 40 samples land.
+        if m.wire().count() == 40 || std::time::Instant::now() > deadline {
+            break m;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(scraped.totals().completed(), 40);
+    assert_eq!(scraped.totals().reads_completed, 20);
+    assert_eq!(scraped.totals().writes_completed, 20);
+    // Phase attribution covers every completed op.
+    assert_eq!(scraped.queue_wait().count(), 40);
+    assert_eq!(scraped.execute().count(), 40);
+    assert_eq!(scraped.end_to_end_latency().count(), 40);
+    assert_eq!(scraped.wire().count(), 40);
+    // The scraped snapshot equals the in-process one — byte-identical
+    // decode of everything, histograms included.
+    let local = server.store().metrics();
+    assert_eq!(scraped, local);
+    // Prometheus rendering of a remote scrape works and carries the op
+    // totals.
+    let text = scraped.render_prometheus();
+    assert!(text.contains("rsb_store_reads_completed_total 20"));
+    assert!(text.contains("rsb_store_writes_completed_total 20"));
+    assert!(text.contains("rsb_store_wire_ns_count 40"));
+    server.shutdown();
+}
+
+#[test]
+fn stats_scrape_fails_cleanly_after_shutdown() {
+    let server = serve(1, ProtocolSpec::Abd, 16);
+    let client = connect(&server);
+    client.stats().unwrap();
+    server.shutdown();
+    let err = client.stats().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StoreError::Io(_) | StoreError::ShutDown | StoreError::Timeout
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
 fn open_loop_load_runs_over_tcp() {
     use rsb_store::load::{run_load, LoadMode, LoadSpec};
     let server = serve(4, ProtocolSpec::Adaptive, 16);

@@ -6,7 +6,7 @@
 use rsb_store::frame::{
     decode_payload, encode_frame, read_frame, write_frame, Frame, MAX_FRAME_LEN, WIRE_VERSION,
 };
-use rsb_store::StoreError;
+use rsb_store::{LatencyHistogram, OpCounters, ShardMetrics, StoreError, StoreMetrics};
 
 /// SplitMix64 — the repo's standard deterministic fuzz generator.
 fn splitmix(state: &mut u64) -> u64 {
@@ -47,8 +47,76 @@ fn random_error(state: &mut u64) -> StoreError {
     }
 }
 
+/// A valid histogram with up to `max_samples` random samples — built by
+/// *recording*, so every occupied bucket has genuine log-linear bounds.
+fn random_histogram(state: &mut u64, max_samples: u64) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    let samples = splitmix(state) % (max_samples + 1);
+    for _ in 0..samples {
+        // Skew toward small exponents but occasionally hit huge values.
+        let shift = splitmix(state) % 64;
+        h.record_ns(splitmix(state) >> shift);
+    }
+    h
+}
+
+fn random_counters(state: &mut u64) -> OpCounters {
+    OpCounters {
+        reads_submitted: splitmix(state),
+        writes_submitted: splitmix(state),
+        reads_completed: splitmix(state),
+        writes_completed: splitmix(state),
+        bytes_read: splitmix(state),
+        bytes_written: splitmix(state),
+        rejected: splitmix(state),
+        steals: splitmix(state),
+        stolen: splitmix(state),
+        truncated_records: splitmix(state),
+        rematerialized: splitmix(state),
+        evicted_manual: splitmix(state),
+        evicted_idle: splitmix(state),
+        evicted_occupancy: splitmix(state),
+    }
+}
+
+fn random_shard_metrics(state: &mut u64, shard: usize) -> ShardMetrics {
+    ShardMetrics {
+        shard,
+        protocol: random_string(state, 16),
+        keys: (splitmix(state) % 100_000) as usize,
+        ops: random_counters(state),
+        occupancy: rsb_fpsm::StorageCost {
+            object_bits: splitmix(state),
+            client_bits: splitmix(state),
+            inflight_param_bits: splitmix(state),
+            inflight_resp_bits: splitmix(state),
+        },
+        peak_register_bits: splitmix(state),
+        live_records: splitmix(state),
+        evicted_keys: (splitmix(state) % 100_000) as usize,
+        snapshot_bits: splitmix(state),
+        ready_keys: (splitmix(state) % 100_000) as usize,
+        governed_bits: splitmix(state),
+        read_hit_latency: random_histogram(state, 40),
+        read_remat_latency: random_histogram(state, 40),
+        write_latency: random_histogram(state, 40),
+        queue_wait: random_histogram(state, 40),
+        execute: random_histogram(state, 40),
+        wire: random_histogram(state, 40),
+    }
+}
+
+fn random_store_metrics(state: &mut u64) -> StoreMetrics {
+    let shards = (splitmix(state) % 5) as usize;
+    StoreMetrics {
+        shards: (0..shards)
+            .map(|i| random_shard_metrics(state, i))
+            .collect(),
+    }
+}
+
 fn random_frame(state: &mut u64) -> Frame {
-    match splitmix(state) % 9 {
+    match splitmix(state) % 11 {
         0 => Frame::Hello {
             version: (splitmix(state) & 0xffff) as u16,
         },
@@ -80,9 +148,16 @@ fn random_frame(state: &mut u64) -> Frame {
             value_len: splitmix(state) as u32,
             protocol: random_string(state, 16),
         },
-        _ => Frame::ErrorResp {
+        8 => Frame::ErrorResp {
             id: splitmix(state),
             error: random_error(state),
+        },
+        9 => Frame::StatsReq {
+            id: splitmix(state),
+        },
+        _ => Frame::StatsResp {
+            id: splitmix(state),
+            metrics: random_store_metrics(state),
         },
     }
 }
@@ -90,7 +165,7 @@ fn random_frame(state: &mut u64) -> Frame {
 #[test]
 fn fuzz_round_trips_every_frame_type() {
     let mut state = 0xE10_u64;
-    let mut seen = [0u32; 9];
+    let mut seen = [0u32; 11];
     for _ in 0..4000 {
         let frame = random_frame(&mut state);
         let mut buf = Vec::new();
@@ -197,12 +272,47 @@ fn zero_length_and_unknown_tag_frames_are_rejected() {
         Err(StoreError::Decode(_))
     ));
     // Tag 0 and tags past the last known one are both unknown.
-    for tag in [0u8, 10, 0xFF] {
+    for tag in [0u8, 12, 0xFF] {
         let buf = [1u8, 0, 0, 0, tag];
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
             Err(StoreError::Decode(_))
         ));
+    }
+}
+
+#[test]
+fn corrupted_stats_frames_never_panic() {
+    // Stats responses carry the deepest nested payload on the wire
+    // (shards → counters → histogram bucket triples). Flip every byte
+    // of a few encoded frames: decode must return Ok or a clean Decode
+    // error — never panic, never violate histogram bucket invariants.
+    let mut state = 0xCAFE_u64;
+    for _ in 0..8 {
+        let frame = Frame::StatsResp {
+            id: splitmix(&mut state),
+            metrics: random_store_metrics(&mut state),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        let payload = buf[4..].to_vec();
+        for i in 0..payload.len() {
+            let mut bent = payload.clone();
+            bent[i] ^= 0xFF;
+            if let Ok(Frame::StatsResp { metrics, .. }) = decode_payload(&bent) {
+                // A flip that still decodes must still satisfy the
+                // histogram invariant the decoder enforces.
+                for sh in &metrics.shards {
+                    for h in [&sh.read_hit_latency, &sh.queue_wait, &sh.wire] {
+                        let mut last_hi = 0;
+                        for (lo, hi, count) in h.buckets() {
+                            assert!(lo < hi && count > 0 && lo >= last_hi);
+                            last_hi = hi;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
