@@ -48,6 +48,55 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The interleaved multi-row primitive against the same kernel called
+/// row-at-a-time: 3 parity rows (4-of-7's count) over a 64 KiB source.
+/// The interleaved form reads the source once per row group instead of
+/// once per row — the gap between the two bars is the memory-traffic
+/// saving `encode_into` now banks.
+fn bench_multi_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_multi_row");
+    let len = 64 * 1024;
+    let coeffs: [u8; 3] = [0x1d, 0x47, 0x8e];
+    let src = Value::seeded(7, len);
+    group.throughput(Throughput::Bytes((coeffs.len() * len) as u64));
+    for kernel in gf256::available_kernels() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("interleaved/{kernel}")),
+            &kernel,
+            |b, &kernel| {
+                let mut rows = vec![vec![0u8; len]; coeffs.len()];
+                b.iter(|| {
+                    let mut dsts: Vec<&mut [u8]> = rows.iter_mut().map(Vec::as_mut_slice).collect();
+                    gf256::mul_acc_multi_with(
+                        kernel,
+                        std::hint::black_box(&mut dsts),
+                        std::hint::black_box(src.as_bytes()),
+                        &coeffs,
+                    );
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("row_at_a_time/{kernel}")),
+            &kernel,
+            |b, &kernel| {
+                let mut rows = vec![vec![0u8; len]; coeffs.len()];
+                b.iter(|| {
+                    for (row, &coeff) in rows.iter_mut().zip(&coeffs) {
+                        gf256::mul_acc_with(
+                            kernel,
+                            std::hint::black_box(row),
+                            std::hint::black_box(src.as_bytes()),
+                            coeff,
+                        );
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("coding_encode");
     for (k, n) in GRID {
@@ -137,6 +186,7 @@ fn bench_decode(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernels,
+    bench_multi_row,
     bench_encode,
     bench_encode_scalar,
     bench_encode_block_loop,

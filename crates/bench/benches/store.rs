@@ -11,8 +11,8 @@ use rsb_coding::Value;
 use rsb_registers::RegisterConfig;
 use rsb_store::frame::{encode_frame, read_frame, Frame};
 use rsb_store::{
-    EvictionPolicy, HistoryPolicy, ListenSpec, ProtocolSpec, Store, StoreClient, StoreConfig,
-    TcpTransport,
+    BatchOp, EvictionPolicy, HistoryPolicy, ListenSpec, ProtocolSpec, Store, StoreClient,
+    StoreConfig, TcpTransport,
 };
 
 const VALUE_LEN: usize = 64;
@@ -68,6 +68,40 @@ fn bench_hot_key_pipelined(c: &mut Criterion) {
         });
         store.shutdown();
     });
+    group.finish();
+}
+
+/// Grouped submission through the loopback transport: one
+/// `submit_batch` call carries `batch` write ops (one shard-map lock
+/// hold per key group, one driver wakeup), and the client blocks on the
+/// whole group. The size sweep shows where the per-op condvar
+/// round-trips stop dominating.
+fn bench_batched_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_batched_submission");
+    group.sample_size(20);
+    for batch in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("b{batch}")), |b| {
+            let store = store(4, HistoryPolicy::TruncateAfter(256));
+            let client = store.client();
+            let mut i = 0u64;
+            b.iter(|| {
+                let ops: Vec<BatchOp> = (0..batch as u64)
+                    .map(|j| {
+                        i += 1;
+                        BatchOp::Write(
+                            format!("k{:03}", (i + j) % 64),
+                            Value::seeded(i * 100 + j, VALUE_LEN),
+                        )
+                    })
+                    .collect();
+                for fut in client.submit_batch(ops) {
+                    fut.wait().unwrap();
+                }
+            });
+            store.shutdown();
+        });
+    }
     group.finish();
 }
 
@@ -216,6 +250,7 @@ criterion_group!(
     benches,
     bench_store_roundtrip,
     bench_hot_key_pipelined,
+    bench_batched_submission,
     bench_governed_eviction,
     bench_frame_codec,
     bench_tcp_roundtrip,

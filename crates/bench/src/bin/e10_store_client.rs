@@ -3,7 +3,8 @@
 //! Closed loop by default; pass `--rate OPS_PER_SEC` for open-loop
 //! arrivals (fixed schedule, latency measured from the scheduled start —
 //! coordinated-omission-free). Each client thread gets its own TCP
-//! connection.
+//! connection. Pass `--batch N` to group submissions into `BatchReq`
+//! frames of `N` operations per wire round.
 //!
 //! Pass `--stats` to skip the load entirely and scrape the server's
 //! live metrics over the wire instead, printed as Prometheus-style
@@ -83,6 +84,7 @@ fn main() {
         flag(&args, "--write-frac").map_or(0.5, |v| v.parse().expect("--write-frac"));
     let seed: u64 = flag(&args, "--seed").map_or(1, |v| v.parse().expect("--seed"));
     let rate: Option<f64> = flag(&args, "--rate").map(|v| v.parse().expect("--rate"));
+    let batch: usize = flag(&args, "--batch").map_or(1, |v| v.parse().expect("--batch"));
 
     let spec = LoadSpec {
         clients: 1, // one spec slice per OS thread; each thread owns a connection
@@ -92,6 +94,7 @@ fn main() {
         value_len,
         seed,
         mode: LoadMode::Closed,
+        batch,
     };
     let sock_addr: std::net::SocketAddr = addr.parse().expect("--addr is host:port");
     let handles: Vec<_> = (0..clients)
@@ -137,8 +140,13 @@ fn main() {
     }
     print_table(
         &format!(
-            "{addr} — {clients} clients x {ops} ops, {}",
-            rate.map_or_else(|| "closed loop".into(), |x| format!("open loop @ {x:.0}/s"))
+            "{addr} — {clients} clients x {ops} ops, {}{}",
+            rate.map_or_else(|| "closed loop".into(), |x| format!("open loop @ {x:.0}/s")),
+            if batch > 1 {
+                format!(", batch {batch}")
+            } else {
+                String::new()
+            }
         ),
         &[
             "ops", "ok", "errs", "secs", "kops/s", "p50_us", "p99_us", "p999_us",

@@ -15,6 +15,7 @@
 
 use reliable_storage::prelude::*;
 use rsb_bench::{banner, print_table};
+use rsb_store::load::{run_load, LoadMode, LoadSpec};
 use rsb_store::{EvictionPolicy, HistoryPolicy, ProtocolSpec, Store, StoreConfig};
 use rsb_workloads::{key_rank, KeyedAction, KeyedScenario};
 use std::time::Instant;
@@ -201,6 +202,96 @@ fn spot_check_consistency(store: &Store, quota: usize) {
         print!(" ({foreign} non-canonical keys skipped)");
     }
     println!();
+}
+
+/// Grouped submission against the loopback store: the same closed-loop
+/// keyed workload issued through [`StoreClient::submit_batch`], with the
+/// batch size swept. A batch costs one transport round and one
+/// shard-map lock acquisition per key group instead of one per op, so
+/// on a closed loop the per-op condvar round-trips that dominate small
+/// ops amortize across the batch. The phase columns come from the
+/// store's own histograms (submit → execute-start and the execute
+/// step), so the table attributes where the saved time goes.
+fn batched_submission_section(quick: bool, value_len: usize) {
+    let clients = 16;
+    let ops_per_client = if quick { 64 } else { 1024 };
+    let keys = 64;
+    let shards = 8;
+    let batches: &[usize] = if quick { &[1, 16] } else { &[1, 4, 16, 64] };
+    let reg = RegisterConfig::paper(1, 2, value_len).expect("valid parameters");
+    let mut rows = Vec::new();
+    let mut per_op_kops = 0.0f64;
+    let mut batch16_kops = 0.0f64;
+    for (i, &batch) in batches.iter().enumerate() {
+        // A fresh store per cell keeps the phase histograms attributable
+        // to this batch size alone. ABD keeps the execute step lean, so
+        // the sweep isolates what batching actually amortizes — the
+        // per-op submission overhead (map lock, driver wakeup, client
+        // condvar round-trip).
+        let store = Store::start(StoreConfig::uniform(shards, ProtocolSpec::Abd, reg))
+            .expect("valid config");
+        let spec = LoadSpec {
+            clients,
+            ops_per_client,
+            keys,
+            write_fraction: 0.5,
+            value_len,
+            seed: 77_000 + i as u64,
+            mode: LoadMode::Closed,
+            batch,
+        };
+        let r = run_load(&store.client(), &spec);
+        assert_eq!(r.errors, 0, "batched run errored: {:?}", r.first_error);
+        let m = store.metrics();
+        let queue = m.queue_wait();
+        let exec = m.execute();
+        rows.push(vec![
+            batch.to_string(),
+            r.ok.to_string(),
+            format!("{:.3}", r.elapsed.as_secs_f64()),
+            format!("{:.1}", r.kops()),
+            format!("{:.0}", r.latency.quantile_us(0.50)),
+            format!("{:.0}", r.latency.quantile_us(0.99)),
+            format!("{:.0}", queue.quantile_us(0.50)),
+            format!("{:.0}", queue.quantile_us(0.99)),
+            format!("{:.0}", exec.quantile_us(0.50)),
+            format!("{:.0}", exec.quantile_us(0.99)),
+        ]);
+        if batch == 1 {
+            per_op_kops = r.kops();
+        }
+        if batch >= 16 {
+            batch16_kops = batch16_kops.max(r.kops());
+        }
+        store.shutdown();
+    }
+    print_table(
+        &format!(
+            "batched submission, closed loop ({clients} clients x {ops_per_client} ops, {keys} \
+             keys, 50% reads, abd, {shards} shards; client latency = issue -> batch-last \
+             completion, queue/exec from store histograms)"
+        ),
+        &[
+            "batch",
+            "ops",
+            "secs",
+            "kops/s",
+            "p50_us",
+            "p99_us",
+            "queue_p50",
+            "queue_p99",
+            "exec_p50",
+            "exec_p99",
+        ],
+        &rows,
+    );
+    println!(
+        "batching gain: x{:.2} ops/s at batch >= 16 over per-op submission ({:.1} vs {:.1} \
+         kops/s, {clients} closed-loop clients)\n",
+        batch16_kops / per_op_kops.max(1e-9),
+        batch16_kops,
+        per_op_kops,
+    );
 }
 
 /// Sustained traffic against one hot key set, sampled in waves: without a
@@ -568,6 +659,8 @@ fn main() {
         ],
         &zipf_rows,
     );
+
+    batched_submission_section(quick, value_len);
 
     history_bounds_section(quick, zipf_clients, value_len);
 

@@ -11,6 +11,12 @@
 //! and its in-place sibling [`scale`]. Both dispatch — once per call, never
 //! per byte — to the fastest [`Kernel`] the host supports:
 //!
+//! * **`Gfni`** (x86-64, runtime-detected): each coefficient's multiply map
+//!   is a GF(2)-linear transform, precomputed as an 8×8 bit-matrix
+//!   ([`MUL_MATRIX`]) and evaluated 32 bytes at a time with
+//!   `vgf2p8affineqb`. (The plain `vgf2p8mulb` multiply hardwires the AES
+//!   polynomial 0x11B; the affine form is what makes GFNI usable with this
+//!   crate's 0x11D field.)
 //! * **`Avx2`** / **`Ssse3`** (x86-64, runtime-detected): the coefficient's
 //!   low/high-nibble product tables ([`MUL_LO`] / [`MUL_HI`], 2×16 entries)
 //!   are loaded into vector registers and evaluated 32 / 16 bytes at a time
@@ -22,8 +28,17 @@
 //!   the differential-testing reference and benchmark baseline.
 //!
 //! Detection runs once per process ([`active_kernel`]); the
-//! `RSB_GF256_KERNEL` environment variable (`scalar`/`swar`/`ssse3`/`avx2`)
-//! or [`force_kernel`] pins a specific kernel for benchmarks and tests.
+//! `RSB_GF256_KERNEL` environment variable
+//! (`scalar`/`swar`/`ssse3`/`avx2`/`gfni`) or [`force_kernel`] pins a
+//! specific kernel for benchmarks and tests.
+//!
+//! # Multi-row accumulation
+//!
+//! [`mul_acc_multi`] computes `dsts[r][i] ^= coeffs[r] · src[i]` for up to
+//! four destination rows per pass over the source. Erasure-code encoding is
+//! memory-bound at vector speeds: row-at-a-time encoding re-reads the source
+//! once per parity row, while the interleaved form reads it once per group
+//! of rows, roughly halving memory traffic for n ≫ k.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -97,6 +112,44 @@ const fn build_nibble_tables() -> ([[u8; 16]; 256], [[u8; 16]; 256]) {
 }
 
 const NIBBLE_TABLES: ([[u8; 16]; 256], [[u8; 16]; 256]) = build_nibble_tables();
+
+/// Compile-time generation of the per-coefficient GF(2) bit-matrices for
+/// the GFNI affine kernel. Multiplication by a constant `c` is GF(2)-linear
+/// in the bits of the other operand, so it is exactly an 8×8 bit-matrix —
+/// the operand shape `vgf2p8affineqb` applies to every byte of a vector.
+///
+/// Bit layout follows the instruction: output bit `i` of a transformed byte
+/// `x` is `parity(matrix.byte[7 - i] & x)`, so byte `7 - i` of each `u64`
+/// holds (as a mask over the input bits) row `i` of the multiply-by-`c` map.
+const fn build_mul_matrices() -> [u64; 256] {
+    let mut matrices = [0u64; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut word = 0u64;
+        let mut i = 0; // output bit
+        while i < 8 {
+            let mut row = 0u8;
+            let mut j = 0; // input bit
+            while j < 8 {
+                if (mul_const(c as u8, 1 << j) >> i) & 1 == 1 {
+                    row |= 1 << j;
+                }
+                j += 1;
+            }
+            word |= (row as u64) << ((7 - i) * 8);
+            i += 1;
+        }
+        matrices[c] = word;
+        c += 1;
+    }
+    matrices
+}
+
+/// Per-coefficient 8×8 GF(2) bit-matrices: `MUL_MATRIX[c]`, applied to a
+/// byte `x` by `vgf2p8affineqb` (or the scalar parity fold in the tests),
+/// yields `c · x` in this crate's 0x11D field: output bit `i` is
+/// `parity(MUL_MATRIX[c].byte[7 - i] & x)`.
+pub const MUL_MATRIX: [u64; 256] = build_mul_matrices();
 
 /// Low-nibble product table: `MUL_LO[c][x] = c · x` for `x < 16`.
 ///
@@ -222,19 +275,29 @@ pub enum Kernel {
     Ssse3,
     /// x86-64 AVX2 `vpshufb` nibble lookup, 32 bytes per step.
     Avx2,
+    /// x86-64 GFNI `vgf2p8affineqb` bit-matrix transform, 32 bytes per
+    /// step. One instruction replaces the whole nibble-shuffle sequence.
+    Gfni,
 }
 
 impl Kernel {
-    const ALL: [Kernel; 4] = [Kernel::Scalar, Kernel::Swar, Kernel::Ssse3, Kernel::Avx2];
+    const ALL: [Kernel; 5] = [
+        Kernel::Scalar,
+        Kernel::Swar,
+        Kernel::Ssse3,
+        Kernel::Avx2,
+        Kernel::Gfni,
+    ];
 
     /// Human-readable kernel name (`"scalar"`, `"swar"`, `"ssse3"`,
-    /// `"avx2"`); the inverse of [`Kernel::by_name`].
+    /// `"avx2"`, `"gfni"`); the inverse of [`Kernel::by_name`].
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Scalar => "scalar",
             Kernel::Swar => "swar",
             Kernel::Ssse3 => "ssse3",
             Kernel::Avx2 => "avx2",
+            Kernel::Gfni => "gfni",
         }
     }
 
@@ -249,6 +312,7 @@ impl Kernel {
             Kernel::Swar => 1,
             Kernel::Ssse3 => 2,
             Kernel::Avx2 => 3,
+            Kernel::Gfni => 4,
         }
     }
 
@@ -278,8 +342,12 @@ pub fn kernel_available(kernel: Kernel) -> bool {
         Kernel::Ssse3 => is_x86_feature_detected!("ssse3"),
         #[cfg(target_arch = "x86_64")]
         Kernel::Avx2 => is_x86_feature_detected!("avx2"),
+        // The kernel works in 256-bit registers, so it needs AVX2 on top
+        // of the GF(2⁸) instructions themselves.
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Gfni => is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2"),
         #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Ssse3 | Kernel::Avx2 => false,
+        Kernel::Ssse3 | Kernel::Avx2 | Kernel::Gfni => false,
     }
 }
 
@@ -304,6 +372,9 @@ fn detect_kernel() -> Kernel {
     }
     #[cfg(target_arch = "x86_64")]
     {
+        if kernel_available(Kernel::Gfni) {
+            return Kernel::Gfni;
+        }
         if is_x86_feature_detected!("avx2") {
             return Kernel::Avx2;
         }
@@ -420,8 +491,12 @@ fn dispatch_mul_acc(kernel: Kernel, dst: &mut [u8], src: &[u8], coeff: u8) {
         Kernel::Ssse3 => simd::mul_acc_ssse3(dst, src, coeff),
         #[cfg(target_arch = "x86_64")]
         Kernel::Avx2 => simd::mul_acc_avx2(dst, src, coeff),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Gfni => simd::mul_acc_gfni(dst, src, coeff),
         #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Ssse3 | Kernel::Avx2 => unreachable!("vector kernels are x86-64 only"),
+        Kernel::Ssse3 | Kernel::Avx2 | Kernel::Gfni => {
+            unreachable!("vector kernels are x86-64 only")
+        }
     }
 }
 
@@ -433,8 +508,96 @@ fn dispatch_scale(kernel: Kernel, buf: &mut [u8], coeff: u8) {
         Kernel::Ssse3 => simd::scale_ssse3(buf, coeff),
         #[cfg(target_arch = "x86_64")]
         Kernel::Avx2 => simd::scale_avx2(buf, coeff),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Gfni => simd::scale_gfni(buf, coeff),
         #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Ssse3 | Kernel::Avx2 => unreachable!("vector kernels are x86-64 only"),
+        Kernel::Ssse3 | Kernel::Avx2 | Kernel::Gfni => {
+            unreachable!("vector kernels are x86-64 only")
+        }
+    }
+}
+
+/// The widest row group the interleaved kernels process per pass over the
+/// source. [`mul_acc_multi`] splits larger batches into groups of this size.
+pub const MAX_INTERLEAVED_ROWS: usize = 4;
+
+/// Computes `dsts[r][i] ^= coeffs[r] · src[i]` for every destination row —
+/// the multi-row inner loop of erasure-code encoding. The interleaved
+/// kernels read each source chunk **once per group of up to
+/// [`MAX_INTERLEAVED_ROWS`] rows** instead of once per row, which is where
+/// the memory-traffic saving over repeated [`mul_acc`] calls comes from.
+///
+/// Results are byte-for-byte identical to calling [`mul_acc`] once per row
+/// (proven exhaustively by the differential tests).
+///
+/// # Panics
+///
+/// Panics if `dsts` and `coeffs` have different lengths, or any destination
+/// row's length differs from `src`'s.
+pub fn mul_acc_multi(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    check_multi(dsts, src, coeffs);
+    let kernel = active_kernel();
+    let mut start = 0;
+    while start < coeffs.len() {
+        let end = (start + MAX_INTERLEAVED_ROWS).min(coeffs.len());
+        dispatch_mul_acc_multi(kernel, &mut dsts[start..end], src, &coeffs[start..end]);
+        start = end;
+    }
+}
+
+/// Runs [`mul_acc_multi`] through one specific kernel, bypassing dispatch —
+/// the hook the differential tests and kernel benchmarks use.
+///
+/// # Panics
+///
+/// Panics on the [`mul_acc_multi`] length mismatches, or if the kernel is
+/// unavailable on this machine (see [`kernel_available`]).
+pub fn mul_acc_multi_with(kernel: Kernel, dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    check_multi(dsts, src, coeffs);
+    assert!(
+        kernel_available(kernel),
+        "kernel {kernel} unavailable on this machine"
+    );
+    let mut start = 0;
+    while start < coeffs.len() {
+        let end = (start + MAX_INTERLEAVED_ROWS).min(coeffs.len());
+        dispatch_mul_acc_multi(kernel, &mut dsts[start..end], src, &coeffs[start..end]);
+        start = end;
+    }
+}
+
+fn check_multi(dsts: &[&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    assert_eq!(
+        dsts.len(),
+        coeffs.len(),
+        "mul_acc_multi row/coefficient count mismatch"
+    );
+    for d in dsts {
+        assert_eq!(d.len(), src.len(), "mul_acc_multi on unequal lengths");
+    }
+}
+
+/// Dispatch for one row group (`dsts.len() <= MAX_INTERLEAVED_ROWS`).
+fn dispatch_mul_acc_multi(kernel: Kernel, dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    debug_assert!(dsts.len() <= MAX_INTERLEAVED_ROWS);
+    match kernel {
+        // The reference semantics: row at a time through the scalar loop.
+        Kernel::Scalar => {
+            for (d, &c) in dsts.iter_mut().zip(coeffs) {
+                mul_acc_scalar(d, src, c);
+            }
+        }
+        Kernel::Swar => mul_acc_multi_swar(dsts, src, coeffs),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Ssse3 => simd::mul_acc_multi_ssse3(dsts, src, coeffs),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => simd::mul_acc_multi_avx2(dsts, src, coeffs),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Gfni => simd::mul_acc_multi_gfni(dsts, src, coeffs),
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Ssse3 | Kernel::Avx2 | Kernel::Gfni => {
+            unreachable!("vector kernels are x86-64 only")
+        }
     }
 }
 
@@ -577,6 +740,34 @@ fn mul_acc_swar(dst: &mut [u8], src: &[u8], coeff: u8) {
     let hi = &MUL_HI[coeff as usize];
     for (d, &s) in dw.into_remainder().iter_mut().zip(sw.remainder()) {
         *d ^= lo[(s & 0x0f) as usize] ^ hi[(s >> 4) as usize];
+    }
+}
+
+/// [`mul_acc_multi`] through the portable SWAR kernel: each 32-byte source
+/// quad is loaded once and multiplied into every row of the group, so the
+/// source traffic is paid once per group instead of once per row.
+fn mul_acc_multi_swar(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    let len = src.len();
+    let quads = len - len % 32;
+    let mut i = 0;
+    while i < quads {
+        let s = load4(&src[i..i + 32]);
+        for (d, &c) in dsts.iter_mut().zip(coeffs) {
+            let prod = mul_word4(s, c);
+            let row = &mut d[i..i + 32];
+            let mut cur = load4(row);
+            for lane in 0..4 {
+                cur[lane] ^= prod[lane];
+            }
+            store4(row, cur);
+        }
+        i += 32;
+    }
+    for j in quads..len {
+        let s = src[j];
+        for (d, &c) in dsts.iter_mut().zip(coeffs) {
+            d[j] ^= MUL_LO[c as usize][(s & 0x0f) as usize] ^ MUL_HI[c as usize][(s >> 4) as usize];
+        }
     }
 }
 
@@ -784,7 +975,39 @@ mod tests {
             assert_eq!(Kernel::by_name(k.name()), Some(k));
             assert_eq!(Kernel::from_u8(k.as_u8()), k);
         }
-        assert_eq!(Kernel::by_name("gfni"), None);
+        assert_eq!(Kernel::by_name("avx512"), None);
+    }
+
+    // Pure-bit check of the GFNI matrices — runs on machines *without*
+    // GFNI too, so the table itself is verified everywhere even when the
+    // hardware kernel never executes.
+    #[test]
+    fn mul_matrices_encode_multiplication_exhaustively() {
+        for c in 0..=255u8 {
+            let m = MUL_MATRIX[c as usize];
+            for x in 0..=255u8 {
+                let mut out = 0u8;
+                for i in 0..8u32 {
+                    let row = (m >> ((7 - i) * 8)) as u8;
+                    out |= ((((row & x).count_ones()) as u8) & 1) << i;
+                }
+                assert_eq!(out, mul(c, x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_multi_matches_sequential_rows() {
+        let src: Vec<u8> = (0..77u8).map(|i| i.wrapping_mul(37) ^ 0x5a).collect();
+        let coeffs = [0u8, 1, 2, 0x1d, 87, 200, 255];
+        let mut expected: Vec<Vec<u8>> = coeffs.iter().map(|_| vec![0x33; src.len()]).collect();
+        for (row, &c) in expected.iter_mut().zip(&coeffs) {
+            mul_acc(row, &src, c);
+        }
+        let mut actual: Vec<Vec<u8>> = coeffs.iter().map(|_| vec![0x33; src.len()]).collect();
+        let mut rows: Vec<&mut [u8]> = actual.iter_mut().map(Vec::as_mut_slice).collect();
+        mul_acc_multi(&mut rows, &src, &coeffs);
+        assert_eq!(actual, expected);
     }
 
     #[test]

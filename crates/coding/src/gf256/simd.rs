@@ -1,11 +1,22 @@
-//! x86-64 `pshufb` kernels for bulk GF(256) multiplication.
+//! x86-64 `pshufb` and GFNI kernels for bulk GF(256) multiplication.
 //!
-//! Both kernels evaluate the per-coefficient nibble split tables
+//! The nibble kernels evaluate the per-coefficient split tables
 //! ([`MUL_LO`] / [`MUL_HI`]) as vector shuffles: the 16-entry table is the
 //! shuffle *source* and the data nibbles are the shuffle *indices*, so one
-//! `pshufb` performs 16 (SSSE3) or 2×16 (AVX2) table lookups. Tails shorter
-//! than a vector fall back to the same tables one byte at a time, which is
-//! what the exhaustive differential tests pin down (`tests/kernels.rs`).
+//! `pshufb` performs 16 (SSSE3) or 2×16 (AVX2) table lookups. The GFNI
+//! kernel instead broadcasts the coefficient's precomputed 8×8 bit-matrix
+//! ([`MUL_MATRIX`]) and applies it with one `vgf2p8affineqb` per 32 bytes
+//! — the affine form, not `vgf2p8mulb`, because the plain multiply
+//! hardwires the AES polynomial 0x11B while this crate's field is 0x11D.
+//! Tails shorter than a vector fall back to the nibble tables one byte at
+//! a time, which is what the exhaustive differential tests pin down
+//! (`tests/kernels.rs`).
+//!
+//! The `*_multi` variants interleave up to
+//! [`MAX_INTERLEAVED_ROWS`](super::MAX_INTERLEAVED_ROWS) destination rows:
+//! each 32/16-byte source chunk is loaded once and multiplied into every
+//! row of the group, so encode passes that used to re-read the source per
+//! parity row now pay its memory traffic once per group.
 //!
 //! This module is the only place in the crate that uses `unsafe`: raw
 //! pointer loads/stores for the unaligned vector accesses, plus the calls
@@ -14,12 +25,13 @@
 //! detection" — is enforced by `gf256::dispatch_*` and `kernel_available`.
 #![allow(unsafe_code)]
 
-use super::{MUL_HI, MUL_LO};
+use super::{MAX_INTERLEAVED_ROWS, MUL_HI, MUL_LO, MUL_MATRIX};
 use core::arch::x86_64::{
-    __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
-    _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256,
-    _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
-    _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+    __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_gf2p8affine_epi64_epi8,
+    _mm256_loadu_si256, _mm256_set1_epi64x, _mm256_set1_epi8, _mm256_setzero_si256,
+    _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256, _mm256_xor_si256, _mm_and_si128,
+    _mm_loadu_si128, _mm_set1_epi8, _mm_setzero_si128, _mm_shuffle_epi8, _mm_srli_epi64,
+    _mm_storeu_si128, _mm_xor_si128,
 };
 
 /// `dst[i] ^= coeff · src[i]` via SSSE3 `pshufb`, 16 bytes per step.
@@ -169,4 +181,197 @@ fn scale_avx2_impl(buf: &mut [u8], coeff: u8) {
     for b in chunks.into_remainder().iter_mut() {
         *b = lo_t[(*b & 0x0f) as usize] ^ hi_t[(*b >> 4) as usize];
     }
+}
+
+// ---------------------------------------------------------------------------
+// GFNI: one `vgf2p8affineqb` per 32 bytes
+// ---------------------------------------------------------------------------
+
+/// The coefficient's 8×8 bit-matrix broadcast to every qword of a 256-bit
+/// register — the second operand of `vgf2p8affineqb`.
+#[target_feature(enable = "gfni,avx2")]
+fn mul_matrix_256(coeff: u8) -> __m256i {
+    _mm256_set1_epi64x(i64::from_le_bytes(MUL_MATRIX[coeff as usize].to_le_bytes()))
+}
+
+/// `dst[i] ^= coeff · src[i]` via GFNI `vgf2p8affineqb`, 32 bytes per step.
+///
+/// Caller must have verified `gfni` + `avx2` support (the dispatcher has).
+pub(super) fn mul_acc_gfni(dst: &mut [u8], src: &[u8], coeff: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert!(is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2"));
+    // SAFETY: the gfni+avx2 target features were runtime-verified by the
+    // caller.
+    unsafe { mul_acc_gfni_impl(dst, src, coeff) }
+}
+
+/// `buf[i] = coeff · buf[i]` via GFNI `vgf2p8affineqb`.
+pub(super) fn scale_gfni(buf: &mut [u8], coeff: u8) {
+    debug_assert!(is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2"));
+    // SAFETY: the gfni+avx2 target features were runtime-verified by the
+    // caller.
+    unsafe { scale_gfni_impl(buf, coeff) }
+}
+
+#[target_feature(enable = "gfni,avx2")]
+fn mul_acc_gfni_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+    let lo_t = &MUL_LO[coeff as usize];
+    let hi_t = &MUL_HI[coeff as usize];
+    let m = mul_matrix_256(coeff);
+    let mut dc = dst.chunks_exact_mut(32);
+    let mut sc = src.chunks_exact(32);
+    for (d, s) in (&mut dc).zip(&mut sc) {
+        // SAFETY: both chunks are exactly 32 bytes; unaligned load/store.
+        unsafe {
+            let x = _mm256_loadu_si256(s.as_ptr().cast());
+            let cur = _mm256_loadu_si256(d.as_ptr().cast());
+            let res = _mm256_xor_si256(cur, _mm256_gf2p8affine_epi64_epi8::<0>(x, m));
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), res);
+        }
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d ^= lo_t[(s & 0x0f) as usize] ^ hi_t[(s >> 4) as usize];
+    }
+}
+
+#[target_feature(enable = "gfni,avx2")]
+fn scale_gfni_impl(buf: &mut [u8], coeff: u8) {
+    let lo_t = &MUL_LO[coeff as usize];
+    let hi_t = &MUL_HI[coeff as usize];
+    let m = mul_matrix_256(coeff);
+    let mut chunks = buf.chunks_exact_mut(32);
+    for c in &mut chunks {
+        // SAFETY: the chunk is exactly 32 bytes; unaligned load/store.
+        unsafe {
+            let x = _mm256_loadu_si256(c.as_ptr().cast());
+            _mm256_storeu_si256(
+                c.as_mut_ptr().cast(),
+                _mm256_gf2p8affine_epi64_epi8::<0>(x, m),
+            );
+        }
+    }
+    for b in chunks.into_remainder().iter_mut() {
+        *b = lo_t[(*b & 0x0f) as usize] ^ hi_t[(*b >> 4) as usize];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved multi-row kernels: load each source chunk once per row group
+// ---------------------------------------------------------------------------
+
+/// Byte-at-a-time multi-row tail shared by every vector kernel.
+fn multi_tail(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8], from: usize) {
+    for j in from..src.len() {
+        let s = src[j];
+        for (d, &c) in dsts.iter_mut().zip(coeffs) {
+            d[j] ^= MUL_LO[c as usize][(s & 0x0f) as usize] ^ MUL_HI[c as usize][(s >> 4) as usize];
+        }
+    }
+}
+
+/// Multi-row [`mul_acc_ssse3`]: one 16-byte source load per row group.
+pub(super) fn mul_acc_multi_ssse3(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    debug_assert!(is_x86_feature_detected!("ssse3"));
+    // SAFETY: the ssse3 target feature was runtime-verified by the caller.
+    unsafe { mul_acc_multi_ssse3_impl(dsts, src, coeffs) }
+}
+
+/// Multi-row [`mul_acc_avx2`]: one 32-byte source load per row group.
+pub(super) fn mul_acc_multi_avx2(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    debug_assert!(is_x86_feature_detected!("avx2"));
+    // SAFETY: the avx2 target feature was runtime-verified by the caller.
+    unsafe { mul_acc_multi_avx2_impl(dsts, src, coeffs) }
+}
+
+/// Multi-row [`mul_acc_gfni`]: one 32-byte source load per row group.
+pub(super) fn mul_acc_multi_gfni(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    debug_assert!(is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2"));
+    // SAFETY: the gfni+avx2 target features were runtime-verified by the
+    // caller.
+    unsafe { mul_acc_multi_gfni_impl(dsts, src, coeffs) }
+}
+
+#[target_feature(enable = "ssse3")]
+fn mul_acc_multi_ssse3_impl(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    let mut lo = [_mm_setzero_si128(); MAX_INTERLEAVED_ROWS];
+    let mut hi = [_mm_setzero_si128(); MAX_INTERLEAVED_ROWS];
+    for ((l, h), &c) in lo.iter_mut().zip(hi.iter_mut()).zip(coeffs) {
+        *l = load_table_128(&MUL_LO[c as usize]);
+        *h = load_table_128(&MUL_HI[c as usize]);
+    }
+    let len = src.len();
+    let vec_end = len - len % 16;
+    let mut i = 0;
+    while i < vec_end {
+        // SAFETY: `i + 16 <= len`, and every destination row has length
+        // `len` (checked by the dispatcher); unaligned load/store.
+        unsafe {
+            let x = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            for (r, d) in dsts.iter_mut().enumerate() {
+                let dp = d.as_mut_ptr().add(i);
+                let cur = _mm_loadu_si128(dp.cast());
+                _mm_storeu_si128(dp.cast(), _mm_xor_si128(cur, product_128(x, lo[r], hi[r])));
+            }
+        }
+        i += 16;
+    }
+    multi_tail(dsts, src, coeffs, vec_end);
+}
+
+#[target_feature(enable = "avx2")]
+fn mul_acc_multi_avx2_impl(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    let mut lo = [_mm256_setzero_si256(); MAX_INTERLEAVED_ROWS];
+    let mut hi = [_mm256_setzero_si256(); MAX_INTERLEAVED_ROWS];
+    for ((l, h), &c) in lo.iter_mut().zip(hi.iter_mut()).zip(coeffs) {
+        *l = load_table_256(&MUL_LO[c as usize]);
+        *h = load_table_256(&MUL_HI[c as usize]);
+    }
+    let len = src.len();
+    let vec_end = len - len % 32;
+    let mut i = 0;
+    while i < vec_end {
+        // SAFETY: `i + 32 <= len`, and every destination row has length
+        // `len` (checked by the dispatcher); unaligned load/store.
+        unsafe {
+            let x = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            for (r, d) in dsts.iter_mut().enumerate() {
+                let dp = d.as_mut_ptr().add(i);
+                let cur = _mm256_loadu_si256(dp.cast());
+                _mm256_storeu_si256(
+                    dp.cast(),
+                    _mm256_xor_si256(cur, product_256(x, lo[r], hi[r])),
+                );
+            }
+        }
+        i += 32;
+    }
+    multi_tail(dsts, src, coeffs, vec_end);
+}
+
+#[target_feature(enable = "gfni,avx2")]
+fn mul_acc_multi_gfni_impl(dsts: &mut [&mut [u8]], src: &[u8], coeffs: &[u8]) {
+    let mut mats = [_mm256_setzero_si256(); MAX_INTERLEAVED_ROWS];
+    for (m, &c) in mats.iter_mut().zip(coeffs) {
+        *m = mul_matrix_256(c);
+    }
+    let len = src.len();
+    let vec_end = len - len % 32;
+    let mut i = 0;
+    while i < vec_end {
+        // SAFETY: `i + 32 <= len`, and every destination row has length
+        // `len` (checked by the dispatcher); unaligned load/store.
+        unsafe {
+            let x = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            for (r, d) in dsts.iter_mut().enumerate() {
+                let dp = d.as_mut_ptr().add(i);
+                let cur = _mm256_loadu_si256(dp.cast());
+                _mm256_storeu_si256(
+                    dp.cast(),
+                    _mm256_xor_si256(cur, _mm256_gf2p8affine_epi64_epi8::<0>(x, mats[r])),
+                );
+            }
+        }
+        i += 32;
+    }
+    multi_tail(dsts, src, coeffs, vec_end);
 }

@@ -117,8 +117,12 @@ impl ReedSolomon {
     }
 
     /// Encodes all `n` blocks into one contiguous caller-provided buffer —
-    /// block `i` occupies `out[i*shard_len .. (i+1)*shard_len]` — with zero
-    /// allocations: a single row-major matrix–buffer product over the value.
+    /// block `i` occupies `out[i*shard_len .. (i+1)*shard_len]` — as a
+    /// column-major matrix–buffer product: each source shard is read once
+    /// per group of up to [`gf256::MAX_INTERLEAVED_ROWS`] parity rows (the
+    /// multi-row kernels), instead of once per parity row. Only two small
+    /// bookkeeping `Vec`s (row pointers and one coefficient column) are
+    /// allocated; no data is copied or staged.
     ///
     /// # Errors
     ///
@@ -140,10 +144,30 @@ impl ReedSolomon {
         // Systematic prefix: blocks 0..k are the (padded) value itself.
         out[..bytes.len()].copy_from_slice(bytes);
         // Parity rows read shard views of `bytes` (the value, not `out`),
-        // so each row is written independently.
+        // so they can all accumulate concurrently: for each source shard,
+        // one interleaved pass feeds every parity row in groups of up to
+        // MAX_INTERLEAVED_ROWS.
         let parity = &mut out[self.k * self.shard_len..];
-        for (pi, row) in parity.chunks_exact_mut(self.shard_len).enumerate() {
-            self.encode_row_into(bytes, self.k + pi, row);
+        let mut rows: Vec<&mut [u8]> = parity.chunks_exact_mut(self.shard_len).collect();
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let mut coeffs = vec![0u8; rows.len()];
+        for j in 0..self.k {
+            let src = shard_slice(bytes, self.shard_len, j);
+            for (pi, c) in coeffs.iter_mut().enumerate() {
+                *c = self.encoding.get(self.k + pi, j);
+            }
+            if src.len() == self.shard_len {
+                gf256::mul_acc_multi(&mut rows, src, &coeffs);
+            } else {
+                // Tail shard: the source view is short, so accumulate into
+                // equally-short row prefixes (the suffix stays zero, which
+                // matches the zero-padded tail semantics).
+                let mut views: Vec<&mut [u8]> =
+                    rows.iter_mut().map(|r| &mut r[..src.len()]).collect();
+                gf256::mul_acc_multi(&mut views, src, &coeffs);
+            }
         }
         Ok(())
     }

@@ -94,6 +94,62 @@ fn scale_kernels_match_scalar_exhaustively() {
 }
 
 #[test]
+fn mul_acc_multi_kernels_match_scalar_exhaustively() {
+    // The interleaved multi-row kernels must agree with row-at-a-time scalar
+    // for all 256 coefficients (placed in every row position), every length
+    // crossing the vector strides, unaligned source offsets, and every row
+    // count up to MAX_INTERLEAVED_ROWS + 1 (one full group plus a rump).
+    let kernels = gf256::available_kernels();
+    let mut state = 0x5eed_0005u64;
+    let max_rows = gf256::MAX_INTERLEAVED_ROWS + 1;
+    let mut src_base = vec![0u8; MAX_LEN + *OFFSETS.last().unwrap()];
+    fill_random(&mut src_base, &mut state);
+    let mut dst0 = vec![vec![0u8; MAX_LEN]; max_rows];
+    for row in &mut dst0 {
+        fill_random(row, &mut state);
+    }
+    for coeff in 0..=255u8 {
+        for rows in 1..=max_rows {
+            // The swept coefficient rotates through every row position;
+            // remaining rows get fixed coefficients covering 0/1/general.
+            let fillers = [0u8, 1, 0x1d, 87, 255];
+            let pos = coeff as usize % rows;
+            let mut coeffs = vec![0u8; rows];
+            for (r, c) in coeffs.iter_mut().enumerate() {
+                *c = if r == pos {
+                    coeff
+                } else {
+                    fillers[r % fillers.len()]
+                };
+            }
+            for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 48, 63, MAX_LEN] {
+                for off in OFFSETS {
+                    let src = &src_base[off..off + len];
+                    // Reference: sequential scalar mul_acc per row.
+                    let mut expected: Vec<Vec<u8>> =
+                        dst0[..rows].iter().map(|r| r[..len].to_vec()).collect();
+                    for (row, &c) in expected.iter_mut().zip(&coeffs) {
+                        gf256::mul_acc_with(Kernel::Scalar, row, src, c);
+                    }
+                    for &kernel in &kernels {
+                        let mut actual: Vec<Vec<u8>> =
+                            dst0[..rows].iter().map(|r| r[..len].to_vec()).collect();
+                        let mut views: Vec<&mut [u8]> =
+                            actual.iter_mut().map(Vec::as_mut_slice).collect();
+                        gf256::mul_acc_multi_with(kernel, &mut views, src, &coeffs);
+                        assert_eq!(
+                            actual, expected,
+                            "mul_acc_multi {kernel} vs scalar: coeff={coeff} \
+                             rows={rows} len={len} off={off}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn kernels_handle_large_buffers_with_ragged_tails() {
     // A second net above the exhaustive small-length sweep: sizes around
     // and beyond the 32-byte AVX2 stride, including a multi-KiB buffer.

@@ -212,6 +212,26 @@ impl ReadyQueue {
         Some(slot)
     }
 
+    /// Pops up to half the queued slots (at least one when the queue is
+    /// non-empty) in one lock acquisition, transferring ownership of each
+    /// to the caller until its [`ReadyQueue::finish`]. This is the batch
+    /// face of stealing: a thief drains `ceil(len/2)` of the victim's
+    /// backlog in one pass instead of re-acquiring the queue lock per key.
+    pub fn pop_half(&self) -> Vec<usize> {
+        let mut inner = self.inner.lock();
+        let take = inner.queue.len().div_ceil(2);
+        let mut slots = Vec::with_capacity(take);
+        for _ in 0..take {
+            let Some(slot) = inner.queue.pop_front() else {
+                break;
+            };
+            debug_assert_eq!(inner.states[slot], SlotState::Queued);
+            inner.states[slot] = SlotState::Running;
+            slots.push(slot);
+        }
+        slots
+    }
+
     /// Releases a popped slot. `more` reports whether the slot still has
     /// enabled events; the slot is re-enqueued when `more` holds or work
     /// arrived while it ran. Returns `true` if it was re-enqueued.
@@ -319,6 +339,24 @@ impl WorkGroup {
             return;
         }
         self.cv.wait(&mut guard);
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Like [`WorkGroup::park_unless`], but wakes after `timeout` even
+    /// with no notify — for drivers that must run periodic duties (e.g.
+    /// wall-clock key aging) on a fully idle store, where no submission
+    /// will ever notify them. Same lost-wakeup-free protocol; the timeout
+    /// only adds an upper bound on how long the park lasts.
+    pub fn park_timeout_unless(&self, timeout: std::time::Duration, has_work: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.mu.lock();
+        if self.is_stopped() || has_work() {
+            drop(guard);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let _ = self.cv.wait_for(&mut guard, timeout);
         drop(guard);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -744,6 +782,41 @@ mod tests {
         let c = reg.client();
         reg.shutdown();
         assert_eq!(c.read().unwrap_err(), ThreadedError::ShutDown);
+    }
+
+    #[test]
+    fn pop_half_takes_ceil_half_and_owns_slots() {
+        let q = ReadyQueue::new();
+        let slots: Vec<usize> = (0..5).map(|_| q.register_slot()).collect();
+        for &s in &slots {
+            assert!(q.enqueue(s));
+        }
+        // 5 queued → ceil(5/2) = 3 popped, all owned by the thief.
+        let stolen = q.pop_half();
+        assert_eq!(stolen, slots[..3].to_vec());
+        assert_eq!(q.len(), 2);
+        // An owned slot cannot be enqueued again — it goes dirty and the
+        // finishing thief re-enqueues it.
+        assert!(!q.enqueue(stolen[0]));
+        assert!(q.finish(stolen[0], false), "dirty slot re-enqueues");
+        assert!(!q.finish(stolen[1], false));
+        assert!(q.finish(stolen[2], true), "more work re-enqueues");
+        assert_eq!(q.len(), 4);
+        // Empty queue → empty batch.
+        while q.pop().is_some() {}
+        assert!(q.pop_half().is_empty());
+    }
+
+    #[test]
+    fn park_timeout_unless_wakes_without_notify() {
+        let group = WorkGroup::new();
+        let start = std::time::Instant::now();
+        group.park_timeout_unless(std::time::Duration::from_millis(10), || false);
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        // Pending work skips the park entirely.
+        let start = std::time::Instant::now();
+        group.park_timeout_unless(std::time::Duration::from_mins(1), || true);
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
     }
 
     #[test]

@@ -171,6 +171,11 @@ pub enum StoreConfigError {
     MissingListen,
     /// A flight-recorder capacity of zero events.
     ZeroRecorderCapacity,
+    /// A wall-clock idle-aging duration of zero.
+    ZeroIdleWallClock,
+    /// Wall-clock idle aging configured without an
+    /// [`EvictionPolicy::IdleAfter`] policy to age against.
+    IdleWallClockWithoutIdleAfter,
 }
 
 impl std::fmt::Display for StoreConfigError {
@@ -211,6 +216,15 @@ impl std::fmt::Display for StoreConfigError {
             StoreConfigError::ZeroRecorderCapacity => {
                 write!(f, "the flight recorder needs capacity for at least 1 event")
             }
+            StoreConfigError::ZeroIdleWallClock => {
+                write!(f, "wall-clock idle aging needs a non-zero duration")
+            }
+            StoreConfigError::IdleWallClockWithoutIdleAfter => {
+                write!(
+                    f,
+                    "wall-clock idle aging requires the IdleAfter eviction policy"
+                )
+            }
         }
     }
 }
@@ -244,6 +258,13 @@ pub struct StoreConfig {
     /// Capacity, in events, of the store's flight recorder
     /// (overwrite-oldest; fixed memory of ~16 bytes per slot).
     pub recorder_capacity: usize,
+    /// Optional wall-clock aging for [`EvictionPolicy::IdleAfter`]: a key
+    /// untouched for this long is eligible for the idle sweep even when
+    /// the shard's logical tick counter has not advanced (ticks only move
+    /// with traffic, so a fully idle store never ages keys by ticks
+    /// alone). Off by default; drivers park with a bounded timeout while
+    /// this is set so the sweep runs on an otherwise silent store.
+    pub idle_wall_clock: Option<std::time::Duration>,
 }
 
 impl StoreConfig {
@@ -264,6 +285,7 @@ impl StoreConfig {
             eviction: EvictionPolicy::Manual,
             listen: None,
             recorder_capacity: Self::DEFAULT_RECORDER_CAPACITY,
+            idle_wall_clock: None,
         }
     }
 
@@ -305,6 +327,16 @@ impl StoreConfig {
         self
     }
 
+    /// Enables wall-clock aging for the idle-eviction sweep: keys
+    /// untouched for `age` become sweep-eligible even on a store whose
+    /// logical ticks are frozen by the absence of traffic. Requires an
+    /// [`EvictionPolicy::IdleAfter`] policy (enforced by
+    /// [`StoreConfig::validate`]).
+    pub fn with_idle_wall_clock(mut self, age: std::time::Duration) -> Self {
+        self.idle_wall_clock = Some(age);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -342,6 +374,14 @@ impl StoreConfig {
         }
         if self.recorder_capacity == 0 {
             return Err(StoreConfigError::ZeroRecorderCapacity);
+        }
+        if let Some(age) = self.idle_wall_clock {
+            if age.is_zero() {
+                return Err(StoreConfigError::ZeroIdleWallClock);
+            }
+            if !matches!(self.eviction, EvictionPolicy::IdleAfter(_)) {
+                return Err(StoreConfigError::IdleWallClockWithoutIdleAfter);
+            }
         }
         Ok(())
     }
@@ -411,6 +451,32 @@ mod tests {
             })
             .validate(),
             Err(StoreConfigError::WatermarkAboveBound)
+        );
+    }
+
+    #[test]
+    fn idle_wall_clock_validates() {
+        use std::time::Duration;
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let cfg = StoreConfig::uniform(2, ProtocolSpec::Abd, reg);
+        assert!(cfg
+            .clone()
+            .with_eviction(EvictionPolicy::IdleAfter(4))
+            .with_idle_wall_clock(Duration::from_millis(50))
+            .validate()
+            .is_ok());
+        assert_eq!(
+            cfg.clone()
+                .with_eviction(EvictionPolicy::IdleAfter(4))
+                .with_idle_wall_clock(Duration::ZERO)
+                .validate(),
+            Err(StoreConfigError::ZeroIdleWallClock)
+        );
+        assert_eq!(
+            cfg.with_idle_wall_clock(Duration::from_millis(50))
+                .validate(),
+            Err(StoreConfigError::IdleWallClockWithoutIdleAfter),
+            "wall-clock aging without IdleAfter has nothing to age against"
         );
     }
 

@@ -76,6 +76,38 @@ impl Future for WriteFuture {
     }
 }
 
+/// The future of one operation of a batch
+/// ([`StoreClient::submit_batch`](crate::StoreClient::submit_batch)):
+/// resolves to the raw [`OpResult`] — [`OpResult::Read`] with the value
+/// for reads, [`OpResult::Write`] for acked writes — because a batch
+/// mixes both kinds and the caller matches on what comes back.
+#[derive(Debug)]
+#[must_use = "futures do nothing unless polled or waited on"]
+pub struct OpFuture {
+    pub(crate) ticket: OpTicket,
+}
+
+impl OpFuture {
+    /// Blocking facade: parks the calling thread until the operation
+    /// resolves.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store shut down, the submission was rejected, or the
+    /// transport failed.
+    pub fn wait(self) -> Result<OpResult, StoreError> {
+        self.ticket.wait()
+    }
+}
+
+impl Future for OpFuture {
+    type Output = Result<OpResult, StoreError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut().ticket.poll_result(cx)
+    }
+}
+
 /// A write ack delivered to a read is unreachable on loopback (drivers
 /// fill the slot the read registered) but *possible* over a buggy or
 /// hostile wire — so it is an error, never a panic, on the client path.

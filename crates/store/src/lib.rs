@@ -84,8 +84,8 @@ pub use config::{
     EvictionPolicy, HistoryPolicy, ListenSpec, ProtocolSpec, ShardSpec, StoreConfig,
     StoreConfigError,
 };
-pub use future::{block_on, join_all, ReadFuture, WriteFuture};
+pub use future::{block_on, join_all, OpFuture, ReadFuture, WriteFuture};
 pub use metrics::{EvictionCause, LatencyHistogram, OpCounters, ShardMetrics, StoreMetrics};
 pub use net::{frame, KeyMeta, Loopback, OpTicket, StoreServer, TcpTransport, Transport};
 pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
-pub use store::{KeyHistory, Store, StoreClient, StoreError};
+pub use store::{BatchOp, KeyHistory, Store, StoreClient, StoreError};

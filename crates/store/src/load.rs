@@ -22,10 +22,10 @@
 //! lands — a slow operation never delays the timestamping (or the
 //! issuing) of its neighbors.
 
-use crate::future::{ReadFuture, WriteFuture};
+use crate::future::{join_all, OpFuture, ReadFuture, WriteFuture};
 use crate::metrics::{LatencyHistogram, StoreMetrics};
 use crate::net::Transport;
-use crate::store::{StoreClient, StoreError};
+use crate::store::{BatchOp, StoreClient, StoreError};
 use rsb_coding::Value;
 use std::future::Future;
 use std::pin::Pin;
@@ -67,6 +67,14 @@ pub struct LoadSpec {
     pub seed: u64,
     /// Closed- or open-loop issuing.
     pub mode: LoadMode,
+    /// Operations submitted per [`StoreClient::submit_batch`] call.
+    /// `1` (or `0`, treated as `1`) issues through the per-op path;
+    /// larger values group submissions so a batch costs one transport
+    /// round. Closed-loop latency is then charged at batch granularity
+    /// (issue → the batch's last completion, for every op in it);
+    /// open-loop latency stays per-op from each op's *scheduled* start,
+    /// so batching delay is charged to the ops it actually delayed.
+    pub batch: usize,
 }
 
 impl LoadSpec {
@@ -150,12 +158,22 @@ impl OpStream {
             (key, None)
         }
     }
+
+    fn next_batch_op(&mut self) -> BatchOp {
+        let (key, write) = self.next_op();
+        match write {
+            Some(v) => BatchOp::Write(key, v),
+            None => BatchOp::Read(key),
+        }
+    }
 }
 
 /// An in-flight operation, either kind, polled by a collector.
 enum OpFut {
     Read(ReadFuture),
     Write(WriteFuture),
+    /// One operation of a submitted batch.
+    Batched(OpFuture),
 }
 
 impl OpFut {
@@ -163,6 +181,7 @@ impl OpFut {
         match self {
             OpFut::Read(f) => Pin::new(f).poll(cx).map(|r| r.map(|_| ())),
             OpFut::Write(f) => Pin::new(f).poll(cx),
+            OpFut::Batched(f) => Pin::new(f).poll(cx).map(|r| r.map(|_| ())),
         }
     }
 }
@@ -232,7 +251,9 @@ fn collect_loop(rx: &Receiver<(Instant, OpFut)>) -> Collected {
     }
 }
 
-/// One closed-loop client: issue, wait, record, repeat.
+/// One closed-loop client: issue, wait, record, repeat. With `batch >
+/// 1`, each turn submits a whole batch in one transport round and waits
+/// for all of it before the next.
 fn closed_client<T: Transport>(client: &StoreClient<T>, spec: &LoadSpec, c: usize) -> Collected {
     let mut stream = OpStream::new(spec, c);
     let mut out = Collected {
@@ -241,14 +262,8 @@ fn closed_client<T: Transport>(client: &StoreClient<T>, spec: &LoadSpec, c: usiz
         first_error: None,
         latency: LatencyHistogram::default(),
     };
-    for _ in 0..spec.ops_per_client {
-        let (key, write) = stream.next_op();
-        let t = Instant::now();
-        let result = match write {
-            Some(v) => client.write_blocking(&key, v),
-            None => client.read_blocking(&key).map(|_| ()),
-        };
-        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let batch = spec.batch.max(1);
+    let record = |out: &mut Collected, ns: u64, result: Result<(), StoreError>| {
         out.latency.record_ns(ns);
         match result {
             Ok(()) => out.ok += 1,
@@ -257,6 +272,33 @@ fn closed_client<T: Transport>(client: &StoreClient<T>, spec: &LoadSpec, c: usiz
                 out.first_error.get_or_insert(e);
             }
         }
+    };
+    if batch > 1 {
+        let mut remaining = spec.ops_per_client;
+        while remaining > 0 {
+            let n = remaining.min(batch);
+            remaining -= n;
+            let ops: Vec<BatchOp> = (0..n).map(|_| stream.next_batch_op()).collect();
+            let t = Instant::now();
+            let results = join_all(client.submit_batch(ops));
+            // The batch resolves as a unit, so every op in it shares the
+            // issue → last-completion interval.
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            for result in results {
+                record(&mut out, ns, result.map(|_| ()));
+            }
+        }
+        return out;
+    }
+    for _ in 0..spec.ops_per_client {
+        let (key, write) = stream.next_op();
+        let t = Instant::now();
+        let result = match write {
+            Some(v) => client.write_blocking(&key, v),
+            None => client.read_blocking(&key).map(|_| ()),
+        };
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        record(&mut out, ns, result);
     }
     out
 }
@@ -268,6 +310,12 @@ fn closed_client<T: Transport>(client: &StoreClient<T>, spec: &LoadSpec, c: usiz
 /// rate. Latency is measured (by the collector) from the *scheduled*
 /// instant: when the issuer falls behind, the backlog delay is charged
 /// to the operations, not silently dropped.
+///
+/// With `batch > 1` the issuer accumulates `batch` consecutive arrivals
+/// and submits them as one batch at the *last* one's scheduled instant;
+/// each op still carries its own scheduled start, so the wait-for-batch
+/// delay is charged to the earlier ops it actually delayed — batching is
+/// never allowed to hide latency.
 fn open_issuer<T: Transport>(
     client: &StoreClient<T>,
     spec: &LoadSpec,
@@ -279,6 +327,9 @@ fn open_issuer<T: Transport>(
 ) {
     let period = Duration::from_secs_f64(1.0 / rate.max(1e-9));
     let mut stream = OpStream::new(spec, c);
+    let batch = spec.batch.max(1);
+    let mut pending_ops: Vec<BatchOp> = Vec::with_capacity(batch);
+    let mut pending_scheduled: Vec<Instant> = Vec::with_capacity(batch);
     for j in 0..spec.ops_per_client {
         let global_index = (j * spec.clients + c) as u32;
         let scheduled = start + period * global_index;
@@ -286,15 +337,29 @@ fn open_issuer<T: Transport>(
         if scheduled > now {
             std::thread::sleep(scheduled - now);
         }
-        let (key, write) = stream.next_op();
-        let fut = match write {
-            Some(v) => OpFut::Write(client.write(&key, v)),
-            None => OpFut::Read(client.read(&key)),
-        };
-        if tx.send((scheduled, fut)).is_err() {
-            return;
+        if batch == 1 {
+            let (key, write) = stream.next_op();
+            let fut = match write {
+                Some(v) => OpFut::Write(client.write(&key, v)),
+                None => OpFut::Read(client.read(&key)),
+            };
+            if tx.send((scheduled, fut)).is_err() {
+                return;
+            }
+            collector.unpark();
+            continue;
         }
-        collector.unpark();
+        pending_ops.push(stream.next_batch_op());
+        pending_scheduled.push(scheduled);
+        if pending_ops.len() == batch || j + 1 == spec.ops_per_client {
+            let futs = client.submit_batch(std::mem::take(&mut pending_ops));
+            for (sched, fut) in pending_scheduled.drain(..).zip(futs) {
+                if tx.send((sched, OpFut::Batched(fut))).is_err() {
+                    return;
+                }
+            }
+            collector.unpark();
+        }
     }
 }
 
@@ -429,6 +494,7 @@ mod tests {
             value_len: 16,
             seed: 7,
             mode,
+            batch: 1,
         }
     }
 
@@ -480,6 +546,52 @@ mod tests {
         assert_eq!(last.execute().count(), 100);
         assert_eq!(last.end_to_end_latency().count(), 100);
         store.shutdown();
+    }
+
+    #[test]
+    fn batched_closed_loop_completes_everything() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)).unwrap();
+        // 25 ops per client at batch 8 → batches of 8, 8, 8, 1.
+        let mut s = spec(LoadMode::Closed);
+        s.batch = 8;
+        let report = run_load(&store.client(), &s);
+        assert_eq!(report.ok, 100);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 100);
+        store.shutdown();
+    }
+
+    #[test]
+    fn batched_open_loop_completes_everything() {
+        let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+        let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)).unwrap();
+        let mut s = spec(LoadMode::Open { rate: 5_000.0 });
+        s.batch = 4;
+        let report = run_load(&store.client(), &s);
+        assert_eq!(report.ok, 100);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 100);
+        store.shutdown();
+    }
+
+    #[test]
+    fn batched_and_per_op_runs_issue_identical_op_streams() {
+        // Batching changes *how* ops are submitted, never *which* ops:
+        // the same seed must produce the same keys and values.
+        let s = spec(LoadMode::Closed);
+        let mut a = OpStream::new(&s, 1);
+        let mut b = OpStream::new(&s, 1);
+        for _ in 0..20 {
+            let (key, write) = a.next_op();
+            match (b.next_batch_op(), write) {
+                (BatchOp::Write(bk, bv), Some(v)) => {
+                    assert_eq!((bk, bv), (key, v));
+                }
+                (BatchOp::Read(bk), None) => assert_eq!(bk, key),
+                (got, want) => panic!("streams diverged: {got:?} vs {want:?}"),
+            }
+        }
     }
 
     #[test]

@@ -223,6 +223,7 @@ pub(crate) struct AtomicCounters {
     rejected: AtomicU64,
     steals: AtomicU64,
     stolen: AtomicU64,
+    stolen_batches: AtomicU64,
     truncated_records: AtomicU64,
     rematerialized: AtomicU64,
     evicted_manual: AtomicU64,
@@ -269,6 +270,13 @@ impl AtomicCounters {
 
     pub(crate) fn note_stolen(&self) {
         self.stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch steal against the *victim* shard: a thief
+    /// drained multiple ready keys from its queue in one pass. Per-key
+    /// steal/stolen counters are bumped separately as each key runs.
+    pub(crate) fn note_stolen_batch(&self) {
+        self.stolen_batches.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_truncated(&self, records: u64) {
@@ -356,6 +364,7 @@ impl AtomicCounters {
             rejected: self.rejected.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             stolen: self.stolen.load(Ordering::Relaxed),
+            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
             truncated_records: self.truncated_records.load(Ordering::Relaxed),
             rematerialized: self.rematerialized.load(Ordering::Relaxed),
             evicted_manual: self.evicted_manual.load(Ordering::Relaxed),
@@ -387,6 +396,10 @@ pub struct OpCounters {
     pub steals: u64,
     /// Ready keys of this shard executed by *other* shards' drivers.
     pub stolen: u64,
+    /// Multi-key batch steals drained from this shard's queue (each
+    /// represents one `pop_half` pass by a thief; the per-key `stolen`
+    /// counter still counts every key those passes carried).
+    pub stolen_batches: u64,
     /// Operation records dropped by history compaction.
     pub truncated_records: u64,
     /// Evicted keys brought back by a later operation.
@@ -427,6 +440,7 @@ impl OpCounters {
         self.rejected += other.rejected;
         self.steals += other.steals;
         self.stolen += other.stolen;
+        self.stolen_batches += other.stolen_batches;
         self.truncated_records += other.truncated_records;
         self.rematerialized += other.rematerialized;
         self.evicted_manual += other.evicted_manual;
@@ -619,7 +633,7 @@ impl StoreMetrics {
         use std::fmt::Write as _;
         let mut out = String::new();
         let t = self.totals();
-        let counters: [(&str, &str, u64); 14] = [
+        let counters: [(&str, &str, u64); 15] = [
             (
                 "reads_submitted",
                 "Reads accepted by the submit path",
@@ -681,6 +695,11 @@ impl StoreMetrics {
                 "stolen",
                 "Ready keys of a shard run by other drivers",
                 t.stolen,
+            ),
+            (
+                "stolen_batches",
+                "Multi-key batch steals drained from a shard's queue",
+                t.stolen_batches,
             ),
         ];
         for (name, help, value) in counters {

@@ -20,11 +20,18 @@
 //! | `ErrorResp` | s→c | `id: u64`, `code: u8`, `a: u64`, `b: u64`, `msg: str16` |
 //! | `StatsReq`  | c→s | `id: u64` |
 //! | `StatsResp` | s→c | `id: u64`, `shard_count: u32`, shards… |
+//! | `BatchReq`  | c→s | `id: u64`, `count: u16`, then per op: `kind: u8` (0 = read, 1 = write), `key: str16`, and for writes `value: bytes32` |
+//! | `BatchResp` | s→c | `id: u64`, `count: u16`, then per op: `status: u8` — 0 = read value (`bytes32`), 1 = write ack, 2 = error (`code: u8`, `a: u64`, `b: u64`, `msg: str16`) |
 //!
 //! (`str16` = `u16` length + bytes; `bytes32` = `u32` length + bytes.)
 //!
+//! A batch carries up to `u16::MAX` operations in one frame and its
+//! response carries one result per operation *in submission order*; an
+//! empty batch is a decode error, so the degenerate frame never reaches
+//! the store.
+//!
 //! A `StatsResp` shard body is `shard: u64`, `protocol: str16`,
-//! `keys: u64`, the 14 operation counters as `u64`s, the 4 storage-cost
+//! `keys: u64`, the 15 operation counters as `u64`s, the 4 storage-cost
 //! components, 6 `u64` occupancy gauges, then 6 latency histograms, each
 //! a `u16` entry count followed by `(lo_ns: u64, hi_ns: u64, count:
 //! u64)` triples — bucket bounds travel explicitly, so a scraper needs
@@ -45,7 +52,7 @@ use std::io::{Read, Write};
 /// Wire-protocol version carried in the hello handshake. Bump on any
 /// incompatible frame change; the server rejects mismatches with
 /// [`StoreError::ProtocolVersion`].
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
 /// Magic prefix of the client hello, so a peer speaking a different
 /// protocol is rejected at the first frame.
@@ -69,6 +76,15 @@ const TAG_META_RESP: u8 = 8;
 const TAG_ERROR_RESP: u8 = 9;
 const TAG_STATS_REQ: u8 = 10;
 const TAG_STATS_RESP: u8 = 11;
+const TAG_BATCH_REQ: u8 = 12;
+const TAG_BATCH_RESP: u8 = 13;
+
+const BATCH_KIND_READ: u8 = 0;
+const BATCH_KIND_WRITE: u8 = 1;
+
+const BATCH_STATUS_READ: u8 = 0;
+const BATCH_STATUS_WRITE: u8 = 1;
+const BATCH_STATUS_ERROR: u8 = 2;
 
 const ERR_SHUT_DOWN: u8 = 0;
 const ERR_REJECTED: u8 = 1;
@@ -77,6 +93,28 @@ const ERR_IO: u8 = 3;
 const ERR_DECODE: u8 = 4;
 const ERR_PROTOCOL_VERSION: u8 = 5;
 const ERR_TIMEOUT: u8 = 6;
+
+/// One operation inside a [`Frame::BatchReq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOp {
+    /// `read(key)`.
+    Read(String),
+    /// `write(key, value)`.
+    Write(String, Vec<u8>),
+}
+
+impl WireOp {
+    /// The key this operation targets.
+    pub fn key(&self) -> &str {
+        match self {
+            WireOp::Read(key) | WireOp::Write(key, _) => key,
+        }
+    }
+}
+
+/// One per-op outcome inside a [`Frame::BatchResp`]: `Some(value)` for a
+/// completed read, `None` for a write acknowledgement.
+pub type WireOpResult = Result<Option<Vec<u8>>, StoreError>;
 
 /// One protocol frame (either direction).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +196,25 @@ pub enum Frame {
         /// (`crate::Store::metrics`) returns in-process.
         metrics: StoreMetrics,
     },
+    /// A batch of operations submitted in one transport round. The
+    /// server answers with exactly one [`Frame::BatchResp`] carrying one
+    /// result per operation, in order. At most `u16::MAX` operations;
+    /// an empty batch never decodes.
+    BatchReq {
+        /// Per-connection request id, echoed by the response.
+        id: u64,
+        /// The operations, in submission order.
+        ops: Vec<WireOp>,
+    },
+    /// The vectored response to a [`Frame::BatchReq`]: per-op outcomes
+    /// in the batch's submission order (individual failures travel
+    /// inline — one slow or rejected op never poisons its batchmates).
+    BatchResp {
+        /// The request id this responds to.
+        id: u64,
+        /// One outcome per submitted op, in order.
+        results: Vec<WireOpResult>,
+    },
 }
 
 impl Frame {
@@ -175,6 +232,8 @@ impl Frame {
             Frame::ErrorResp { .. } => "error-resp",
             Frame::StatsReq { .. } => "stats-req",
             Frame::StatsResp { .. } => "stats-resp",
+            Frame::BatchReq { .. } => "batch-req",
+            Frame::BatchResp { .. } => "batch-resp",
         }
     }
 }
@@ -279,6 +338,7 @@ fn put_counters(out: &mut Vec<u8>, t: &OpCounters) {
         t.rejected,
         t.steals,
         t.stolen,
+        t.stolen_batches,
         t.truncated_records,
         t.rematerialized,
         t.evicted_manual,
@@ -412,6 +472,7 @@ impl<'a> Cursor<'a> {
             rejected: self.u64()?,
             steals: self.u64()?,
             stolen: self.u64()?,
+            stolen_batches: self.u64()?,
             truncated_records: self.u64()?,
             rematerialized: self.u64()?,
             evicted_manual: self.u64()?,
@@ -518,6 +579,50 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
                 put_shard_metrics(out, s);
             }
         }
+        Frame::BatchReq { id, ops } => {
+            debug_assert!(!ops.is_empty(), "empty batch frame");
+            debug_assert!(u16::try_from(ops.len()).is_ok(), "batch count overflow");
+            out.push(TAG_BATCH_REQ);
+            put_u64(out, *id);
+            put_u16(out, ops.len() as u16);
+            for op in ops {
+                match op {
+                    WireOp::Read(key) => {
+                        out.push(BATCH_KIND_READ);
+                        put_str16(out, key);
+                    }
+                    WireOp::Write(key, value) => {
+                        out.push(BATCH_KIND_WRITE);
+                        put_str16(out, key);
+                        put_bytes32(out, value);
+                    }
+                }
+            }
+        }
+        Frame::BatchResp { id, results } => {
+            debug_assert!(!results.is_empty(), "empty batch response");
+            debug_assert!(u16::try_from(results.len()).is_ok(), "batch count overflow");
+            out.push(TAG_BATCH_RESP);
+            put_u64(out, *id);
+            put_u16(out, results.len() as u16);
+            for result in results {
+                match result {
+                    Ok(Some(value)) => {
+                        out.push(BATCH_STATUS_READ);
+                        put_bytes32(out, value);
+                    }
+                    Ok(None) => out.push(BATCH_STATUS_WRITE),
+                    Err(error) => {
+                        let (code, a, b, msg) = error_parts(error);
+                        out.push(BATCH_STATUS_ERROR);
+                        out.push(code);
+                        put_u64(out, a);
+                        put_u64(out, b);
+                        put_str16(out, &msg);
+                    }
+                }
+            }
+        }
     }
     let frame_len = (out.len() - len_at - 4) as u32;
     debug_assert!(
@@ -597,6 +702,49 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, StoreError> {
                 id,
                 metrics: StoreMetrics { shards },
             }
+        }
+        TAG_BATCH_REQ => {
+            let id = c.u64()?;
+            let count = c.u16()?;
+            if count == 0 {
+                return Err(decode_err("empty batch"));
+            }
+            // No `with_capacity(count)`: a hostile count must not drive
+            // an allocation — growth is bounded by real bytes.
+            let mut ops = Vec::new();
+            for _ in 0..count {
+                let op = match c.u8()? {
+                    BATCH_KIND_READ => WireOp::Read(c.str16()?),
+                    BATCH_KIND_WRITE => WireOp::Write(c.str16()?, c.bytes32()?),
+                    other => return Err(decode_err(format!("unknown batch op kind {other}"))),
+                };
+                ops.push(op);
+            }
+            Frame::BatchReq { id, ops }
+        }
+        TAG_BATCH_RESP => {
+            let id = c.u64()?;
+            let count = c.u16()?;
+            if count == 0 {
+                return Err(decode_err("empty batch response"));
+            }
+            let mut results = Vec::new();
+            for _ in 0..count {
+                let result = match c.u8()? {
+                    BATCH_STATUS_READ => Ok(Some(c.bytes32()?)),
+                    BATCH_STATUS_WRITE => Ok(None),
+                    BATCH_STATUS_ERROR => {
+                        let code = c.u8()?;
+                        let a = c.u64()?;
+                        let b = c.u64()?;
+                        let msg = c.str16()?;
+                        Err(error_from_parts(code, a, b, msg)?)
+                    }
+                    other => return Err(decode_err(format!("unknown batch status {other}"))),
+                };
+                results.push(result);
+            }
+            Frame::BatchResp { id, results }
         }
         other => return Err(decode_err(format!("unknown frame tag {other}"))),
     };

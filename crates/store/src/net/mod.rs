@@ -27,7 +27,7 @@ pub use server::StoreServer;
 pub use tcp::TcpTransport;
 
 use crate::metrics::StoreMetrics;
-use crate::store::{StoreError, StoreInner};
+use crate::store::{BatchOp, StoreError, StoreInner};
 use rsb_coding::Value;
 use rsb_fpsm::{OpRequest, OpResult};
 use rsb_registers::CompletionSlot;
@@ -54,6 +54,24 @@ pub struct KeyMeta {
 pub trait Transport: Send + Sync + 'static {
     /// Submits one operation on a key.
     fn submit(&self, key: &str, req: OpRequest) -> OpTicket;
+
+    /// Submits a batch of operations in one transport round, returning
+    /// one ticket per operation in submission order. The default
+    /// implementation just loops [`Transport::submit`]; transports with
+    /// a cheaper grouped path override it — [`Loopback`] submits each
+    /// shard's operations under one lock hold, [`TcpTransport`] sends
+    /// the whole batch as a single `BatchReq` frame.
+    ///
+    /// Per-operation failures resolve that operation's ticket and never
+    /// affect its batchmates.
+    fn submit_batch(&self, ops: Vec<BatchOp>) -> Vec<OpTicket> {
+        ops.into_iter()
+            .map(|op| {
+                let (key, req) = op.into_parts();
+                self.submit(&key, req)
+            })
+            .collect()
+    }
 
     /// Describes the key's shard (write value length, protocol name).
     ///
@@ -261,6 +279,57 @@ impl Transport for Loopback {
             Ok(slot) => OpTicket::from_slot(slot),
             Err(e) => OpTicket::failed(e),
         }
+    }
+
+    /// The grouped fast path: operations are bucketed by shard, then
+    /// each shard takes the whole bucket in one engine `submit_batch`
+    /// call — one placement-map lock hold for the bucket, one key-lock
+    /// hold per distinct key, one driver wakeup — instead of paying all
+    /// three per operation.
+    fn submit_batch(&self, ops: Vec<BatchOp>) -> Vec<OpTicket> {
+        let n = ops.len();
+        let mut tickets: Vec<Option<OpTicket>> = (0..n).map(|_| None).collect();
+        let mut buckets: Vec<Vec<(usize, String, OpRequest)>> =
+            (0..self.inner.shards.len()).map(|_| Vec::new()).collect();
+        for (i, op) in ops.into_iter().enumerate() {
+            let (key, req) = op.into_parts();
+            let shard_idx = self.inner.index_for(&key);
+            if let OpRequest::Write(value) = &req {
+                // Same client-side write-length precheck as the per-op
+                // path: reject immediately, fail only this operation.
+                let want = self.inner.shards[shard_idx].value_len();
+                if value.len() != want {
+                    tickets[i] = Some(OpTicket::failed(StoreError::BadValueLength {
+                        got: value.len(),
+                        want,
+                    }));
+                    continue;
+                }
+            }
+            buckets[shard_idx].push((i, key, req));
+        }
+        for (shard_idx, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut indices = Vec::with_capacity(bucket.len());
+            let mut batch = Vec::with_capacity(bucket.len());
+            for (i, key, req) in bucket {
+                indices.push(i);
+                batch.push((key, req));
+            }
+            let results = self.inner.shards[shard_idx].submit_batch(batch);
+            for (i, result) in indices.into_iter().zip(results) {
+                tickets[i] = Some(match result {
+                    Ok(slot) => OpTicket::from_slot(slot),
+                    Err(e) => OpTicket::failed(e),
+                });
+            }
+        }
+        tickets
+            .into_iter()
+            .map(|t| t.expect("every batched operation resolved"))
+            .collect()
     }
 
     fn key_meta(&self, key: &str) -> Result<KeyMeta, StoreError> {

@@ -16,12 +16,12 @@
 //! halts the store — driver slots then fail with `ShutDown`, the pumps
 //! flush those as error frames, and every thread joins.
 
-use super::frame::{read_frame, write_frame, Frame, WIRE_VERSION};
+use super::frame::{read_frame, write_frame, Frame, WireOp, WireOpResult, WIRE_VERSION};
 use super::{result_frame, value_from_wire, Loopback, OpTicket, Transport};
 use crate::config::ListenSpec;
 use crate::recorder::FlightEventKind;
-use crate::store::{Store, StoreError};
-use rsb_fpsm::OpRequest;
+use crate::store::{BatchOp, Store, StoreError};
+use rsb_fpsm::{OpRequest, OpResult};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,9 +47,30 @@ enum ConnMsg {
     /// An operation in flight: respond with `id` when the ticket lands,
     /// then record its wire latency on the stamped shard.
     Ticket(u64, OpTicket, WireStamp),
+    /// A whole client batch in flight: one `BatchResp` goes out when
+    /// *every* ticket has landed, then each operation's wire latency is
+    /// recorded on its own shard.
+    Batch(u64, Vec<(OpTicket, WireStamp)>),
     /// A response that is already complete (meta, stats, protocol
     /// errors).
     Ready(Frame),
+}
+
+/// A batch the pump is still collecting results for: each slot holds
+/// the ticket, the op's wire stamp, and the result once it lands.
+struct BatchInFlight {
+    id: u64,
+    slots: Vec<(OpTicket, WireStamp, Option<WireOpResult>)>,
+}
+
+/// Converts a resolved server-side submission into its on-the-wire
+/// batch-entry form.
+fn wire_result(result: Result<OpResult, StoreError>) -> WireOpResult {
+    match result {
+        Ok(OpResult::Read(v)) => Ok(Some(v.as_bytes().to_vec())),
+        Ok(OpResult::Write) => Ok(None),
+        Err(e) => Err(e),
+    }
 }
 
 /// Wakes the pump thread so it re-polls its in-flight tickets.
@@ -322,6 +343,28 @@ fn read_requests(
                     stamp,
                 )
             }
+            Ok(Some(Frame::BatchReq { id, ops })) => {
+                let decoded = Instant::now();
+                let batch: Vec<BatchOp> = ops
+                    .into_iter()
+                    .map(|op| match op {
+                        WireOp::Read(key) => BatchOp::Read(key),
+                        WireOp::Write(key, value) => BatchOp::Write(key, value_from_wire(value)),
+                    })
+                    .collect();
+                let stamps: Vec<WireStamp> = batch
+                    .iter()
+                    .map(|op| WireStamp {
+                        shard: loopback.inner.index_for(op.key()),
+                        decoded,
+                    })
+                    .collect();
+                // The loopback batch path does the grouped submission;
+                // per-op failures come back as failed tickets and turn
+                // into error entries of the batch response.
+                let tickets = loopback.submit_batch(batch);
+                ConnMsg::Batch(id, tickets.into_iter().zip(stamps).collect())
+            }
             Ok(Some(Frame::StatsReq { id })) => ConnMsg::Ready(Frame::StatsResp {
                 id,
                 metrics: loopback.inner.metrics(),
@@ -381,6 +424,7 @@ fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>, loopback: &Loopback) {
     let waker = Waker::from(Arc::new(PumpUnparker(std::thread::current())));
     let mut cx = Context::from_waker(&waker);
     let mut in_flight: Vec<(u64, OpTicket, WireStamp)> = Vec::new();
+    let mut batches: Vec<BatchInFlight> = Vec::new();
     let mut reader_gone = false;
     let mut w = stream;
     loop {
@@ -388,6 +432,13 @@ fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>, loopback: &Loopback) {
         loop {
             match rx.try_recv() {
                 Ok(ConnMsg::Ticket(id, ticket, stamp)) => in_flight.push((id, ticket, stamp)),
+                Ok(ConnMsg::Batch(id, ops)) => batches.push(BatchInFlight {
+                    id,
+                    slots: ops
+                        .into_iter()
+                        .map(|(ticket, stamp)| (ticket, stamp, None))
+                        .collect(),
+                }),
                 Ok(ConnMsg::Ready(frame)) => {
                     if write_frame(&mut w, &frame).is_err() {
                         return;
@@ -417,7 +468,40 @@ fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>, loopback: &Loopback) {
                 Poll::Pending => i += 1,
             }
         }
-        if reader_gone && in_flight.is_empty() {
+        // Poll batches; a batch responds only once *all* its tickets
+        // have landed, as one vectored frame.
+        let mut b = 0;
+        while b < batches.len() {
+            let batch = &mut batches[b];
+            let mut done = true;
+            for (ticket, _, result) in &mut batch.slots {
+                if result.is_none() {
+                    match ticket.poll_result(&mut cx) {
+                        Poll::Ready(r) => *result = Some(wire_result(r)),
+                        Poll::Pending => done = false,
+                    }
+                }
+            }
+            if done {
+                let BatchInFlight { id, slots } = batches.swap_remove(b);
+                let mut results = Vec::with_capacity(slots.len());
+                let mut stamps = Vec::with_capacity(slots.len());
+                for (_, stamp, result) in slots {
+                    results.push(result.expect("all batch slots resolved"));
+                    stamps.push(stamp);
+                }
+                if write_frame(&mut w, &Frame::BatchResp { id, results }).is_err() {
+                    return;
+                }
+                for stamp in stamps {
+                    loopback.inner.shards[stamp.shard]
+                        .note_wire_latency(stamp.decoded.elapsed().as_nanos() as u64);
+                }
+            } else {
+                b += 1;
+            }
+        }
+        if reader_gone && in_flight.is_empty() && batches.is_empty() {
             return;
         }
         // Park until a waker fires or the reader unparks us with new

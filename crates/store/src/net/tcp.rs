@@ -13,10 +13,10 @@
 //! every in-flight operation fails with the connection's terminal
 //! [`StoreError`], and later submissions fail fast with a clone of it.
 
-use super::frame::{read_frame, write_frame, Frame, WIRE_VERSION};
+use super::frame::{read_frame, write_frame, Frame, WireOp, WIRE_VERSION};
 use super::{value_from_wire, KeyMeta, NetCell, OpCell, OpTicket, Transport};
 use crate::metrics::StoreMetrics;
-use crate::store::StoreError;
+use crate::store::{BatchOp, StoreError};
 use rsb_fpsm::{OpRequest, OpResult};
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -28,6 +28,9 @@ use std::time::Duration;
 /// A pending request's completion cell, by kind.
 enum Pending {
     Op(Arc<OpCell>),
+    /// One cell per batched operation, in submission order; the whole
+    /// batch shares one request id and resolves from one `BatchResp`.
+    Batch(Vec<Arc<OpCell>>),
     Meta(Arc<NetCell<Result<KeyMeta, StoreError>>>),
     Stats(Arc<NetCell<Result<StoreMetrics, StoreError>>>),
 }
@@ -56,6 +59,11 @@ impl Shared {
         for p in drained {
             match p {
                 Pending::Op(cell) => cell.fill(Err(err.clone())),
+                Pending::Batch(cells) => {
+                    for cell in cells {
+                        cell.fill(Err(err.clone()));
+                    }
+                }
                 Pending::Meta(cell) => cell.fill(Err(err.clone())),
                 Pending::Stats(cell) => cell.fill(Err(err.clone())),
             }
@@ -217,6 +225,57 @@ impl Transport for TcpTransport {
         }
     }
 
+    /// One `BatchReq` frame for the whole batch — one writer-lock hold
+    /// and one wire round instead of one per operation. Oversized
+    /// batches are chunked at the frame bound (`u16::MAX` operations);
+    /// per-operation key-length violations fail only their own ticket
+    /// and are excluded from the frame.
+    fn submit_batch(&self, ops: Vec<BatchOp>) -> Vec<OpTicket> {
+        let mut tickets: Vec<Option<OpTicket>> = (0..ops.len()).map(|_| None).collect();
+        // (original index, wire op) for every op that passes the local
+        // key-length check.
+        let mut sendable: Vec<(usize, WireOp)> = Vec::with_capacity(ops.len());
+        for (i, op) in ops.into_iter().enumerate() {
+            if op.key().len() > super::frame::MAX_KEY_LEN {
+                tickets[i] = Some(OpTicket::failed(StoreError::Rejected(format!(
+                    "key length {} exceeds the wire bound {}",
+                    op.key().len(),
+                    super::frame::MAX_KEY_LEN
+                ))));
+                continue;
+            }
+            let wire = match op {
+                BatchOp::Read(key) => WireOp::Read(key),
+                BatchOp::Write(key, value) => WireOp::Write(key, value.as_bytes().to_vec()),
+            };
+            sendable.push((i, wire));
+        }
+        for chunk in sendable.chunks_mut(usize::from(u16::MAX)) {
+            let id = self.next_id();
+            let mut cells = Vec::with_capacity(chunk.len());
+            let mut wire_ops = Vec::with_capacity(chunk.len());
+            for (i, wire) in chunk.iter_mut() {
+                let cell: Arc<OpCell> = Arc::new(NetCell::new());
+                tickets[*i] = Some(OpTicket::net(Arc::clone(&cell), self.timeout));
+                cells.push(cell);
+                wire_ops.push(std::mem::replace(wire, WireOp::Read(String::new())));
+            }
+            let frame = Frame::BatchReq { id, ops: wire_ops };
+            if let Err(e) = self.send(id, Pending::Batch(cells), &frame) {
+                // The socket died: `send` already failed the registered
+                // cells via `fail_all`; tickets for *later* chunks are
+                // assigned below as failed-at-submission.
+                for (i, _) in chunk.iter() {
+                    tickets[*i] = Some(OpTicket::failed(e.clone()));
+                }
+            }
+        }
+        tickets
+            .into_iter()
+            .map(|t| t.expect("every batched operation got a ticket"))
+            .collect()
+    }
+
     fn key_meta(&self, key: &str) -> Result<KeyMeta, StoreError> {
         let id = self.next_id();
         let cell: Arc<NetCell<Result<KeyMeta, StoreError>>> = Arc::new(NetCell::new());
@@ -280,8 +339,55 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                             Some(Pending::Op(cell)) => cell.fill(Err(StoreError::Decode(
                                 "meta response to an operation request".into(),
                             ))),
+                            Some(Pending::Batch(cells)) => {
+                                for cell in cells {
+                                    cell.fill(Err(StoreError::Decode(
+                                        "meta response to a batch request".into(),
+                                    )));
+                                }
+                            }
                             Some(Pending::Stats(cell)) => cell.fill(Err(StoreError::Decode(
                                 "meta response to a stats request".into(),
+                            ))),
+                            None => {}
+                        }
+                        continue;
+                    }
+                    Frame::BatchResp { id, results } => {
+                        match shared.pending.lock().remove(&id) {
+                            Some(Pending::Batch(cells)) => {
+                                if cells.len() == results.len() {
+                                    for (cell, result) in cells.iter().zip(results) {
+                                        cell.fill(match result {
+                                            Ok(Some(bytes)) => {
+                                                Ok(OpResult::Read(value_from_wire(bytes)))
+                                            }
+                                            Ok(None) => Ok(OpResult::Write),
+                                            Err(e) => Err(e),
+                                        });
+                                    }
+                                } else {
+                                    // An arity mismatch is unrecoverable:
+                                    // results can no longer be matched to
+                                    // operations, so the whole batch fails.
+                                    let err = StoreError::Decode(format!(
+                                        "batch response carries {} results for {} operations",
+                                        results.len(),
+                                        cells.len()
+                                    ));
+                                    for cell in cells {
+                                        cell.fill(Err(err.clone()));
+                                    }
+                                }
+                            }
+                            Some(Pending::Op(cell)) => cell.fill(Err(StoreError::Decode(
+                                "batch response to a single-operation request".into(),
+                            ))),
+                            Some(Pending::Meta(cell)) => cell.fill(Err(StoreError::Decode(
+                                "batch response to a meta request".into(),
+                            ))),
+                            Some(Pending::Stats(cell)) => cell.fill(Err(StoreError::Decode(
+                                "batch response to a stats request".into(),
                             ))),
                             None => {}
                         }
@@ -293,6 +399,13 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                             Some(Pending::Op(cell)) => cell.fill(Err(StoreError::Decode(
                                 "stats response to an operation request".into(),
                             ))),
+                            Some(Pending::Batch(cells)) => {
+                                for cell in cells {
+                                    cell.fill(Err(StoreError::Decode(
+                                        "stats response to a batch request".into(),
+                                    )));
+                                }
+                            }
                             Some(Pending::Meta(cell)) => cell.fill(Err(StoreError::Decode(
                                 "stats response to a meta request".into(),
                             ))),
@@ -312,6 +425,20 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                 };
                 match shared.pending.lock().remove(&id) {
                     Some(Pending::Op(cell)) => cell.fill(outcome),
+                    Some(Pending::Batch(cells)) => {
+                        // An `ErrorResp` on a batch id is a legitimate
+                        // batch-wide failure; any other single-operation
+                        // response to a batch is a protocol violation.
+                        let fill = match outcome {
+                            Err(e) => Err(e),
+                            Ok(_) => Err(StoreError::Decode(
+                                "single-operation response to a batch request".into(),
+                            )),
+                        };
+                        for cell in cells {
+                            cell.fill(fill.clone());
+                        }
+                    }
                     Some(Pending::Meta(cell)) => {
                         cell.fill(outcome.and(Err(StoreError::Decode(
                             "operation response to a meta request".into(),

@@ -54,6 +54,10 @@ pub enum FlightEventKind {
     /// A submission was rejected (simulation refusal or server at
     /// connection capacity).
     Rejected,
+    /// A foreign driver drained several of this shard's ready keys in
+    /// one `pop_half` pass; the event's shard is the victim and detail
+    /// is how many keys the batch carried.
+    StealBatch,
 }
 
 impl FlightEventKind {
@@ -71,6 +75,7 @@ impl FlightEventKind {
             9 => FlightEventKind::ConnOpen,
             10 => FlightEventKind::ConnClose,
             11 => FlightEventKind::Rejected,
+            12 => FlightEventKind::StealBatch,
             _ => return None,
         })
     }
@@ -89,6 +94,7 @@ impl FlightEventKind {
             FlightEventKind::ConnOpen => 9,
             FlightEventKind::ConnClose => 10,
             FlightEventKind::Rejected => 11,
+            FlightEventKind::StealBatch => 12,
         }
     }
 
@@ -107,6 +113,7 @@ impl FlightEventKind {
             FlightEventKind::ConnOpen => "conn-open",
             FlightEventKind::ConnClose => "conn-close",
             FlightEventKind::Rejected => "rejected",
+            FlightEventKind::StealBatch => "steal-batch",
         }
     }
 }
@@ -269,12 +276,12 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for code in 0..=11u8 {
+        for code in 0..=12u8 {
             let kind = FlightEventKind::from_code(code).expect("known code");
             assert_eq!(kind.code(), code);
             assert!(!kind.label().is_empty());
         }
-        assert_eq!(FlightEventKind::from_code(12), None);
+        assert_eq!(FlightEventKind::from_code(13), None);
     }
 
     #[test]

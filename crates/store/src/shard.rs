@@ -146,6 +146,11 @@ struct KeySlot<P: RegisterProtocol + 'static> {
     /// batch) — what the idle sweep and the coldest-first order read.
     /// Written under the key lock, read lock-free by the governor.
     last_active: AtomicU64,
+    /// Milliseconds since the shard's epoch at the key's most recent
+    /// activity — the wall-clock twin of `last_active`, stamped only
+    /// when wall-clock aging is configured (ticks freeze without
+    /// traffic; this does not).
+    last_active_at: AtomicU64,
     /// Live-simulation bits this key currently contributes to the
     /// shard's `live_bits` aggregate; zero while evicted.
     cached_bits: AtomicU64,
@@ -156,6 +161,7 @@ impl<P: RegisterProtocol + 'static> KeySlot<P> {
         KeySlot {
             state: parking_lot::Mutex::new(state),
             last_active: AtomicU64::new(0),
+            last_active_at: AtomicU64::new(0),
             cached_bits: AtomicU64::new(0),
         }
     }
@@ -167,10 +173,33 @@ pub(crate) trait ShardEngine: Send + Sync {
     /// Submits one operation on a key, returning its completion slot.
     fn submit(&self, key: &str, req: OpRequest) -> Result<Arc<CompletionSlot>, StoreError>;
 
-    /// Pops one ready key and runs a step batch on it. `thief` marks a
-    /// foreign driver (counted in the shard's `stolen` metric). Returns
-    /// whether any key was run.
-    fn run_ready(&self, thief: bool) -> bool;
+    /// Submits a whole batch of operations in one pass: placement for
+    /// every key under a single map-lock hold, one key-lock acquisition
+    /// per distinct key (however many ops land on it), and one driver
+    /// wakeup for the entire batch. Returns one completion slot (or
+    /// error) per op, in submission order — per-op failures never poison
+    /// their batchmates.
+    fn submit_batch(
+        &self,
+        ops: Vec<(String, OpRequest)>,
+    ) -> Vec<Result<Arc<CompletionSlot>, StoreError>>;
+
+    /// Pops one ready key and drains its enabled events (the home
+    /// driver's path). Returns whether any key was run.
+    fn run_ready(&self) -> bool;
+
+    /// Steals up to half this shard's ready queue in one `pop_half`
+    /// pass, stamping all victim-side steal accounting (per-key `stolen`
+    /// counts, the batch counter and flight events) *at pop time* — so
+    /// metrics are stable the moment an operation's completion is
+    /// observable, not only after the whole stolen batch ran. The caller
+    /// owns the returned tokens and must hand them to
+    /// [`ShardEngine::run_tokens`].
+    fn steal_batch(&self) -> Vec<usize>;
+
+    /// Runs a set of tokens previously taken with
+    /// [`ShardEngine::steal_batch`].
+    fn run_tokens(&self, tokens: Vec<usize>);
 
     /// Whether the shard's ready queue is non-empty.
     fn has_ready(&self) -> bool;
@@ -244,6 +273,13 @@ struct ShardCore<P: RegisterProtocol + Send + Sync + 'static> {
     policy: HistoryPolicy,
     eviction: EvictionPolicy,
     batch: usize,
+    /// Optional wall-clock idle-aging bound: keys untouched this long
+    /// are sweep-eligible even with a frozen tick clock (see
+    /// [`StoreConfig::with_idle_wall_clock`](crate::StoreConfig::with_idle_wall_clock)).
+    idle_wall_clock: Option<std::time::Duration>,
+    /// The instant the shard was built — the zero point `last_active_at`
+    /// stamps are measured from.
+    epoch: Instant,
     name: &'static str,
     value_len: usize,
     initial: Value,
@@ -352,6 +388,183 @@ where
     fn slot_table(&self) -> Vec<Arc<KeySlot<P>>> {
         self.slots.read().clone()
     }
+
+    /// Resolves a key to its slot token with the map lock already held,
+    /// materializing the placement on first touch (lock order: map →
+    /// slots, never reversed).
+    fn place_locked(&self, index: &mut HashMap<String, usize>, key: &str) -> usize {
+        if let Some(&t) = index.get(key) {
+            return t;
+        }
+        let token = self.ready.register_slot();
+        let mut slots = self.slots.write();
+        debug_assert_eq!(token, slots.len());
+        slots.push(Arc::new(KeySlot::new(KeyState::Live(KeyCell::new(
+            self.proto.new_sim(),
+        )))));
+        drop(slots);
+        index.insert(key.to_owned(), token);
+        token
+    }
+
+    /// Rematerializes an evicted key in place (live keys are untouched);
+    /// returns whether a snapshot was restored. Call under the key lock.
+    fn materialize(&self, state: &mut KeyState<P>) -> bool {
+        if !matches!(&*state, KeyState::Evicted(_)) {
+            return false;
+        }
+        // Move the snapshot out (no deep copy): `Vacant` exists only
+        // inside this key-lock critical section.
+        let KeyState::Evicted(snap) = std::mem::replace(state, KeyState::Vacant) else {
+            unreachable!("matched above");
+        };
+        *state = KeyState::Live(KeyCell::new(Simulation::restore(snap)));
+        self.counters.note_rematerialized();
+        self.recorder
+            .record(FlightEventKind::Rematerialize, Some(self.shard), 0);
+        true
+    }
+
+    /// The per-operation submit body shared by `submit` and
+    /// `submit_batch`, run under the key lock: client reuse/allocation,
+    /// counters and flight events, synchronous-completion accounting.
+    fn submit_on_cell(
+        &self,
+        kc: &mut KeyCell<P>,
+        rematerialized: bool,
+        req: OpRequest,
+        started: Instant,
+    ) -> Result<Arc<CompletionSlot>, StoreError> {
+        let client = kc
+            .clients
+            .iter()
+            .copied()
+            .find(|&c| kc.cell.sim.outstanding_op(c).is_none())
+            .unwrap_or_else(|| {
+                let c = self.proto.add_client(&mut kc.cell.sim);
+                kc.clients.push(c);
+                c
+            });
+        let write_bytes = match &req {
+            OpRequest::Write(v) => Some(v.len() as u64),
+            OpRequest::Read => None,
+        };
+        match kc.cell.submit(client, req) {
+            Ok((op, slot)) => {
+                if let Some(bytes) = write_bytes {
+                    self.counters.note_write_submitted(bytes);
+                    self.recorder
+                        .record(FlightEventKind::SubmitWrite, Some(self.shard), bytes);
+                } else {
+                    self.counters.note_read_submitted();
+                    self.recorder
+                        .record(FlightEventKind::SubmitRead, Some(self.shard), 0);
+                }
+                // A protocol could in principle complete synchronously
+                // (the slot is then filled with no pending entry, so no
+                // driver ever sees it); count it here, still under the
+                // key lock so a driver cannot race us. The op never
+                // waited for a driver, so its queue-wait phase is zero
+                // and its whole lifetime is execute.
+                if let Some(Ok(result)) = slot.try_outcome() {
+                    self.counters.note_completion(&result);
+                    let total_ns = started.elapsed().as_nanos() as u64;
+                    self.counters.note_phases(0, total_ns);
+                    match result {
+                        OpResult::Read(_) => {
+                            self.counters.note_read_latency(total_ns, rematerialized);
+                        }
+                        OpResult::Write => self.counters.note_write_latency(total_ns),
+                    }
+                } else {
+                    kc.inflight.push(InflightOp {
+                        op,
+                        started,
+                        exec_start: None,
+                        rematerialized,
+                    });
+                }
+                Ok(slot)
+            }
+            Err(e) => {
+                self.counters.note_rejected();
+                self.recorder
+                    .record(FlightEventKind::Rejected, Some(self.shard), 0);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Fails everything pending on one live key (the shutdown path),
+    /// flushing completed results first. Call under the key lock.
+    fn shut_down_key(&self, kc: &mut KeyCell<P>) {
+        let counters = &self.counters;
+        let inflight = &mut kc.inflight;
+        let done = Instant::now();
+        kc.cell
+            .complete_pending_with(|op, r| note_completed(counters, inflight, op, r, done));
+        kc.cell.fail_pending(&ThreadedError::ShutDown);
+        kc.inflight.clear();
+    }
+
+    /// Stamps a key's activity clocks: the logical tick always, the
+    /// wall-clock twin only when aging is enabled (keeping the extra
+    /// clock read off the default hot path). Call under the key lock.
+    fn touch(&self, slot: &KeySlot<P>) {
+        slot.last_active.store(self.tick(), Ordering::Relaxed);
+        if self.idle_wall_clock.is_some() {
+            slot.last_active_at
+                .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// One ready key's turn, with the slot already popped (owned by the
+    /// caller): drain *every* enabled simulator event for the key under
+    /// a single lock hold — coalesced stepping. PR 7 stamped phases and
+    /// ticked once per `batch`-sized pop; draining the whole key costs
+    /// one exec-start stamp, one completion flush, one history pass, and
+    /// one tick however many batch-loads the backlog needed. No new
+    /// events can appear while the key lock is held, so the drain
+    /// terminates (the backlog is bounded by in-flight ops).
+    fn run_token(&self, token: usize) {
+        let key_slot = Arc::clone(&self.slots.read()[token]);
+        let mut more = false;
+        {
+            let mut state = key_slot.state.lock();
+            if let KeyState::Live(kc) = &mut *state {
+                // Everything in flight on this key leaves its queue-wait
+                // phase now (batch-granular execute-start stamp; the
+                // first batch wins for ops spanning several).
+                let exec_start = Instant::now();
+                for entry in &mut kc.inflight {
+                    entry.exec_start.get_or_insert(exec_start);
+                }
+                let mut stepped = 0;
+                loop {
+                    let ran = kc.cell.step_events(self.batch);
+                    stepped += ran;
+                    if ran < self.batch {
+                        break; // budget unspent ⇒ no enabled events left
+                    }
+                }
+                if stepped > 0 {
+                    let counters = &self.counters;
+                    let inflight = &mut kc.inflight;
+                    let done = Instant::now();
+                    kc.cell.complete_pending_with(|op, r| {
+                        note_completed(counters, inflight, op, r, done);
+                    });
+                    self.apply_history_policy(kc);
+                    self.touch(&key_slot);
+                }
+                more = kc.cell.has_enabled();
+                self.account_occupancy(&key_slot, &state);
+            }
+        }
+        // Re-enqueueing without a notify is safe: the finishing driver is
+        // awake, and a parking driver re-checks every queue first.
+        self.ready.finish(token, more);
+    }
 }
 
 impl<P: RegisterProtocol + Send + Sync + 'static> ShardEngine for ShardCore<P>
@@ -369,99 +582,15 @@ where
         // first-touch slot creation) — never across simulation work, so
         // a driver's step batch on one key cannot stall other keys'
         // submissions behind this lock.
-        let token = {
-            let mut index = self.map.lock();
-            if let Some(&t) = index.get(key) {
-                t
-            } else {
-                let token = self.ready.register_slot();
-                let mut slots = self.slots.write();
-                debug_assert_eq!(token, slots.len());
-                slots.push(Arc::new(KeySlot::new(KeyState::Live(KeyCell::new(
-                    self.proto.new_sim(),
-                )))));
-                drop(slots);
-                index.insert(key.to_owned(), token);
-                token
-            }
-        };
+        let token = self.place_locked(&mut self.map.lock(), key);
         let key_slot = Arc::clone(&self.slots.read()[token]);
         let slot = {
             let mut state = key_slot.state.lock();
-            let rematerialized = matches!(&*state, KeyState::Evicted(_));
-            if rematerialized {
-                // Move the snapshot out (no deep copy): `Vacant` exists
-                // only inside this key-lock critical section.
-                let KeyState::Evicted(snap) = std::mem::replace(&mut *state, KeyState::Vacant)
-                else {
-                    unreachable!("matched above");
-                };
-                *state = KeyState::Live(KeyCell::new(Simulation::restore(snap)));
-                self.counters.note_rematerialized();
-                self.recorder
-                    .record(FlightEventKind::Rematerialize, Some(self.shard), 0);
-            }
+            let rematerialized = self.materialize(&mut state);
             let KeyState::Live(kc) = &mut *state else {
                 unreachable!("rematerialized above");
             };
-            let client = kc
-                .clients
-                .iter()
-                .copied()
-                .find(|&c| kc.cell.sim.outstanding_op(c).is_none())
-                .unwrap_or_else(|| {
-                    let c = self.proto.add_client(&mut kc.cell.sim);
-                    kc.clients.push(c);
-                    c
-                });
-            let write_bytes = match &req {
-                OpRequest::Write(v) => Some(v.len() as u64),
-                OpRequest::Read => None,
-            };
-            let slot = match kc.cell.submit(client, req) {
-                Ok((op, slot)) => {
-                    if let Some(bytes) = write_bytes {
-                        self.counters.note_write_submitted(bytes);
-                        self.recorder
-                            .record(FlightEventKind::SubmitWrite, Some(self.shard), bytes);
-                    } else {
-                        self.counters.note_read_submitted();
-                        self.recorder
-                            .record(FlightEventKind::SubmitRead, Some(self.shard), 0);
-                    }
-                    // A protocol could in principle complete synchronously
-                    // (the slot is then filled with no pending entry, so
-                    // no driver ever sees it); count it here, still under
-                    // the key lock so a driver cannot race us. The op
-                    // never waited for a driver, so its queue-wait phase
-                    // is zero and its whole lifetime is execute.
-                    if let Some(Ok(result)) = slot.try_outcome() {
-                        self.counters.note_completion(&result);
-                        let total_ns = started.elapsed().as_nanos() as u64;
-                        self.counters.note_phases(0, total_ns);
-                        match result {
-                            OpResult::Read(_) => {
-                                self.counters.note_read_latency(total_ns, rematerialized);
-                            }
-                            OpResult::Write => self.counters.note_write_latency(total_ns),
-                        }
-                    } else {
-                        kc.inflight.push(InflightOp {
-                            op,
-                            started,
-                            exec_start: None,
-                            rematerialized,
-                        });
-                    }
-                    slot
-                }
-                Err(e) => {
-                    self.counters.note_rejected();
-                    self.recorder
-                        .record(FlightEventKind::Rejected, Some(self.shard), 0);
-                    return Err(e.into());
-                }
-            };
+            let slot = self.submit_on_cell(kc, rematerialized, req, started)?;
             // Authoritative stop check, under the key lock: the shutdown
             // sweep (`fail_all_pending`, after every driver joined) takes
             // this same lock, so either our pending op was inserted
@@ -469,16 +598,10 @@ where
             // first and the stop flag — set before it — is visible here,
             // and we clean up this key ourselves. Never neither.
             if self.group.is_stopped() {
-                let counters = &self.counters;
-                let inflight = &mut kc.inflight;
-                let done = Instant::now();
-                kc.cell
-                    .complete_pending_with(|op, r| note_completed(counters, inflight, op, r, done));
-                kc.cell.fail_pending(&ThreadedError::ShutDown);
-                kc.inflight.clear();
+                self.shut_down_key(kc);
                 return Err(StoreError::ShutDown);
             }
-            key_slot.last_active.store(self.tick(), Ordering::Relaxed);
+            self.touch(&key_slot);
             self.account_occupancy(&key_slot, &state);
             slot
         };
@@ -491,45 +614,113 @@ where
         Ok(slot)
     }
 
-    fn run_ready(&self, thief: bool) -> bool {
+    fn submit_batch(
+        &self,
+        ops: Vec<(String, OpRequest)>,
+    ) -> Vec<Result<Arc<CompletionSlot>, StoreError>> {
+        let started = Instant::now();
+        let n = ops.len();
+        // Fast-path reject; the authoritative stop check happens per key
+        // group below, same argument as `submit`.
+        if self.group.is_stopped() {
+            return ops.iter().map(|_| Err(StoreError::ShutDown)).collect();
+        }
+        // Placement for the whole batch under one map-lock hold.
+        let mut tokens = Vec::with_capacity(n);
+        let mut reqs: Vec<Option<OpRequest>> = Vec::with_capacity(n);
+        {
+            let mut index = self.map.lock();
+            for (key, req) in ops {
+                tokens.push(self.place_locked(&mut index, &key));
+                reqs.push(Some(req));
+            }
+        }
+        // Submit key group by key group: every op sharing a key runs
+        // under one key-lock hold with one activity stamp and one
+        // occupancy re-measure for the lot.
+        let mut results: Vec<Option<Result<Arc<CompletionSlot>, StoreError>>> =
+            (0..n).map(|_| None).collect();
+        let mut wake = false;
+        for i in 0..n {
+            if results[i].is_some() {
+                continue;
+            }
+            let token = tokens[i];
+            let key_slot = Arc::clone(&self.slots.read()[token]);
+            let mut state = key_slot.state.lock();
+            let mut rematerialized = self.materialize(&mut state);
+            let KeyState::Live(kc) = &mut *state else {
+                unreachable!("rematerialized above");
+            };
+            for j in i..n {
+                if tokens[j] != token || results[j].is_some() {
+                    continue;
+                }
+                let req = reqs[j].take().expect("each op submitted once");
+                results[j] = Some(self.submit_on_cell(kc, rematerialized, req, started));
+                // Only the group's first op paid the rematerialization.
+                rematerialized = false;
+            }
+            if self.group.is_stopped() {
+                self.shut_down_key(kc);
+                for (j, r) in results.iter_mut().enumerate() {
+                    if tokens[j] == token {
+                        *r = Some(Err(StoreError::ShutDown));
+                    }
+                }
+                continue;
+            }
+            self.touch(&key_slot);
+            self.account_occupancy(&key_slot, &state);
+            drop(state);
+            wake |= self.ready.enqueue(token);
+        }
+        // One wakeup for the whole batch: a single driver drains the
+        // enqueued keys (or neighbors steal them), instead of N notify
+        // round-trips.
+        if wake {
+            self.group.notify();
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every op visited"))
+            .collect()
+    }
+
+    fn run_ready(&self) -> bool {
         let Some(token) = self.ready.pop() else {
             return false;
         };
-        let key_slot = Arc::clone(&self.slots.read()[token]);
-        let mut more = false;
-        {
-            let mut state = key_slot.state.lock();
-            if let KeyState::Live(kc) = &mut *state {
-                // Everything in flight on this key leaves its queue-wait
-                // phase now (batch-granular execute-start stamp; the
-                // first batch wins for ops spanning several).
-                let exec_start = Instant::now();
-                for entry in &mut kc.inflight {
-                    entry.exec_start.get_or_insert(exec_start);
-                }
-                if kc.cell.step_events(self.batch) > 0 {
-                    let counters = &self.counters;
-                    let inflight = &mut kc.inflight;
-                    let done = Instant::now();
-                    kc.cell.complete_pending_with(|op, r| {
-                        note_completed(counters, inflight, op, r, done);
-                    });
-                    self.apply_history_policy(kc);
-                    key_slot.last_active.store(self.tick(), Ordering::Relaxed);
-                }
-                more = kc.cell.has_enabled();
-                self.account_occupancy(&key_slot, &state);
-            }
-        }
-        // Re-enqueueing without a notify is safe: the finishing driver is
-        // awake, and a parking driver re-checks every queue first.
-        self.ready.finish(token, more);
-        if thief {
+        self.run_token(token);
+        true
+    }
+
+    fn steal_batch(&self) -> Vec<usize> {
+        let tokens = self.ready.pop_half();
+        // All victim-side accounting happens here, before any stolen key
+        // runs: once a client observes a completion, no steal counter
+        // for the batch that produced it moves afterwards (two
+        // back-to-back metrics snapshots at quiescence stay equal).
+        for _ in &tokens {
             self.counters.note_stolen();
             self.recorder
                 .record(FlightEventKind::Steal, Some(self.shard), 0);
         }
-        true
+        if tokens.len() > 1 {
+            self.counters.note_stolen_batch();
+            self.recorder.record(
+                FlightEventKind::StealBatch,
+                Some(self.shard),
+                tokens.len() as u64,
+            );
+        }
+        tokens
+    }
+
+    fn run_tokens(&self, tokens: Vec<usize>) {
+        for token in tokens {
+            self.run_token(token);
+        }
     }
 
     fn has_ready(&self) -> bool {
@@ -593,6 +784,16 @@ where
                     return 0;
                 }
                 let now = self.ticks.load(Ordering::Relaxed);
+                // Wall-clock aging (when configured): a key is also
+                // sweep-eligible once untouched for the configured
+                // duration, so a store with a frozen tick clock (no
+                // traffic) still reclaims cold keys.
+                let wall = self.idle_wall_clock.map(|age| {
+                    (
+                        self.epoch.elapsed().as_millis() as u64,
+                        age.as_millis() as u64,
+                    )
+                });
                 // `cached_bits > 0` screens out already-evicted keys
                 // without touching their locks (every live register
                 // holds at least its v₀ blocks, so live keys are never
@@ -600,10 +801,17 @@ where
                 self.slot_table()
                     .iter()
                     .filter(|slot| {
-                        slot.cached_bits.load(Ordering::Relaxed) > 0
-                            && now.saturating_sub(slot.last_active.load(Ordering::Relaxed))
-                                >= threshold
-                            && self.try_evict(slot, EvictionCause::Idle)
+                        if slot.cached_bits.load(Ordering::Relaxed) == 0 {
+                            return false;
+                        }
+                        let tick_aged = now
+                            .saturating_sub(slot.last_active.load(Ordering::Relaxed))
+                            >= threshold;
+                        let wall_aged = wall.is_some_and(|(now_ms, age_ms)| {
+                            now_ms.saturating_sub(slot.last_active_at.load(Ordering::Relaxed))
+                                >= age_ms
+                        });
+                        (tick_aged || wall_aged) && self.try_evict(slot, EvictionCause::Idle)
                     })
                     .count()
             }
@@ -739,25 +947,8 @@ where
 }
 
 /// Builds a shard engine from its spec. Driver threads are pooled at the
-/// store level (see `store.rs`), not per shard. `shard` is the shard's
-/// index within the store; `recorder` the store-wide flight recorder.
-pub(crate) fn build(
-    spec: &ShardSpec,
-    batch: usize,
-    policy: HistoryPolicy,
-    eviction: EvictionPolicy,
-    group: Arc<WorkGroup>,
-    shard: usize,
-    recorder: Arc<FlightRecorder>,
-) -> Arc<dyn ShardEngine> {
-    let parts = EngineParts {
-        batch,
-        policy,
-        eviction,
-        group,
-        shard,
-        recorder,
-    };
+/// store level (see `store.rs`), not per shard.
+pub(crate) fn build(spec: &ShardSpec, parts: EngineParts) -> Arc<dyn ShardEngine> {
     match spec.protocol {
         ProtocolSpec::Abd => engine(Abd::new(spec.register), parts),
         ProtocolSpec::AbdAtomic => engine(AbdAtomic::new(spec.register), parts),
@@ -768,13 +959,16 @@ pub(crate) fn build(
 }
 
 /// Protocol-independent construction parameters for one shard engine.
-struct EngineParts {
-    batch: usize,
-    policy: HistoryPolicy,
-    eviction: EvictionPolicy,
-    group: Arc<WorkGroup>,
-    shard: usize,
-    recorder: Arc<FlightRecorder>,
+/// `shard` is the shard's index within the store; `recorder` the
+/// store-wide flight recorder.
+pub(crate) struct EngineParts {
+    pub(crate) batch: usize,
+    pub(crate) policy: HistoryPolicy,
+    pub(crate) eviction: EvictionPolicy,
+    pub(crate) idle_wall_clock: Option<std::time::Duration>,
+    pub(crate) group: Arc<WorkGroup>,
+    pub(crate) shard: usize,
+    pub(crate) recorder: Arc<FlightRecorder>,
 }
 
 fn engine<P: RegisterProtocol + Send + Sync + 'static>(
@@ -799,6 +993,8 @@ where
         policy: parts.policy,
         eviction: parts.eviction,
         batch: parts.batch,
+        idle_wall_clock: parts.idle_wall_clock,
+        epoch: Instant::now(),
         name,
         value_len,
         initial,

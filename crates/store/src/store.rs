@@ -2,7 +2,7 @@
 //! handles, lifecycle.
 
 use crate::config::{StoreConfig, StoreConfigError};
-use crate::future::{ReadFuture, WriteFuture};
+use crate::future::{OpFuture, ReadFuture, WriteFuture};
 use crate::metrics::StoreMetrics;
 use crate::net::{KeyMeta, Loopback, StoreServer, Transport};
 use crate::recorder::FlightRecorder;
@@ -120,6 +120,33 @@ impl StoreInner {
     }
 }
 
+/// One operation of a client batch ([`StoreClient::submit_batch`]): the
+/// key and what to do to it, owned so a batch can be built up and handed
+/// off without borrowing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// `read(key)`.
+    Read(String),
+    /// `write(key, value)`.
+    Write(String, Value),
+}
+
+impl BatchOp {
+    /// The key the operation targets.
+    pub fn key(&self) -> &str {
+        match self {
+            BatchOp::Read(key) | BatchOp::Write(key, _) => key,
+        }
+    }
+
+    pub(crate) fn into_parts(self) -> (String, OpRequest) {
+        match self {
+            BatchOp::Read(key) => (key, OpRequest::Read),
+            BatchOp::Write(key, value) => (key, OpRequest::Write(value)),
+        }
+    }
+}
+
 /// One key's recorded register history, for the consistency checkers.
 #[derive(Debug, Clone)]
 pub struct KeyHistory {
@@ -146,12 +173,15 @@ pub struct Store {
 }
 
 /// Spawns one pool driver. Its loop gives the home shard priority, then
-/// scans the other shards for ready keys to steal, and parks on the
-/// group — re-checking every queue under the group lock — when the whole
-/// store is idle. There is no timed wait anywhere: wakeups come from
-/// submissions ([`WorkGroup::notify`]) and shutdown
-/// ([`WorkGroup::request_stop`]), and the lock-ordered re-check makes
-/// both race-free.
+/// scans the other shards for ready keys to steal — draining *half* the
+/// first loaded victim's queue in one batched pass
+/// ([`ShardEngine::steal_batch`]) — and parks on the group,
+/// re-checking every queue under the group lock, when the whole store is
+/// idle. Wakeups come from submissions ([`WorkGroup::notify`]) and
+/// shutdown ([`WorkGroup::request_stop`]), and the lock-ordered re-check
+/// makes both race-free. The park is untimed unless wall-clock idle
+/// aging is configured, in which case it is bounded by the configured
+/// age so a silent store still runs its eviction sweep.
 ///
 /// The driver is also the home shard's *eviction governor*: a cheap
 /// occupancy check runs every iteration (so an `OccupancyAbove` policy
@@ -164,6 +194,7 @@ fn spawn_pool_driver(
     shards: Vec<Arc<dyn ShardEngine>>,
     group: Arc<WorkGroup>,
     work_stealing: bool,
+    idle_park: Option<std::time::Duration>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("store-driver-{home}"))
@@ -178,18 +209,24 @@ fn spawn_pool_driver(
                 }
                 // Home shard next: drain one ready key per iteration so
                 // the stop flag is observed between batches.
-                if shards[home].run_ready(false) {
+                if shards[home].run_ready() {
                     continue;
                 }
                 // Idle at home: run the idle-time eviction sweep, then
-                // steal one ready key from a neighbor.
+                // steal a batch of ready keys from a neighbor.
                 let evicted = shards[home].govern(true);
                 let mut stole = false;
                 if work_stealing {
                     for offset in 1..n {
                         let victim = (home + offset) % n;
-                        if shards[victim].run_ready(true) {
-                            shards[home].note_steal();
+                        let tokens = shards[victim].steal_batch();
+                        if !tokens.is_empty() {
+                            // Thief-side accounting also lands before the
+                            // stolen keys run, mirroring the victim side.
+                            for _ in &tokens {
+                                shards[home].note_steal();
+                            }
+                            shards[victim].run_tokens(tokens);
                             stole = true;
                             break;
                         }
@@ -203,13 +240,20 @@ fn spawn_pool_driver(
                 // The park predicate matches what this driver will run:
                 // any queue when stealing, only home otherwise (a
                 // foreign-queue wakeup would spin it fruitlessly).
-                group.park_unless(|| {
+                let has_work = || {
                     if work_stealing {
                         shards.iter().any(|s| s.has_ready())
                     } else {
                         shards[home].has_ready()
                     }
-                });
+                };
+                match idle_park {
+                    // Wall-clock idle aging: wake on a bounded timer even
+                    // with no traffic, so the sweep above still runs and
+                    // a silent store sheds its aged keys.
+                    Some(timeout) => group.park_timeout_unless(timeout, has_work),
+                    None => group.park_unless(has_work),
+                }
             }
         })
         .expect("spawning a store driver thread")
@@ -232,6 +276,7 @@ impl Store {
             history,
             work_stealing,
             eviction,
+            idle_wall_clock,
             // An in-process store ignores the listen section (validated
             // above regardless); `Store::serve` is the path that binds.
             listen: _,
@@ -252,17 +297,28 @@ impl Store {
             .map(|(i, spec)| {
                 shard::build(
                     spec,
-                    batch,
-                    history,
-                    eviction,
-                    Arc::clone(&group),
-                    i,
-                    Arc::clone(&recorder),
+                    shard::EngineParts {
+                        batch,
+                        policy: history,
+                        eviction,
+                        idle_wall_clock,
+                        group: Arc::clone(&group),
+                        shard: i,
+                        recorder: Arc::clone(&recorder),
+                    },
                 )
             })
             .collect();
         let drivers = (0..shards.len())
-            .map(|home| spawn_pool_driver(home, shards.clone(), Arc::clone(&group), work_stealing))
+            .map(|home| {
+                spawn_pool_driver(
+                    home,
+                    shards.clone(),
+                    Arc::clone(&group),
+                    work_stealing,
+                    idle_wall_clock,
+                )
+            })
             .collect();
         Ok(Store {
             inner: Arc::new(StoreInner { shards, recorder }),
@@ -461,6 +517,26 @@ impl<T: Transport> StoreClient<T> {
         }
     }
 
+    /// Submits a whole batch of operations in one transport round:
+    /// one [`BatchReq`](crate::frame::Frame::BatchReq) frame over
+    /// TCP, one grouped shard pass over [`Loopback`] (per shard, a
+    /// single map-lock hold places every key and a single key-lock hold
+    /// submits every operation on that key). Returns one future per
+    /// operation, in submission order — await them individually, or
+    /// resolve the lot with [`join_all`](crate::join_all).
+    ///
+    /// Per-operation failures (a bad value length, a rejected
+    /// submission) resolve that operation's future with the error and
+    /// never poison its batchmates. An empty batch returns an empty
+    /// vector.
+    pub fn submit_batch(&self, ops: Vec<BatchOp>) -> Vec<OpFuture> {
+        self.transport
+            .submit_batch(ops)
+            .into_iter()
+            .map(|ticket| OpFuture { ticket })
+            .collect()
+    }
+
     /// Blocking `read(key)`.
     ///
     /// # Errors
@@ -591,6 +667,45 @@ mod tests {
             hit[s] = true;
         }
         assert!(hit.iter().all(|&h| h), "200 keys cover all 8 shards");
+        store.shutdown();
+    }
+
+    #[test]
+    fn batch_submission_resolves_per_op_in_order() {
+        let store = small_store(4, ProtocolSpec::Abd);
+        let client = store.client();
+        let va = Value::seeded(7, 16);
+        let vb = Value::seeded(8, 16);
+        let futs = client.submit_batch(vec![
+            BatchOp::Write("a".into(), va.clone()),
+            BatchOp::Write("b".into(), vb.clone()),
+            // A bad length fails its own future without poisoning the
+            // rest of the batch.
+            BatchOp::Write("c".into(), Value::seeded(9, 5)),
+        ]);
+        let results = crate::future::join_all(futs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], Ok(rsb_fpsm::OpResult::Write));
+        assert_eq!(results[1], Ok(rsb_fpsm::OpResult::Write));
+        assert_eq!(
+            results[2],
+            Err(StoreError::BadValueLength { got: 5, want: 16 })
+        );
+        // A second batch (reads in a fresh transport round) observes the
+        // first batch's completed writes.
+        let reads = crate::future::join_all(
+            client.submit_batch(vec![BatchOp::Read("a".into()), BatchOp::Read("b".into())]),
+        );
+        assert_eq!(reads[0], Ok(rsb_fpsm::OpResult::Read(va)));
+        assert_eq!(reads[1], Ok(rsb_fpsm::OpResult::Read(vb)));
+        store.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let store = small_store(1, ProtocolSpec::Safe);
+        let client = store.client();
+        assert!(client.submit_batch(Vec::new()).is_empty());
         store.shutdown();
     }
 

@@ -3,7 +3,7 @@
 
 use rsb_consistency::{check_atomicity, check_strong_regularity, History};
 use rsb_registers::RegisterConfig;
-use rsb_store::{EvictionPolicy, HistoryPolicy, ProtocolSpec, Store, StoreConfig};
+use rsb_store::{BatchOp, EvictionPolicy, HistoryPolicy, ProtocolSpec, Store, StoreConfig};
 use rsb_workloads::{KeyedAction, KeyedScenario};
 
 /// Drives a keyed scenario with one OS thread per client, blocking ops.
@@ -21,6 +21,36 @@ fn drive(store: &Store, scenario: &KeyedScenario) {
                         KeyedAction::Write(v) => {
                             client.write_blocking(&op.key, v).unwrap();
                         }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in threads {
+        h.join().unwrap();
+    }
+}
+
+/// Like [`drive`], but each client groups its stream into `batch`-op
+/// `submit_batch` calls and blocks on the whole group before issuing
+/// the next — the grouped-submission, coalesced-stepping path. Ops
+/// inside one batch are concurrent register operations.
+fn drive_batched(store: &Store, scenario: &KeyedScenario, batch: usize) {
+    let threads: Vec<_> = (0..scenario.clients)
+        .map(|c| {
+            let client = store.client();
+            let ops: Vec<_> = scenario.client_ops(c).collect();
+            std::thread::spawn(move || {
+                for chunk in ops.chunks(batch) {
+                    let group: Vec<BatchOp> = chunk
+                        .iter()
+                        .map(|op| match &op.action {
+                            KeyedAction::Read => BatchOp::Read(op.key.clone()),
+                            KeyedAction::Write(v) => BatchOp::Write(op.key.clone(), v.clone()),
+                        })
+                        .collect();
+                    for fut in client.submit_batch(group) {
+                        fut.wait().unwrap();
                     }
                 }
             })
@@ -62,6 +92,36 @@ fn abd_atomic_store_histories_linearize() {
     drive(&store, &scenario);
     check_all_keys(&store, |h| {
         check_atomicity(h).expect("linearizability of an atomic-ABD key history");
+    });
+    store.shutdown();
+}
+
+#[test]
+fn batched_adaptive_histories_are_strongly_regular() {
+    let reg = RegisterConfig::paper(1, 2, 16).unwrap();
+    let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Adaptive, reg)).unwrap();
+    let scenario = KeyedScenario::uniform(8, 40, 24, 0.5, 16, 2024).with_zipf(0.9);
+    drive_batched(&store, &scenario, 5);
+    assert_eq!(store.metrics().totals().completed(), 8 * 40);
+    check_all_keys(&store, |h| {
+        check_strong_regularity(h).expect("strong regularity of batched adaptive histories");
+    });
+    store.shutdown();
+}
+
+#[test]
+fn batched_abd_atomic_histories_linearize() {
+    // Batched submission changes the scheduling (grouped shard
+    // submission, coalesced simulator stepping) but must not change the
+    // register semantics: every recorded history still linearizes, with
+    // same-batch ops on one key counting as concurrent.
+    let reg = RegisterConfig::new(3, 1, 1, 16).unwrap();
+    let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::AbdAtomic, reg)).unwrap();
+    let scenario = KeyedScenario::uniform(8, 30, 16, 0.6, 16, 4242);
+    drive_batched(&store, &scenario, 5);
+    assert_eq!(store.metrics().totals().completed(), 8 * 30);
+    check_all_keys(&store, |h| {
+        check_atomicity(h).expect("linearizability of batched atomic-ABD histories");
     });
     store.shutdown();
 }

@@ -84,6 +84,65 @@ fn idle_policy_evicts_cold_keys_and_rematerializes_on_touch() {
 }
 
 #[test]
+fn wall_clock_aging_reclaims_keys_on_a_silent_store() {
+    // Tick-based idle aging needs traffic to advance the clock: a store
+    // that goes silent freezes its ticks and never sheds its cold keys.
+    // `with_idle_wall_clock` adds a wall-clock age (and a parked-driver
+    // wake timer), so the same sweep runs on a store receiving zero
+    // submissions. The tick threshold here is set unreachably high —
+    // any eviction observed is wall-clock aging alone.
+    let store = Store::start(
+        config(1, ProtocolSpec::Abd)
+            .with_eviction(EvictionPolicy::IdleAfter(u64::MAX))
+            .with_idle_wall_clock(Duration::from_millis(50)),
+    )
+    .unwrap();
+    let client = store.client();
+    for i in 0..4u64 {
+        client
+            .write_blocking(&format!("aging-{i}"), Value::seeded(i + 1, VALUE_LEN))
+            .unwrap();
+    }
+    // No further traffic: only the drivers' timed wakeups can evict.
+    let m = wait_for(&store, |m| m.evicted_keys() >= 4);
+    assert!(
+        m.evicted_keys() >= 4,
+        "silent store should shed its aged keys, evicted {}",
+        m.evicted_keys()
+    );
+    assert!(m.totals().evicted_idle >= 4, "attributed to the idle cause");
+    // Values survive the cycle.
+    for i in 0..4u64 {
+        assert_eq!(
+            client.read_blocking(&format!("aging-{i}")).unwrap(),
+            Value::seeded(i + 1, VALUE_LEN)
+        );
+    }
+    store.shutdown();
+
+    // Control: same tick threshold without the wall clock — the silent
+    // store keeps every key live, because nothing advances the ticks.
+    let store = Store::start(
+        config(1, ProtocolSpec::Abd).with_eviction(EvictionPolicy::IdleAfter(u64::MAX)),
+    )
+    .unwrap();
+    let client = store.client();
+    for i in 0..4u64 {
+        client
+            .write_blocking(&format!("pinned-{i}"), Value::seeded(i + 1, VALUE_LEN))
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let m = store.metrics();
+    assert_eq!(
+        m.evicted_keys(),
+        0,
+        "without a wall clock, a silent store never ages its keys"
+    );
+    store.shutdown();
+}
+
+#[test]
 fn occupancy_policy_holds_the_low_watermark() {
     // Baseline: how much do 32 ABD keys occupy unbounded?
     let baseline = Store::start(config(1, ProtocolSpec::Abd)).unwrap();

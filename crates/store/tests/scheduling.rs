@@ -4,7 +4,9 @@
 
 use rsb_consistency::{check_strong_regularity, History};
 use rsb_registers::RegisterConfig;
-use rsb_store::{join_all, HistoryPolicy, ProtocolSpec, Store, StoreConfig};
+use rsb_store::{
+    join_all, BatchOp, FlightEventKind, HistoryPolicy, ProtocolSpec, Store, StoreConfig,
+};
 use rsb_workloads::{KeyedAction, KeyedScenario};
 
 fn reg() -> RegisterConfig {
@@ -72,6 +74,58 @@ fn idle_drivers_steal_from_a_hot_shard() {
         "idle neighbors should have stolen ready keys from the hot shard"
     );
     // Stolen-key histories are still per-key serialized and consistent.
+    check_key_histories(&store);
+    store.shutdown();
+}
+
+#[test]
+fn thieves_steal_half_a_hot_queue_in_one_batch() {
+    // A whole batch of shard-0 keys lands in shard 0's ready queue under
+    // one notify, so a woken neighbor finds a deep backlog and its
+    // `steal_batch` drains half of it in one lock pass — observable as
+    // the `stolen_batches` counter and a `StealBatch` flight event
+    // carrying the batch size.
+    let store = Store::start(StoreConfig::uniform(4, ProtocolSpec::Abd, reg())).unwrap();
+    let keys = keys_on_shard_zero(&store, 8);
+    let client = store.client();
+    let mut round = 0u64;
+    while store.metrics().totals().stolen_batches == 0 && round < 300 {
+        let futures = client.submit_batch(
+            keys.iter()
+                .enumerate()
+                .map(|(k, key)| {
+                    BatchOp::Write(
+                        key.clone(),
+                        rsb_coding::Value::seeded(round * 100 + k as u64 + 1, 16),
+                    )
+                })
+                .collect(),
+        );
+        for f in futures {
+            f.wait().unwrap();
+        }
+        round += 1;
+    }
+    let totals = store.metrics().totals();
+    assert!(
+        totals.stolen_batches > 0,
+        "no batched steal in {round} rounds of 8-key batches onto one shard"
+    );
+    assert_eq!(
+        totals.stolen, totals.steals,
+        "every stolen key is attributed to a thief"
+    );
+    let events = store.flight_recorder().dump();
+    let batch_steal = events
+        .iter()
+        .find(|e| e.kind == FlightEventKind::StealBatch)
+        .expect("a StealBatch event survives in the flight ring");
+    assert_eq!(batch_steal.shard, Some(0), "the hot shard is the victim");
+    assert!(
+        batch_steal.detail >= 2,
+        "a batched steal drains at least two keys, got {}",
+        batch_steal.detail
+    );
     check_key_histories(&store);
     store.shutdown();
 }

@@ -7,8 +7,8 @@ use rsb_consistency::{check_strong_regularity, History};
 use rsb_registers::RegisterConfig;
 use rsb_store::frame::{read_frame, write_frame, Frame, WIRE_VERSION};
 use rsb_store::{
-    block_on, ListenSpec, ProtocolSpec, Store, StoreClient, StoreConfig, StoreError, StoreServer,
-    TcpTransport,
+    block_on, join_all, BatchOp, ListenSpec, ProtocolSpec, Store, StoreClient, StoreConfig,
+    StoreError, StoreServer, TcpTransport,
 };
 use std::net::TcpStream;
 use std::time::Duration;
@@ -212,6 +212,72 @@ fn concurrent_tcp_clients_record_checkable_histories() {
 }
 
 #[test]
+fn mixed_batch_round_trips_over_the_wire() {
+    let server = serve(4, ProtocolSpec::Adaptive, 16);
+    let client = connect(&server);
+    let va = Value::seeded(1, 16);
+    let vb = Value::seeded(2, 16);
+    let writes = join_all(client.submit_batch(vec![
+        BatchOp::Write("a".into(), va.clone()),
+        BatchOp::Write("b".into(), vb.clone()),
+        // A server-side per-op failure comes back as this op's error
+        // entry of the one BatchResp — batchmates are unaffected.
+        BatchOp::Write("bad".into(), Value::seeded(3, 99)),
+    ]));
+    assert_eq!(writes[0], Ok(rsb_fpsm::OpResult::Write));
+    assert_eq!(writes[1], Ok(rsb_fpsm::OpResult::Write));
+    assert_eq!(
+        writes[2],
+        Err(StoreError::BadValueLength { got: 99, want: 16 })
+    );
+    let reads =
+        join_all(client.submit_batch(vec![BatchOp::Read("a".into()), BatchOp::Read("b".into())]));
+    assert_eq!(reads[0], Ok(rsb_fpsm::OpResult::Read(va)));
+    assert_eq!(reads[1], Ok(rsb_fpsm::OpResult::Read(vb)));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_batched_tcp_clients_record_checkable_histories() {
+    let server = serve(4, ProtocolSpec::Abd, 16);
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = server.local_addr();
+            std::thread::spawn(move || {
+                let client: StoreClient<TcpTransport> =
+                    StoreClient::over(TcpTransport::connect(addr).unwrap());
+                for round in 0..5u64 {
+                    // A whole write+read wave on 3 shared keys per frame.
+                    let mut ops = Vec::new();
+                    for i in 0..3u64 {
+                        ops.push(BatchOp::Write(
+                            format!("k{i}"),
+                            Value::seeded(c * 1000 + round * 10 + i, 16),
+                        ));
+                        ops.push(BatchOp::Read(format!("k{i}")));
+                    }
+                    for result in join_all(client.submit_batch(ops)) {
+                        result.unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let store = server.store();
+    assert_eq!(store.metrics().totals().completed(), 120);
+    for key in store.keys() {
+        let h = store.key_history(&key).unwrap();
+        let history = History::from_fpsm(h.initial, &h.records).unwrap();
+        check_strong_regularity(&history)
+            .expect("strong regularity of batched histories recorded through TCP");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn one_connection_shared_by_many_threads_multiplexes() {
     let server = serve(4, ProtocolSpec::Adaptive, 16);
     let client = connect(&server);
@@ -308,9 +374,36 @@ fn open_loop_load_runs_over_tcp() {
             value_len: 16,
             seed: 3,
             mode: LoadMode::Open { rate: 5_000.0 },
+            batch: 1,
         },
     );
     assert_eq!(report.ok, 100, "first error: {:?}", report.first_error);
     assert_eq!(report.errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn batched_load_runs_over_tcp() {
+    use rsb_store::load::{run_load, LoadMode, LoadSpec};
+    let server = serve(4, ProtocolSpec::Adaptive, 16);
+    let client = connect(&server);
+    for mode in [LoadMode::Closed, LoadMode::Open { rate: 5_000.0 }] {
+        let report = run_load(
+            &client,
+            &LoadSpec {
+                clients: 2,
+                ops_per_client: 30,
+                keys: 16,
+                write_fraction: 0.5,
+                value_len: 16,
+                seed: 5,
+                mode,
+                batch: 8,
+            },
+        );
+        assert_eq!(report.ok, 60, "first error: {:?}", report.first_error);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 60);
+    }
     server.shutdown();
 }

@@ -4,7 +4,8 @@
 //! mid-frame EOF), never a panic.
 
 use rsb_store::frame::{
-    decode_payload, encode_frame, read_frame, write_frame, Frame, MAX_FRAME_LEN, WIRE_VERSION,
+    decode_payload, encode_frame, read_frame, write_frame, Frame, WireOp, MAX_FRAME_LEN,
+    WIRE_VERSION,
 };
 use rsb_store::{LatencyHistogram, OpCounters, ShardMetrics, StoreError, StoreMetrics};
 
@@ -71,6 +72,7 @@ fn random_counters(state: &mut u64) -> OpCounters {
         rejected: splitmix(state),
         steals: splitmix(state),
         stolen: splitmix(state),
+        stolen_batches: splitmix(state),
         truncated_records: splitmix(state),
         rematerialized: splitmix(state),
         evicted_manual: splitmix(state),
@@ -115,8 +117,24 @@ fn random_store_metrics(state: &mut u64) -> StoreMetrics {
     }
 }
 
+fn random_wire_op(state: &mut u64) -> WireOp {
+    if splitmix(state).is_multiple_of(2) {
+        WireOp::Read(random_string(state, 64))
+    } else {
+        WireOp::Write(random_string(state, 64), random_bytes(state, 256))
+    }
+}
+
+fn random_wire_op_result(state: &mut u64) -> Result<Option<Vec<u8>>, StoreError> {
+    match splitmix(state) % 3 {
+        0 => Ok(Some(random_bytes(state, 256))),
+        1 => Ok(None),
+        _ => Err(random_error(state)),
+    }
+}
+
 fn random_frame(state: &mut u64) -> Frame {
-    match splitmix(state) % 11 {
+    match splitmix(state) % 13 {
         0 => Frame::Hello {
             version: (splitmix(state) & 0xffff) as u16,
         },
@@ -155,9 +173,21 @@ fn random_frame(state: &mut u64) -> Frame {
         9 => Frame::StatsReq {
             id: splitmix(state),
         },
-        _ => Frame::StatsResp {
+        10 => Frame::StatsResp {
             id: splitmix(state),
             metrics: random_store_metrics(state),
+        },
+        11 => Frame::BatchReq {
+            id: splitmix(state),
+            ops: (0..=(splitmix(state) % 8))
+                .map(|_| random_wire_op(state))
+                .collect(),
+        },
+        _ => Frame::BatchResp {
+            id: splitmix(state),
+            results: (0..=(splitmix(state) % 8))
+                .map(|_| random_wire_op_result(state))
+                .collect(),
         },
     }
 }
@@ -165,7 +195,7 @@ fn random_frame(state: &mut u64) -> Frame {
 #[test]
 fn fuzz_round_trips_every_frame_type() {
     let mut state = 0xE10_u64;
-    let mut seen = [0u32; 11];
+    let mut seen = [0u32; 13];
     for _ in 0..4000 {
         let frame = random_frame(&mut state);
         let mut buf = Vec::new();
@@ -272,13 +302,76 @@ fn zero_length_and_unknown_tag_frames_are_rejected() {
         Err(StoreError::Decode(_))
     ));
     // Tag 0 and tags past the last known one are both unknown.
-    for tag in [0u8, 12, 0xFF] {
+    for tag in [0u8, 14, 0xFF] {
         let buf = [1u8, 0, 0, 0, tag];
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
             Err(StoreError::Decode(_))
         ));
     }
+}
+
+#[test]
+fn zero_length_batches_are_rejected() {
+    // A batch frame whose count field says zero operations (or zero
+    // results) is meaningless; the decoder rejects it rather than
+    // producing an empty batch that no submission path can create.
+    let mut req = Vec::new();
+    encode_frame(
+        &Frame::BatchReq {
+            id: 7,
+            ops: vec![WireOp::Read("k".into())],
+        },
+        &mut req,
+    );
+    let mut resp = Vec::new();
+    encode_frame(
+        &Frame::BatchResp {
+            id: 7,
+            results: vec![Ok(None)],
+        },
+        &mut resp,
+    );
+    for mut buf in [req, resp] {
+        // Zero the op-count field: it sits after the 4-byte length
+        // prefix, the 1-byte tag, and the 8-byte id.
+        buf[13] = 0;
+        buf[14] = 0;
+        // The frame now carries trailing op bytes past a zero count, so
+        // truncate to just header + id + count as well to exercise the
+        // pure empty-batch path.
+        let mut short = buf[..15].to_vec();
+        short[0..4].copy_from_slice(&u32::to_le_bytes(11));
+        for candidate in [buf, short] {
+            match read_frame(&mut candidate.as_slice()) {
+                Err(StoreError::Decode(msg)) => {
+                    assert!(msg.contains("empty batch"), "got: {msg}");
+                }
+                other => panic!("zero-count batch must be a Decode error, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_batch_counts_never_preallocate() {
+    // A hostile count field far past the actual payload must fail
+    // cleanly (the decoder grows vectors as it parses, so the huge
+    // count can't drive a pre-allocation).
+    let mut buf = Vec::new();
+    encode_frame(
+        &Frame::BatchReq {
+            id: 1,
+            ops: vec![WireOp::Read("k".into())],
+        },
+        &mut buf,
+    );
+    buf[13] = 0xFF;
+    buf[14] = 0xFF;
+    assert!(matches!(
+        read_frame(&mut buf.as_slice()),
+        Err(StoreError::Decode(_))
+    ));
 }
 
 #[test]
