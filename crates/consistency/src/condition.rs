@@ -1,0 +1,132 @@
+//! A runtime-selectable handle over the safety checkers.
+//!
+//! The model checker in `rsb-mc` (and any other driver that picks the
+//! condition to assert from configuration rather than at compile time)
+//! needs the four safety checkers behind one value. [`Condition`] names
+//! them and [`check`] dispatches.
+
+use crate::atomicity::check_atomicity;
+use crate::history::History;
+use crate::regularity::{
+    check_strong_regularity, check_strong_safety, check_weak_regularity, Violation,
+};
+
+/// A safety condition a history can be checked against, ordered weakest
+/// to strongest (each implies the previous for the checkers' fragments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// Strong safety (Appendix E): reads concurrent with no write return
+    /// the latest completely-written value.
+    StrongSafety,
+    /// MWRegWeak: reads return a written-or-initial value that is not
+    /// strictly superseded before the read began.
+    WeakRegularity,
+    /// MWRegWO: weak regularity plus write order (no new/old inversion
+    /// between sequential writes observed by one read).
+    StrongRegularity,
+    /// Linearizability: one total order consistent with real time.
+    Atomicity,
+}
+
+impl Condition {
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Condition::StrongSafety => "strong-safety",
+            Condition::WeakRegularity => "weak-regularity",
+            Condition::StrongRegularity => "strong-regularity",
+            Condition::Atomicity => "atomicity",
+        }
+    }
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Checks `h` against `condition`.
+///
+/// # Errors
+///
+/// Returns the checker's [`Violation`] verbatim.
+pub fn check(h: &History, condition: Condition) -> Result<(), Violation> {
+    match condition {
+        Condition::StrongSafety => check_strong_safety(h),
+        Condition::WeakRegularity => check_weak_regularity(h),
+        Condition::StrongRegularity => check_strong_regularity(h),
+        Condition::Atomicity => check_atomicity(h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryOp, OpKind};
+    use rsb_coding::Value;
+
+    fn v(seed: u64) -> Value {
+        Value::seeded(seed, 8)
+    }
+
+    #[test]
+    fn dispatch_matches_direct_checkers() {
+        // One write fully before one read that returns it: passes all four.
+        let ops = vec![
+            HistoryOp {
+                id: 0,
+                client: 0,
+                kind: OpKind::Write(v(1)),
+                invoked_at: 0,
+                returned_at: Some(5),
+                read_value: None,
+            },
+            HistoryOp {
+                id: 1,
+                client: 1,
+                kind: OpKind::Read,
+                invoked_at: 6,
+                returned_at: Some(9),
+                read_value: Some(v(1)),
+            },
+        ];
+        let h = History::new(Value::zeroed(8), ops).unwrap();
+        for c in [
+            Condition::StrongSafety,
+            Condition::WeakRegularity,
+            Condition::StrongRegularity,
+            Condition::Atomicity,
+        ] {
+            check(&h, c).unwrap_or_else(|e| panic!("{c} should pass: {e}"));
+        }
+    }
+
+    #[test]
+    fn stale_read_fails_from_regularity_up() {
+        // Write of v1 completes, then a later read returns v0: stale.
+        let ops = vec![
+            HistoryOp {
+                id: 0,
+                client: 0,
+                kind: OpKind::Write(v(1)),
+                invoked_at: 0,
+                returned_at: Some(5),
+                read_value: None,
+            },
+            HistoryOp {
+                id: 1,
+                client: 1,
+                kind: OpKind::Read,
+                invoked_at: 6,
+                returned_at: Some(9),
+                read_value: Some(Value::zeroed(8)),
+            },
+        ];
+        let h = History::new(Value::zeroed(8), ops).unwrap();
+        assert!(check(&h, Condition::WeakRegularity).is_err());
+        assert!(check(&h, Condition::StrongRegularity).is_err());
+        assert!(check(&h, Condition::Atomicity).is_err());
+    }
+}

@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 mod atomicity;
+mod condition;
 mod history;
 mod liveness;
 mod regularity;
 
 pub use atomicity::check_atomicity;
+pub use condition::{check, Condition};
 pub use history::{History, HistoryError, HistoryOp, OpKind};
 pub use liveness::{check_liveness, LivenessLevel, LivenessViolation};
 pub use regularity::{

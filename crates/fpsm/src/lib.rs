@@ -80,6 +80,7 @@ pub use ids::{ClientId, ObjectId, OpId, RmwId};
 pub use object::ObjectState;
 pub use payload::{BlockInstance, Component, MetadataOnly, Payload, StorageCost};
 pub use scheduler::{
-    run, run_to_completion, run_until, FairScheduler, RandomScheduler, RunOutcome, Scheduler,
+    run, run_to_completion, run_until, DeliveryChoice, FairScheduler, RandomScheduler, RunOutcome,
+    Scheduler, ScriptedScheduler,
 };
 pub use sim::{OpRecord, RmwInfo, SimError, SimEvent, SimSnapshot, Simulation};

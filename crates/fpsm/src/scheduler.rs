@@ -68,6 +68,63 @@ impl<S: ObjectState, L: ClientLogic<State = S>> Scheduler<S, L> for RandomSchedu
     }
 }
 
+/// One scripted scheduling decision for [`ScriptedScheduler`].
+///
+/// This is the injection point model checkers use to force a specific
+/// delivery interleaving: a choice either names an exact event or picks
+/// the *k*-th currently-enabled event (in trigger order, the order
+/// [`Simulation::enabled_events`] returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryChoice {
+    /// The `k`-th enabled event at this step.
+    Index(usize),
+    /// Exactly this event; the run stops if it is not enabled.
+    Event(SimEvent),
+}
+
+/// Replays a fixed sequence of [`DeliveryChoice`]s, then stops.
+///
+/// Unlike [`FairScheduler`] this makes the environment's nondeterminism
+/// externally controlled: `rsb-mc` drives its schedule exploration and
+/// counterexample replay through this scheduler. A choice that cannot be
+/// resolved (index out of range, event not enabled) stops the run; use
+/// [`ScriptedScheduler::remaining`] to detect a script that did not fully
+/// execute.
+#[derive(Debug, Clone)]
+pub struct ScriptedScheduler {
+    script: Vec<DeliveryChoice>,
+    pos: usize,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler that plays `script` front to back.
+    #[must_use]
+    pub fn new(script: Vec<DeliveryChoice>) -> Self {
+        ScriptedScheduler { script, pos: 0 }
+    }
+
+    /// Choices not yet consumed (nonzero after a run means the script was
+    /// cut short by an unresolvable choice).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.script.len() - self.pos
+    }
+}
+
+impl<S: ObjectState, L: ClientLogic<State = S>> Scheduler<S, L> for ScriptedScheduler {
+    fn next_event(&mut self, sim: &Simulation<S, L>) -> Option<SimEvent> {
+        let choice = *self.script.get(self.pos)?;
+        let resolved = match choice {
+            DeliveryChoice::Index(k) => sim.enabled_events().get(k).copied(),
+            DeliveryChoice::Event(ev) => sim.enabled_events().contains(&ev).then_some(ev),
+        };
+        if resolved.is_some() {
+            self.pos += 1;
+        }
+        resolved
+    }
+}
+
 /// Outcome of [`run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {

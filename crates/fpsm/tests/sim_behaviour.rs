@@ -3,9 +3,9 @@
 
 use rsb_coding::Value;
 use rsb_fpsm::{
-    run, run_to_completion, run_until, BlockInstance, ClientId, ClientLogic, Effects,
-    FairScheduler, ObjectId, ObjectState, OpId, OpRequest, OpResult, Payload, RandomScheduler,
-    RmwId, SimEvent, Simulation,
+    run, run_to_completion, run_until, BlockInstance, ClientId, ClientLogic, DeliveryChoice,
+    Effects, FairScheduler, ObjectId, ObjectState, OpId, OpRequest, OpResult, Payload,
+    RandomScheduler, RmwId, ScriptedScheduler, SimEvent, Simulation,
 };
 use std::collections::HashSet;
 
@@ -326,4 +326,40 @@ fn storage_series_sampling() {
     assert!(series.len() >= 3);
     // Times are nondecreasing.
     assert!(series.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+#[test]
+fn scripted_scheduler_replays_an_exact_interleaving() {
+    // One write over 3 objects: apply/deliver the first two RMWs in a
+    // hand-picked order, by index and by exact event, then stop early.
+    let (mut sim, ids) = new_sim(3, 1);
+    sim.invoke(ids[0], OpRequest::Write(Value::seeded(7, 16)))
+        .unwrap();
+    let rmws: Vec<RmwId> = sim.inflight_rmws().iter().map(|i| i.rmw).collect();
+    assert_eq!(rmws.len(), 3);
+    let mut sched = ScriptedScheduler::new(vec![
+        // Apply the *last* triggered RMW first (index into enabled order),
+        DeliveryChoice::Index(2),
+        // then force two exact events out of trigger order.
+        DeliveryChoice::Event(SimEvent::Apply(rmws[1])),
+        DeliveryChoice::Event(SimEvent::Deliver(rmws[1])),
+        DeliveryChoice::Event(SimEvent::Deliver(rmws[2])),
+    ]);
+    let outcome = run(&mut sim, &mut sched, 100);
+    assert!(outcome.is_quiescent(), "script exhausted stops the run");
+    assert_eq!(sched.remaining(), 0, "every choice resolved");
+    // Two of three acks delivered: the majority write completed, with
+    // rmws[0] still un-applied.
+    assert!(sim.history()[0].is_complete());
+    assert!(sim
+        .inflight_rmws()
+        .iter()
+        .any(|i| i.rmw == rmws[0] && !i.applied));
+
+    // An unresolvable choice (event no longer enabled) stops the run and
+    // leaves the script short.
+    let mut stuck = ScriptedScheduler::new(vec![DeliveryChoice::Event(SimEvent::Apply(rmws[1]))]);
+    let outcome = run(&mut sim, &mut stuck, 100);
+    assert!(outcome.is_quiescent());
+    assert_eq!(stuck.remaining(), 1, "unresolvable choice is not consumed");
 }

@@ -1,0 +1,742 @@
+//! The protocol explorer: stateless model checking with DPOR over the
+//! `rsb-fpsm` simulator.
+//!
+//! For a tiny configuration (a couple of clients, a handful of base
+//! objects) the explorer enumerates message-delivery interleavings of a
+//! [`RegisterProtocol`] by depth-first search with *replay*: the
+//! simulator is not cloneable, so backtracking re-executes the schedule
+//! prefix from a fresh simulation. Every maximal schedule's history is
+//! checked against a [`Condition`]; a violation is captured as a
+//! symbolic [`Trace`], shrunk ([`shrink`]) and replayable ([`replay`]).
+//!
+//! # Schedule events and dependence
+//!
+//! A schedule is a sequence of three event kinds (see
+//! [`TraceEvent`]): a client **invoking** its next scripted operation, an
+//! in-flight RMW being **applied** at its base object, and an applied
+//! RMW's response being **delivered** back to its client. Dynamic
+//! partial-order reduction (sleep sets plus backtrack sets in the style
+//! of Flanagan–Godefroid) prunes schedules that only commute independent
+//! events. Two events are *dependent* when swapping them can change the
+//! outcome or the history's real-time precedence:
+//!
+//! * `Apply`/`Apply` on the **same base object** (RMW order is the
+//!   object's serialization);
+//! * `Deliver`/`Deliver` to the **same client** (response order drives
+//!   the client automaton);
+//! * `Invoke` vs. a **completing** `Deliver` (their order decides whether
+//!   the completed operation precedes the invoked one in real time);
+//! * everything else commutes, with trigger→apply→deliver causality
+//!   tracked separately as happens-before edges.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rsb_consistency::{check, Condition, History};
+use rsb_fpsm::{ClientId, OpRequest, RmwId, SimEvent, Simulation};
+use rsb_registers::RegisterProtocol;
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Explorer configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Enable DPOR pruning (sleep sets + backtrack sets). With `false`
+    /// every enabled event is explored from every state — the naive
+    /// schedule enumeration, useful only to measure the pruning factor.
+    pub dpor: bool,
+    /// The safety condition every schedule's history is checked against.
+    pub condition: Condition,
+    /// Stop after this many maximal schedules.
+    pub max_schedules: u64,
+    /// Stop after this many executed events (including replay work).
+    pub max_events: u64,
+    /// Return at the first violation instead of exploring on.
+    pub stop_on_violation: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            dpor: true,
+            condition: Condition::StrongRegularity,
+            max_schedules: 1_000_000,
+            max_events: 200_000_000,
+            stop_on_violation: true,
+        }
+    }
+}
+
+/// A violating schedule found by [`explore`].
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The full violating schedule, symbolically.
+    pub trace: Trace,
+    /// The checker's violation message.
+    pub message: String,
+    /// Maximal schedules explored before this one.
+    pub schedules_before: u64,
+}
+
+/// What [`explore`] did.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Maximal schedules whose history was checked.
+    pub schedules: u64,
+    /// Total events executed, replays included.
+    pub events: u64,
+    /// Deepest schedule, in events.
+    pub max_depth: usize,
+    /// States abandoned because every enabled event was in the sleep set
+    /// (redundant executions DPOR proved already covered).
+    pub sleep_blocked: u64,
+    /// `true` when the schedule space was exhausted within budget.
+    pub exhausted: bool,
+    /// Violations found (at most one if `stop_on_violation`).
+    pub violations: Vec<Counterexample>,
+}
+
+impl ExploreReport {
+    /// Whether every checked schedule satisfied the condition.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A scripted write carrying a value unique to `(client, op)` — strong
+/// checks need pairwise-distinct written values.
+#[must_use]
+pub fn write_op(client: usize, op: usize, len: usize) -> OpRequest {
+    OpRequest::Write(rsb_coding::Value::seeded(
+        1 + (client as u64) * 1000 + op as u64,
+        len,
+    ))
+}
+
+/// Kind of a [`TraceEvent`], for dependence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Invoke,
+    Apply,
+    Deliver,
+}
+
+/// What is known about an event for dependence/happens-before purposes.
+#[derive(Debug, Clone)]
+struct EvInfo {
+    ev: TraceEvent,
+    kind: Kind,
+    /// The client whose automaton or RMW this event belongs to.
+    client: usize,
+    /// Target base object (Apply only).
+    object: Option<usize>,
+    /// Whether the event completed an operation. `None` = not executed
+    /// yet, unknown — callers must be conservative.
+    completed: Option<bool>,
+    /// RMW labels `(client, trigger)` created by this event.
+    born: Vec<(usize, usize)>,
+}
+
+/// True when the pair is definitely dependent (order can matter). With
+/// `completed == None` on either side the answer is conservative
+/// (dependent), which is sound for sleep-set filtering.
+fn dependent(a: &EvInfo, b: &EvInfo) -> bool {
+    match (a.kind, b.kind) {
+        (Kind::Apply, Kind::Apply) => a.object == b.object,
+        (Kind::Deliver, Kind::Deliver) => a.client == b.client,
+        (Kind::Invoke, Kind::Deliver) => b.completed.unwrap_or(true),
+        (Kind::Deliver, Kind::Invoke) => a.completed.unwrap_or(true),
+        (Kind::Invoke, Kind::Invoke) => a.completed.unwrap_or(true) || b.completed.unwrap_or(true),
+        // Apply vs Invoke/Deliver of a *different* RMW commutes; the
+        // same-RMW pair is never co-enabled and is ordered by the causal
+        // edges below.
+        _ => same_rmw(a, b),
+    }
+}
+
+/// Apply and Deliver of the same RMW label.
+fn same_rmw(a: &EvInfo, b: &EvInfo) -> bool {
+    matches!(
+        (a.ev, b.ev),
+        (
+            TraceEvent::Apply { client: c1, trigger: t1 },
+            TraceEvent::Deliver { client: c2, trigger: t2 },
+        ) | (
+            TraceEvent::Deliver { client: c1, trigger: t1 },
+            TraceEvent::Apply { client: c2, trigger: t2 },
+        ) if c1 == c2 && t1 == t2
+    )
+}
+
+/// Direct happens-before edge from executed `a` to executed `b` (`a` ran
+/// earlier in the schedule): dependence, or trigger→apply, or
+/// apply→deliver causality.
+fn direct_hb(a: &EvInfo, b: &EvInfo) -> bool {
+    if dependent(a, b) {
+        return true;
+    }
+    if let TraceEvent::Apply { client, trigger } = b.ev {
+        if a.born.contains(&(client, trigger)) {
+            return true;
+        }
+    }
+    same_rmw(a, b)
+}
+
+/// A small growable bitset over schedule indices.
+#[derive(Debug, Clone, Default)]
+struct Bits(Vec<u64>);
+
+impl Bits {
+    fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.0.len() {
+            self.0.resize(w + 1, 0);
+        }
+        self.0[w] |= 1 << (i % 64);
+    }
+    fn get(&self, i: usize) -> bool {
+        self.0.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+    fn union(&mut self, other: &Bits) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+}
+
+/// One live execution of a scenario: a fresh simulation plus the symbolic
+/// label ↔ runtime `RmwId` mapping rebuilt as the schedule runs.
+struct Exec<'a, P: RegisterProtocol> {
+    sim: Simulation<P::Object, P::Client>,
+    clients: Vec<ClientId>,
+    scripts: &'a [Vec<OpRequest>],
+    /// Per client: next script ordinal to invoke.
+    next_op: Vec<usize>,
+    /// Per client: trigger ordinal → runtime RMW id.
+    trigger_ids: Vec<Vec<RmwId>>,
+    /// Runtime RMW id → (client index, trigger ordinal, object index).
+    labels: HashMap<u64, (usize, usize, usize)>,
+    /// RMW ids below this are labeled.
+    seen: u64,
+}
+
+impl<'a, P: RegisterProtocol> Exec<'a, P> {
+    fn new(proto: &P, scripts: &'a [Vec<OpRequest>]) -> Self {
+        let mut sim = proto.new_sim();
+        let clients: Vec<ClientId> = scripts.iter().map(|_| proto.add_client(&mut sim)).collect();
+        let k = clients.len();
+        Exec {
+            sim,
+            clients,
+            scripts,
+            next_op: vec![0; k],
+            trigger_ids: vec![Vec::new(); k],
+            labels: HashMap::new(),
+            seen: 0,
+        }
+    }
+
+    /// Labels RMWs triggered since the last call. New ids are labeled in
+    /// id (= trigger) order, so labels are deterministic across replays.
+    fn absorb(&mut self) -> Vec<(usize, usize)> {
+        let mut fresh: Vec<_> = self
+            .sim
+            .inflight_rmws()
+            .into_iter()
+            .filter(|info| info.rmw.0 >= self.seen)
+            .collect();
+        fresh.sort_by_key(|info| info.rmw.0);
+        let mut born = Vec::with_capacity(fresh.len());
+        for info in fresh {
+            let ci = self
+                .clients
+                .iter()
+                .position(|c| *c == info.client)
+                .expect("RMW from unknown client");
+            let trigger = self.trigger_ids[ci].len();
+            self.trigger_ids[ci].push(info.rmw);
+            self.labels.insert(info.rmw.0, (ci, trigger, info.object.0));
+            self.seen = self.seen.max(info.rmw.0 + 1);
+            born.push((ci, trigger));
+        }
+        born
+    }
+
+    /// All schedulable events at the current state, in canonical order.
+    fn enabled(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for (ci, client) in self.clients.iter().enumerate() {
+            if self.next_op[ci] < self.scripts[ci].len()
+                && !self.sim.client_crashed(*client)
+                && self.sim.outstanding_op(*client).is_none()
+            {
+                out.push(TraceEvent::Invoke {
+                    client: ci,
+                    op: self.next_op[ci],
+                });
+            }
+        }
+        for ev in self.sim.enabled_events() {
+            let id = match ev {
+                SimEvent::Apply(id) | SimEvent::Deliver(id) => id,
+            };
+            let &(client, trigger, _) = self.labels.get(&id.0).expect("unlabeled RMW");
+            out.push(match ev {
+                SimEvent::Apply(_) => TraceEvent::Apply { client, trigger },
+                SimEvent::Deliver(_) => TraceEvent::Deliver { client, trigger },
+            });
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Executes one symbolic event if it resolves to an enabled concrete
+    /// action; returns `None` (state unchanged) otherwise.
+    fn execute(&mut self, ev: TraceEvent) -> Option<EvInfo> {
+        match ev {
+            TraceEvent::Invoke { client, op } => {
+                if client >= self.clients.len()
+                    || self.next_op[client] != op
+                    || op >= self.scripts[client].len()
+                {
+                    return None;
+                }
+                let req = self.scripts[client][op].clone();
+                self.sim.invoke(self.clients[client], req).ok()?;
+                self.next_op[client] = op + 1;
+                let born = self.absorb();
+                let completed = self.sim.outstanding_op(self.clients[client]).is_none();
+                Some(EvInfo {
+                    ev,
+                    kind: Kind::Invoke,
+                    client,
+                    object: None,
+                    completed: Some(completed),
+                    born,
+                })
+            }
+            TraceEvent::Apply { client, trigger } => {
+                let id = *self.trigger_ids.get(client)?.get(trigger)?;
+                let object = self.labels.get(&id.0).map(|&(_, _, o)| o);
+                self.sim.step(SimEvent::Apply(id)).ok()?;
+                Some(EvInfo {
+                    ev,
+                    kind: Kind::Apply,
+                    client,
+                    object,
+                    completed: Some(false),
+                    born: Vec::new(),
+                })
+            }
+            TraceEvent::Deliver { client, trigger } => {
+                let id = *self.trigger_ids.get(client)?.get(trigger)?;
+                let busy_before = self.sim.outstanding_op(self.clients[client]).is_some();
+                self.sim.step(SimEvent::Deliver(id)).ok()?;
+                let born = self.absorb();
+                let completed =
+                    busy_before && self.sim.outstanding_op(self.clients[client]).is_none();
+                Some(EvInfo {
+                    ev,
+                    kind: Kind::Deliver,
+                    client,
+                    object: None,
+                    completed: Some(completed),
+                    born,
+                })
+            }
+        }
+    }
+
+    /// The history so far, checked against `condition`. `Some(message)`
+    /// on violation (a malformed history is reported as one too — the
+    /// simulator should never produce it).
+    fn violation(&self, proto: &P, condition: Condition) -> Option<String> {
+        let records = self.sim.full_history();
+        match History::from_fpsm(proto.config().initial_value(), &records) {
+            Err(e) => Some(format!("malformed history: {e}")),
+            Ok(h) => check(&h, condition).err().map(|v| v.to_string()),
+        }
+    }
+}
+
+/// A pseudo-[`EvInfo`] for a not-yet-executed event, with conservative
+/// unknowns. Object of an `Apply` is known once its RMW is labeled.
+fn pending_info<P: RegisterProtocol>(exec: &Exec<'_, P>, ev: TraceEvent) -> EvInfo {
+    let (kind, client, object) = match ev {
+        TraceEvent::Invoke { client, .. } => (Kind::Invoke, client, None),
+        TraceEvent::Apply { client, trigger } => {
+            let object = exec.trigger_ids[client]
+                .get(trigger)
+                .and_then(|id| exec.labels.get(&id.0))
+                .map(|&(_, _, o)| o);
+            (Kind::Apply, client, object)
+        }
+        TraceEvent::Deliver { client, .. } => (Kind::Deliver, client, None),
+    };
+    EvInfo {
+        ev,
+        kind,
+        client,
+        object,
+        completed: None,
+        born: Vec::new(),
+    }
+}
+
+/// One DFS frame: the state reached by executing every lower frame's
+/// `executed` event, in stack order.
+#[derive(Debug)]
+struct Frame {
+    enabled: Vec<TraceEvent>,
+    /// Events to explore from here (DPOR adds race alternatives).
+    backtrack: BTreeSet<TraceEvent>,
+    /// Events whose behaviors from here are already covered.
+    sleep: BTreeSet<TraceEvent>,
+    /// The event currently being explored from this state, with its
+    /// execution record and happens-before clock.
+    executed: Option<(EvInfo, Bits)>,
+    /// Whether anything was ever explored from this state.
+    explored_any: bool,
+}
+
+/// Explores the schedule space of `proto` under per-client operation
+/// `scripts`, checking `cfg.condition` on every maximal schedule.
+///
+/// # Panics
+///
+/// Panics if `scripts` is empty (nothing to schedule).
+pub fn explore<P: RegisterProtocol>(
+    proto: &P,
+    scripts: &[Vec<OpRequest>],
+    cfg: &ExploreConfig,
+) -> ExploreReport {
+    assert!(!scripts.is_empty(), "explore needs at least one client");
+    let mut report = ExploreReport {
+        schedules: 0,
+        events: 0,
+        max_depth: 0,
+        sleep_blocked: 0,
+        exhausted: true,
+        violations: Vec::new(),
+    };
+
+    let mut exec = Exec::new(proto, scripts);
+    let mut stack: Vec<Frame> = vec![new_frame(&exec, BTreeSet::new(), cfg.dpor)];
+    // Whether `exec` currently reflects the stack's executed prefix.
+    let mut fresh = true;
+
+    'dfs: loop {
+        // Pick the next unexplored event at the top frame.
+        let top = stack.len() - 1;
+        let pick = stack[top]
+            .backtrack
+            .iter()
+            .find(|e| !stack[top].sleep.contains(*e))
+            .copied();
+
+        let Some(ev) = pick else {
+            // Nothing (left) to explore from this state.
+            if stack[top].enabled.is_empty() {
+                // Maximal schedule: check it. A leaf is only ever visited
+                // once, straight after its push, so `exec` is current.
+                debug_assert!(fresh);
+                report.schedules += 1;
+                report.max_depth = report.max_depth.max(top);
+                let violation = exec.violation(proto, cfg.condition).or_else(|| {
+                    (!exec.sim.is_quiescent())
+                        .then(|| "stuck: no enabled events but operations outstanding".to_owned())
+                });
+                if let Some(message) = violation {
+                    report.violations.push(Counterexample {
+                        trace: current_trace(&stack[..top]),
+                        message,
+                        schedules_before: report.schedules - 1,
+                    });
+                    if cfg.stop_on_violation {
+                        report.exhausted = false;
+                        break 'dfs;
+                    }
+                }
+                if report.schedules >= cfg.max_schedules {
+                    report.exhausted = false;
+                    break 'dfs;
+                }
+            } else if !stack[top].explored_any {
+                report.sleep_blocked += 1;
+            }
+            // Pop; move the parent's explored event into its sleep set.
+            stack.pop();
+            let Some(parent) = stack.last_mut() else {
+                break 'dfs;
+            };
+            let (info, _) = parent.executed.take().expect("parent must have executed");
+            parent.sleep.insert(info.ev);
+            fresh = false;
+            continue 'dfs;
+        };
+
+        // Descend through `ev`.
+        if !fresh {
+            exec = rebuild(proto, scripts, &stack[..top]);
+            report.events += top as u64;
+            fresh = true;
+        }
+        let info = exec
+            .execute(ev)
+            .expect("event from enabled set must execute");
+        report.events += 1;
+        if report.events >= cfg.max_events {
+            report.exhausted = false;
+            break 'dfs;
+        }
+
+        // Happens-before clock of the new event.
+        let mut hb = Bits::default();
+        for (j, frame) in stack.iter().enumerate().take(top) {
+            let (prev, prev_hb) = frame.executed.as_ref().expect("lower frames executed");
+            if direct_hb(prev, &info) {
+                hb.union(prev_hb);
+                hb.set(j);
+            }
+        }
+
+        if cfg.dpor {
+            dpor_update(&mut stack, &info, &hb);
+        }
+
+        // Child sleep set: parent sleep events that commute with `ev`.
+        // Sleep inheritance IS the pruning — naive mode starts every
+        // child awake so the enumeration stays the full schedule tree
+        // (parent sleep still acts as sibling done-tracking either way).
+        let child_sleep: BTreeSet<TraceEvent> = if cfg.dpor {
+            stack[top]
+                .sleep
+                .iter()
+                .filter(|t| !dependent(&pending_info(&exec, **t), &info))
+                .copied()
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
+
+        stack[top].executed = Some((info, hb));
+        stack[top].explored_any = true;
+        let frame = new_frame(&exec, child_sleep, cfg.dpor);
+        stack.push(frame);
+    }
+
+    report
+}
+
+/// Builds the frame for the current `exec` state. Under DPOR only one
+/// seed event goes into `backtrack` (alternatives are added on demand by
+/// race detection); naive mode explores everything.
+fn new_frame<P: RegisterProtocol>(
+    exec: &Exec<'_, P>,
+    sleep: BTreeSet<TraceEvent>,
+    dpor: bool,
+) -> Frame {
+    let enabled = exec.enabled();
+    let backtrack: BTreeSet<TraceEvent> = if dpor {
+        enabled
+            .iter()
+            .find(|e| !sleep.contains(*e))
+            .into_iter()
+            .copied()
+            .collect()
+    } else {
+        enabled.iter().copied().collect()
+    };
+    Frame {
+        enabled,
+        backtrack,
+        sleep,
+        executed: None,
+        explored_any: false,
+    }
+}
+
+/// The schedule executed so far: the `executed` event of each frame.
+fn current_trace(frames: &[Frame]) -> Trace {
+    Trace::new(
+        frames
+            .iter()
+            .map(|f| f.executed.as_ref().expect("executed frame").0.ev)
+            .collect(),
+    )
+}
+
+/// Replays the executed prefix of `frames` on a fresh simulation.
+fn rebuild<'a, P: RegisterProtocol>(
+    proto: &P,
+    scripts: &'a [Vec<OpRequest>],
+    frames: &[Frame],
+) -> Exec<'a, P> {
+    let mut exec = Exec::new(proto, scripts);
+    for f in frames {
+        let ev = f.executed.as_ref().expect("executed frame").0.ev;
+        exec.execute(ev)
+            .expect("replaying an executed prefix cannot fail");
+    }
+    exec
+}
+
+/// Flanagan–Godefroid backtrack-set update for the event `info` just
+/// executed at depth `stack.len() - 1`: for every earlier dependent event
+/// not already ordered by happens-before, schedule an alternative at that
+/// earlier state.
+fn dpor_update(stack: &mut [Frame], info: &EvInfo, hb: &Bits) {
+    let i = stack.len() - 1;
+    for j in (0..i).rev() {
+        let dep = {
+            let (prev, _) = stack[j].executed.as_ref().expect("executed");
+            dependent(prev, info)
+        };
+        if !dep {
+            continue;
+        }
+        // Is j ordered before `info` through some other event? Union the
+        // clocks of every direct predecessor except j itself.
+        let mut without_j = Bits::default();
+        for (k, frame) in stack.iter().enumerate().take(i) {
+            if k == j {
+                continue;
+            }
+            let (prev, prev_hb) = frame.executed.as_ref().expect("executed");
+            if direct_hb(prev, info) {
+                without_j.union(prev_hb);
+                without_j.set(k);
+            }
+        }
+        if without_j.get(j) {
+            continue; // already ordered; not a race
+        }
+        // Add to frame j an event that initiates `info`'s cause chain:
+        // the earliest event at or after j+1 that happens-before (or is)
+        // `info` and was enabled at j; all of enabled(j) as a fallback.
+        let mut chosen = None;
+        for (k, frame) in stack.iter().enumerate().skip(j + 1) {
+            let in_cause = k == i || hb.get(k);
+            if !in_cause {
+                continue;
+            }
+            let ev_k = frame.executed.as_ref().map_or(info.ev, |(e, _)| e.ev);
+            if stack[j].enabled.contains(&ev_k) {
+                chosen = Some(ev_k);
+                break;
+            }
+        }
+        if let Some(ev) = chosen {
+            stack[j].backtrack.insert(ev);
+        } else {
+            let all: Vec<TraceEvent> = stack[j].enabled.clone();
+            stack[j].backtrack.extend(all);
+        }
+    }
+}
+
+/// Outcome of replaying a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The events that actually executed (unresolvable ones skipped).
+    pub executed: Trace,
+    /// How many events of the input did not resolve.
+    pub skipped: usize,
+    /// The condition violation after the replay, if any.
+    pub violation: Option<String>,
+}
+
+/// Replays `trace` against a fresh scenario, skipping events that do not
+/// resolve, and checks `condition` on the resulting history.
+pub fn replay<P: RegisterProtocol>(
+    proto: &P,
+    scripts: &[Vec<OpRequest>],
+    trace: &Trace,
+    condition: Condition,
+) -> ReplayOutcome {
+    let mut exec = Exec::new(proto, scripts);
+    let mut executed = Vec::new();
+    let mut skipped = 0;
+    for &ev in &trace.events {
+        if exec.execute(ev).is_some() {
+            executed.push(ev);
+        } else {
+            skipped += 1;
+        }
+    }
+    let violation = exec.violation(proto, condition);
+    ReplayOutcome {
+        executed: Trace::new(executed),
+        skipped,
+        violation,
+    }
+}
+
+/// Shrinks a violating `trace`: greedy event deletion (with cascading
+/// skips) to a locally-minimal length, then adjacent swaps toward the
+/// canonical event order. Deterministic in its inputs; the result still
+/// violates `condition` under [`replay`].
+pub fn shrink<P: RegisterProtocol>(
+    proto: &P,
+    scripts: &[Vec<OpRequest>],
+    trace: &Trace,
+    condition: Condition,
+) -> Trace {
+    // Re-execute leniently: a candidate "violates" when the events that
+    // resolve still produce a violating history.
+    let try_events = |events: &[TraceEvent]| -> Option<Vec<TraceEvent>> {
+        let out = replay(proto, scripts, &Trace::new(events.to_vec()), condition);
+        out.violation.is_some().then_some(out.executed.events)
+    };
+
+    let Some(mut cur) = try_events(&trace.events) else {
+        return trace.clone(); // not a violation: nothing to shrink
+    };
+
+    loop {
+        let mut changed = false;
+
+        // Deletion pass: drop one event at a time, keep the (possibly
+        // further-cascaded) result when the violation persists.
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            match try_events(&cand) {
+                Some(executed) if executed.len() < cur.len() => {
+                    cur = executed;
+                    changed = true;
+                }
+                _ => i += 1,
+            }
+        }
+
+        // Normalization pass: bubble adjacent out-of-canonical-order
+        // pairs when the swap executes fully and still violates.
+        let mut j = 0;
+        while j + 1 < cur.len() {
+            if cur[j + 1] < cur[j] {
+                let mut cand = cur.clone();
+                cand.swap(j, j + 1);
+                if let Some(executed) = try_events(&cand) {
+                    if executed == cand {
+                        cur = executed;
+                        changed = true;
+                        j = j.saturating_sub(1);
+                        continue;
+                    }
+                }
+            }
+            j += 1;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    Trace::new(cur)
+}

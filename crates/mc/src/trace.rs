@@ -1,0 +1,200 @@
+//! Symbolic schedule traces: replayable, shrinkable counterexamples.
+//!
+//! The explorer cannot store raw [`rsb_fpsm::SimEvent`]s in a
+//! counterexample: RMW ids are allocated dynamically, so the same logical
+//! schedule gets different ids on every fresh simulation. A
+//! [`TraceEvent`] instead names events *symbolically* — by client and
+//! per-client ordinal — which is stable across replays:
+//!
+//! * `i<c>.<k>` — client `c` invokes its `k`-th scripted operation;
+//! * `a<c>.<t>` — the `t`-th RMW ever triggered by client `c` is applied
+//!   at its base object;
+//! * `d<c>.<t>` — that RMW's response is delivered back to client `c`.
+//!
+//! A [`Trace`] serializes to a single line (`i0.0 a0.0 d0.0 …`) that can
+//! be pasted into a `#[test]` and re-executed with
+//! [`replay`](crate::explore::replay).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One symbolically-named schedule event.
+///
+/// The derived ordering (`Invoke < Apply < Deliver`, then by client, then
+/// by ordinal) is the *canonical* order shrinking normalizes toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEvent {
+    /// Client `client` invokes its `op`-th scripted operation.
+    Invoke {
+        /// Client index (script order).
+        client: usize,
+        /// Ordinal into that client's script.
+        op: usize,
+    },
+    /// The `trigger`-th RMW triggered by `client` is applied.
+    Apply {
+        /// Client index whose RMW this is.
+        client: usize,
+        /// Per-client trigger ordinal.
+        trigger: usize,
+    },
+    /// The `trigger`-th RMW triggered by `client` is delivered back.
+    Deliver {
+        /// Client index whose RMW this is.
+        client: usize,
+        /// Per-client trigger ordinal.
+        trigger: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Invoke { client, op } => write!(f, "i{client}.{op}"),
+            TraceEvent::Apply { client, trigger } => write!(f, "a{client}.{trigger}"),
+            TraceEvent::Deliver { client, trigger } => write!(f, "d{client}.{trigger}"),
+        }
+    }
+}
+
+/// Error parsing a [`TraceEvent`] or [`Trace`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError(String);
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad trace event {:?} (want e.g. `i0.0`/`a1.2`/`d1.2`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for TraceEvent {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseTraceError(s.to_owned());
+        let rest = s.get(1..).ok_or_else(bad)?;
+        let (a, b) = rest.split_once('.').ok_or_else(bad)?;
+        let a: usize = a.parse().map_err(|_| bad())?;
+        let b: usize = b.parse().map_err(|_| bad())?;
+        match s.as_bytes().first() {
+            Some(b'i') => Ok(TraceEvent::Invoke { client: a, op: b }),
+            Some(b'a') => Ok(TraceEvent::Apply {
+                client: a,
+                trigger: b,
+            }),
+            Some(b'd') => Ok(TraceEvent::Deliver {
+                client: a,
+                trigger: b,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// A whole schedule: an ordered list of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Trace {
+    /// The events, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Wraps an event list.
+    #[must_use]
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        Trace { events }
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let events = s
+            .split_whitespace()
+            .map(TraceEvent::from_str)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let t: Trace = "i0.0 a0.0 i1.0 a1.0 d1.0 d0.0".parse().unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.events[0], TraceEvent::Invoke { client: 0, op: 0 });
+        assert_eq!(
+            t.events[4],
+            TraceEvent::Deliver {
+                client: 1,
+                trigger: 0
+            }
+        );
+        assert_eq!(t.to_string().parse::<Trace>().unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        assert!("x0.0".parse::<TraceEvent>().is_err());
+        assert!("i0".parse::<TraceEvent>().is_err());
+        assert!("i0.z".parse::<TraceEvent>().is_err());
+        assert!("".parse::<TraceEvent>().is_err());
+    }
+
+    #[test]
+    fn canonical_order_is_invoke_apply_deliver_then_indices() {
+        let i = TraceEvent::Invoke { client: 1, op: 0 };
+        let a = TraceEvent::Apply {
+            client: 0,
+            trigger: 9,
+        };
+        let d = TraceEvent::Deliver {
+            client: 0,
+            trigger: 0,
+        };
+        assert!(i < a && a < d);
+        assert!(
+            TraceEvent::Apply {
+                client: 0,
+                trigger: 1
+            } < TraceEvent::Apply {
+                client: 1,
+                trigger: 0
+            }
+        );
+    }
+}

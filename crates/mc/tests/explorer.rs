@@ -1,0 +1,376 @@
+//! Protocol-explorer tests: exhaustive coverage of tiny ABD configs,
+//! DPOR/naive agreement, and — via a deliberately buggy toy protocol —
+//! that the explorer finds violations and shrinks them deterministically.
+
+use rsb_consistency::Condition;
+use rsb_fpsm::{
+    BlockInstance, ClientId, ClientLogic, Effects, ObjectId, ObjectState, OpId, OpRequest,
+    OpResult, Payload, RmwId, Simulation,
+};
+use rsb_mc::explore::{explore, replay, shrink, write_op, ExploreConfig};
+use rsb_mc::trace::Trace;
+use rsb_registers::{Abd, AbdAtomic, RegisterConfig, RegisterProtocol};
+use std::collections::HashSet;
+
+fn abd_cfg() -> RegisterConfig {
+    // n = 3 base objects, f = 1, replication (k = 1), 4-byte values.
+    RegisterConfig::paper(1, 1, 4).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// The planted bug: a toy protocol whose read returns the FIRST response
+// instead of waiting for a quorum (and never writes back). A read that
+// lands on the one base object a completed write did not reach returns
+// stale data — a strong-regularity violation the explorer must find.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct FrStore {
+    held: Option<(OpId, rsb_coding::Value)>,
+}
+
+#[derive(Debug, Clone)]
+enum FrRmw {
+    Put { op: OpId, value: rsb_coding::Value },
+    Get,
+}
+
+#[derive(Debug, Clone)]
+enum FrResp {
+    Ack,
+    Data(Option<(OpId, rsb_coding::Value)>),
+}
+
+impl Payload for FrStore {
+    fn blocks(&self) -> Vec<BlockInstance> {
+        self.held
+            .as_ref()
+            .map(|(op, v)| BlockInstance::new(*op, 0, v.size_bits()))
+            .into_iter()
+            .collect()
+    }
+}
+
+impl Payload for FrRmw {
+    fn blocks(&self) -> Vec<BlockInstance> {
+        match self {
+            FrRmw::Put { op, value } => vec![BlockInstance::new(*op, 0, value.size_bits())],
+            FrRmw::Get => Vec::new(),
+        }
+    }
+}
+
+impl Payload for FrResp {
+    fn blocks(&self) -> Vec<BlockInstance> {
+        match self {
+            FrResp::Ack => Vec::new(),
+            FrResp::Data(d) => d
+                .as_ref()
+                .map(|(op, v)| BlockInstance::new(*op, 0, v.size_bits()))
+                .into_iter()
+                .collect(),
+        }
+    }
+}
+
+impl ObjectState for FrStore {
+    type Rmw = FrRmw;
+    type Resp = FrResp;
+
+    fn apply(&mut self, _client: ClientId, rmw: &FrRmw) -> FrResp {
+        match rmw {
+            FrRmw::Put { op, value } => {
+                if self.held.as_ref().is_none_or(|(held, _)| op > held) {
+                    self.held = Some((*op, value.clone()));
+                }
+                FrResp::Ack
+            }
+            FrRmw::Get => FrResp::Data(self.held.clone()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FrPending {
+    op: OpId,
+    mine: HashSet<RmwId>,
+    acks: usize,
+}
+
+#[derive(Debug)]
+struct FrClient {
+    n: usize,
+    /// How many base objects a read queries (the planted bug is
+    /// returning the *first* response regardless; a fan-out of 1 just
+    /// keeps the schedule space small enough for naive enumeration).
+    read_fanout: usize,
+    v0: rsb_coding::Value,
+    current: Option<FrPending>,
+}
+
+impl ClientLogic for FrClient {
+    type State = FrStore;
+
+    fn on_invoke(&mut self, op: OpId, req: OpRequest, eff: &mut Effects<FrStore>) {
+        let mut mine = HashSet::new();
+        let fanout = match req {
+            OpRequest::Write(_) => self.n,
+            OpRequest::Read => self.read_fanout,
+        };
+        for i in 0..fanout {
+            let rmw = match &req {
+                OpRequest::Write(v) => FrRmw::Put {
+                    op,
+                    value: v.clone(),
+                },
+                OpRequest::Read => FrRmw::Get,
+            };
+            mine.insert(eff.trigger(ObjectId(i), rmw));
+        }
+        self.current = Some(FrPending { op, mine, acks: 0 });
+    }
+
+    fn on_response(&mut self, op: OpId, rmw: RmwId, resp: FrResp, eff: &mut Effects<FrStore>) {
+        let Some(cur) = self.current.as_mut() else {
+            return;
+        };
+        if cur.op != op || !cur.mine.contains(&rmw) {
+            return;
+        }
+        match resp {
+            // Writes wait for a majority of acks: that part is sound.
+            FrResp::Ack => {
+                cur.acks += 1;
+                if cur.acks > self.n / 2 {
+                    eff.complete(OpResult::Write);
+                    self.current = None;
+                }
+            }
+            // THE BUG: a read returns on the first response, whatever it
+            // says, instead of collecting a quorum and taking the newest.
+            FrResp::Data(d) => {
+                let result = match d {
+                    Some((_, v)) => OpResult::Read(v),
+                    None => OpResult::Read(self.v0.clone()),
+                };
+                eff.complete(result);
+                self.current = None;
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FirstResponse {
+    cfg: RegisterConfig,
+    read_fanout: usize,
+}
+
+impl FirstResponse {
+    fn new(cfg: RegisterConfig) -> Self {
+        let read_fanout = cfg.n;
+        FirstResponse { cfg, read_fanout }
+    }
+}
+
+impl RegisterProtocol for FirstResponse {
+    type Object = FrStore;
+    type Client = FrClient;
+
+    fn name(&self) -> &'static str {
+        "first-response"
+    }
+
+    fn config(&self) -> &RegisterConfig {
+        &self.cfg
+    }
+
+    fn new_sim(&self) -> Simulation<FrStore, FrClient> {
+        Simulation::new(self.cfg.n, |_| FrStore::default())
+    }
+
+    fn add_client(&self, sim: &mut Simulation<FrStore, FrClient>) -> ClientId {
+        sim.add_client(FrClient {
+            n: self.cfg.n,
+            read_fanout: self.read_fanout,
+            v0: self.cfg.initial_value(),
+            current: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive sweeps of correct protocols.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abd_two_clients_three_objects_is_strongly_regular_on_every_schedule() {
+    let proto = Abd::new(abd_cfg());
+    let scripts = vec![vec![write_op(0, 0, 4)], vec![OpRequest::Read]];
+    let report = explore(&proto, &scripts, &ExploreConfig::default());
+    assert!(report.exhausted, "schedule space must be fully covered");
+    assert!(
+        report.ok(),
+        "ABD must be strongly regular on every schedule: {:?}",
+        report.violations
+    );
+    assert!(report.schedules > 0);
+}
+
+#[test]
+fn dpor_agrees_with_naive_enumeration_and_prunes() {
+    // Reads query a single base object so the naive enumeration also
+    // finishes; the bug (trusting the first response) is still there —
+    // the write quorum may exclude the one object reads look at.
+    let proto = FirstResponse {
+        cfg: abd_cfg(),
+        read_fanout: 1,
+    };
+    let scripts = vec![vec![write_op(0, 0, 4)], vec![OpRequest::Read]];
+    let base = ExploreConfig {
+        condition: Condition::StrongRegularity,
+        stop_on_violation: false,
+        ..ExploreConfig::default()
+    };
+    let dpor = explore(&proto, &scripts, &base);
+    let naive = explore(
+        &proto,
+        &scripts,
+        &ExploreConfig {
+            dpor: false,
+            ..base
+        },
+    );
+    assert!(dpor.exhausted && naive.exhausted);
+    // Both must agree on whether the protocol is buggy (it is).
+    assert!(!dpor.ok() && !naive.ok());
+    assert!(
+        dpor.schedules <= naive.schedules,
+        "DPOR must not explore more than naive"
+    );
+    assert!(
+        dpor.schedules < naive.schedules,
+        "DPOR should prune something here (dpor {} vs naive {})",
+        dpor.schedules,
+        naive.schedules
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Violation finding, shrinking, replay.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explorer_finds_the_planted_regularity_bug_and_shrinks_deterministically() {
+    let proto = FirstResponse::new(abd_cfg());
+    let scripts = vec![vec![write_op(0, 0, 4)], vec![OpRequest::Read]];
+    let cfg = ExploreConfig::default();
+    let report = explore(&proto, &scripts, &cfg);
+    let cx = report
+        .violations
+        .first()
+        .expect("the planted bug must be found");
+    assert!(
+        cx.message.contains("read") || !cx.message.is_empty(),
+        "violation message should describe the failure: {}",
+        cx.message
+    );
+
+    // The raw counterexample replays to a violation…
+    let raw = replay(&proto, &scripts, &cx.trace, cfg.condition);
+    assert_eq!(raw.skipped, 0, "explorer traces replay exactly");
+    assert!(raw.violation.is_some());
+
+    // …the shrunk one still does, is no longer, and is stable across runs.
+    let small = shrink(&proto, &scripts, &cx.trace, cfg.condition);
+    assert!(small.len() <= cx.trace.len());
+    let again = shrink(&proto, &scripts, &cx.trace, cfg.condition);
+    assert_eq!(small, again, "shrinking must be deterministic");
+    let replayed = replay(&proto, &scripts, &small, cfg.condition);
+    assert_eq!(replayed.skipped, 0);
+    assert!(replayed.violation.is_some());
+
+    // And a second explorer run lands on the identical counterexample.
+    let report2 = explore(&proto, &scripts, &cfg);
+    assert_eq!(report2.violations[0].trace, cx.trace);
+}
+
+#[test]
+fn shrunk_counterexample_round_trips_through_text() {
+    let proto = FirstResponse::new(abd_cfg());
+    let scripts = vec![vec![write_op(0, 0, 4)], vec![OpRequest::Read]];
+    let cfg = ExploreConfig::default();
+    let report = explore(&proto, &scripts, &cfg);
+    let small = shrink(&proto, &scripts, &report.violations[0].trace, cfg.condition);
+    // The workflow a failing CI run supports: paste the printed trace
+    // into a test and re-execute it.
+    let text = small.to_string();
+    let parsed: Trace = text.parse().unwrap();
+    assert_eq!(parsed, small);
+    let out = replay(&proto, &scripts, &parsed, cfg.condition);
+    assert!(out.violation.is_some(), "pasted trace still violates");
+}
+
+// ---------------------------------------------------------------------------
+// Atomicity: plain ABD shows a new/old inversion; AbdAtomic does not.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn plain_abd_read_is_not_atomic_with_two_readers() {
+    let proto = Abd::new(abd_cfg());
+    // Writer plus two readers: one reader observes the in-flight write
+    // while the other, strictly later, still reads v₀ — fine for strong
+    // regularity, a new/old inversion for linearizability. The schedule
+    // is scripted symbolically: the writer's ReadTs round reaches its
+    // quorum (labels 0.0–0.2), the Store round (labels 0.3–0.5) lands on
+    // base object 0 only, reader 1 queries objects 0 and 1 (seeing the
+    // new value), and reader 2 — invoked after reader 1 returned —
+    // queries objects 1 and 2 (seeing only v₀).
+    let scripts = vec![
+        vec![write_op(0, 0, 4)],
+        vec![OpRequest::Read],
+        vec![OpRequest::Read],
+    ];
+    let inversion: Trace = "i0.0 a0.0 d0.0 a0.1 d0.1 a0.3 \
+                            i1.0 a1.0 a1.1 d1.0 d1.1 \
+                            i2.0 a2.1 a2.2 d2.1 d2.2"
+        .parse()
+        .unwrap();
+    let out = replay(&proto, &scripts, &inversion, Condition::Atomicity);
+    assert_eq!(out.skipped, 0, "the scripted schedule must fully resolve");
+    assert!(
+        out.violation.is_some(),
+        "ABD without read write-back must not linearize"
+    );
+    // The very same schedule satisfies the protocol's advertised
+    // guarantee, strong regularity.
+    let regular = replay(&proto, &scripts, &inversion, Condition::StrongRegularity);
+    assert_eq!(regular.skipped, 0);
+    assert!(regular.violation.is_none(), "{:?}", regular.violation);
+}
+
+#[test]
+fn abd_atomic_write_back_restores_linearizability() {
+    let proto = AbdAtomic::new(abd_cfg());
+    let scripts = vec![
+        vec![write_op(0, 0, 4)],
+        vec![OpRequest::Read],
+        vec![OpRequest::Read],
+    ];
+    let cfg = ExploreConfig {
+        condition: Condition::Atomicity,
+        // The write-back phase deepens schedules considerably; a large
+        // budget still covers a meaningful slice if exhaustion is out of
+        // reach.
+        max_schedules: 60_000,
+        stop_on_violation: true,
+        ..ExploreConfig::default()
+    };
+    let report = explore(&proto, &scripts, &cfg);
+    assert!(
+        report.ok(),
+        "AbdAtomic must linearize: {:?}",
+        report.violations
+    );
+    assert!(report.schedules > 0);
+}

@@ -50,8 +50,16 @@
 
 use crate::protocol::RegisterProtocol;
 use parking_lot::{Condvar, Mutex, MutexGuard};
+// Under the `mc` feature the ReadyQueue's lock comes from the
+// rsb-mcsync interleaving checker (a transparent passthrough outside a
+// model run), so `crates/mc` can exhaustively explore the steal-half
+// protocol. Everything else in this file stays on parking_lot.
+#[cfg(not(feature = "mc"))]
+use parking_lot as ready_sync;
 use rsb_coding::Value;
 use rsb_fpsm::{ClientId, OpId, OpRequest, OpResult, Simulation};
+#[cfg(feature = "mc")]
+use rsb_mcsync::sync as ready_sync;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
@@ -161,7 +169,7 @@ enum SlotState {
 /// [`finish`]: ReadyQueue::finish
 #[derive(Debug, Default)]
 pub struct ReadyQueue {
-    inner: Mutex<ReadyInner>,
+    inner: ready_sync::Mutex<ReadyInner>,
 }
 
 #[derive(Debug, Default)]
@@ -603,6 +611,15 @@ pub struct ThreadedRegister<P: RegisterProtocol + 'static> {
     driver: Option<std::thread::JoinHandle<()>>,
 }
 
+impl<P: RegisterProtocol + 'static> std::fmt::Debug for ThreadedRegister<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedRegister")
+            .field("protocol", &self.proto.name())
+            .field("driver_running", &self.driver.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<P: RegisterProtocol + 'static> ThreadedRegister<P> {
     /// Starts the service: builds the simulation and spawns the driver.
     pub fn start(proto: P) -> Self {
@@ -679,6 +696,14 @@ impl<P: RegisterProtocol + 'static> Drop for ThreadedRegister<P> {
 pub struct ClientHandle<P: RegisterProtocol + 'static> {
     core: Arc<DriverCore<RegisterCell<P>>>,
     id: ClientId,
+}
+
+impl<P: RegisterProtocol + 'static> std::fmt::Debug for ClientHandle<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientHandle")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<P: RegisterProtocol + 'static> ClientHandle<P> {

@@ -74,6 +74,7 @@
 mod config;
 mod future;
 pub mod load;
+mod mcsync;
 mod metrics;
 mod net;
 mod recorder;

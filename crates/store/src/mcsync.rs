@@ -1,0 +1,16 @@
+//! Switchable sync primitives for the store's lock-free hot structs.
+//!
+//! With the `mc` cargo feature enabled, the `FlightRecorder` seqlock and
+//! the shard/`KeySlot` activity atomics run on `rsb-mcsync`'s
+//! model-checkable wrappers, so `crates/mc`'s interleaving harness can
+//! exhaustively explore their schedules; the wrappers are transparent
+//! passthroughs outside a model run. Without the feature these aliases
+//! are exactly `std::sync::atomic` / `parking_lot`.
+
+#[cfg(feature = "mc")]
+pub(crate) use rsb_mcsync::sync::{AtomicU64, Mutex, Ordering};
+
+#[cfg(not(feature = "mc"))]
+pub(crate) use parking_lot::Mutex;
+#[cfg(not(feature = "mc"))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};

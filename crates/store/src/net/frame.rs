@@ -315,16 +315,13 @@ fn decode_err(msg: impl Into<String>) -> StoreError {
 }
 
 fn put_histogram(out: &mut Vec<u8>, h: &LatencyHistogram) {
-    let at = out.len();
-    put_u16(out, 0); // patched below — occupied buckets only
-    let mut entries = 0u16;
+    let entries = h.buckets().count() as u16; // occupied buckets only
+    put_u16(out, entries);
     for (lo, hi, count) in h.buckets() {
         put_u64(out, lo);
         put_u64(out, hi);
         put_u64(out, count);
-        entries += 1;
     }
-    out[at..at + 2].copy_from_slice(&entries.to_le_bytes());
 }
 
 fn put_counters(out: &mut Vec<u8>, t: &OpCounters) {
@@ -389,31 +386,36 @@ impl<'a> Cursor<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| decode_err("truncated frame"))?;
-        let slice = &self.buf[self.pos..end];
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| decode_err("truncated frame"))?;
         self.pos = end;
         Ok(slice)
     }
 
+    /// Fixed-width read as an array, with the length mismatch surfaced
+    /// as a decode error — untrusted input never reaches a panic path.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| decode_err("truncated frame"))
+    }
+
     fn u8(&mut self) -> Result<u8, StoreError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.array()?))
     }
 
     fn u16(&mut self) -> Result<u16, StoreError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn str16(&mut self) -> Result<String, StoreError> {
@@ -629,7 +631,10 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
         frame_len <= MAX_FRAME_LEN,
         "encoded frame exceeds MAX_FRAME_LEN"
     );
-    out[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
+    match out.get_mut(len_at..len_at + 4) {
+        Some(slot) => slot.copy_from_slice(&frame_len.to_le_bytes()),
+        None => unreachable!("length slot was reserved above"),
+    }
 }
 
 /// Decodes one frame payload (`[tag][body]`, the bytes the length prefix
@@ -779,8 +784,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, StoreError> {
     // Hand-rolled first-byte read so a clean close between frames is
     // distinguishable from truncation inside one.
     let mut got = 0;
-    while got < len_buf.len() {
-        match r.read(&mut len_buf[got..]) {
+    while let Some(dst) = len_buf.get_mut(got..).filter(|d| !d.is_empty()) {
+        match r.read(dst) {
             Ok(0) => {
                 if got == 0 {
                     return Ok(None);

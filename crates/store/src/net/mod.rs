@@ -262,6 +262,12 @@ pub struct Loopback {
     pub(crate) inner: Arc<StoreInner>,
 }
 
+impl std::fmt::Debug for Loopback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Loopback").finish_non_exhaustive()
+    }
+}
+
 impl Transport for Loopback {
     fn submit(&self, key: &str, req: OpRequest) -> OpTicket {
         let shard = self.inner.shard_for(key);

@@ -9,7 +9,7 @@
 //! without stopping writers — the post-incident "what just happened"
 //! view that per-shard counters cannot give.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::mcsync::{AtomicU64, Ordering};
 
 /// Widest detail payload an event word can carry (40 bits); larger
 /// values are clamped on record.
@@ -18,6 +18,10 @@ const DETAIL_MASK: u64 = (1 << DETAIL_BITS) - 1;
 /// Shard field sentinel for store-wide events (connection churn, wire
 /// decode errors) that have no home shard.
 const NO_SHARD: u64 = u16::MAX as u64;
+/// Per-slot sequence-word sentinel: a writer owns the slot and its
+/// payload is mid-write. Unreachable as a published value (`seq + 1`)
+/// until 2⁶⁴−1 events have been recorded.
+const CLAIMED: u64 = u64::MAX;
 
 /// What happened, for one recorded event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,8 +125,9 @@ impl FlightEventKind {
 /// One recovered ring entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlightEvent {
-    /// Global sequence number, assigned at record time. Dense: a dump's
-    /// sequence numbers are gapless over the surviving window.
+    /// Global sequence number, assigned at record time. A dump's
+    /// sequence numbers are gapless over the surviving window except for
+    /// events dropped under same-slot write contention.
     pub seq: u64,
     /// What happened.
     pub kind: FlightEventKind,
@@ -136,20 +141,22 @@ pub struct FlightEvent {
 
 /// Fixed-capacity, overwrite-oldest ring of [`FlightEvent`]s.
 ///
-/// Recording is two relaxed/release atomic stores plus one relaxed
-/// fetch-add — no locks, no allocation — so it stays on in production
-/// and inside benches. A slot is claimed (sequence word zeroed), its
-/// payload written, then published (sequence word set); [`Self::dump`]
-/// re-reads the sequence word around the payload and drops entries it
-/// caught mid-write, so a torn pair is never returned. Under extreme
-/// same-slot contention a dump may miss an event that a quiescent dump
-/// would see — the recorder trades that sliver of completeness for a
-/// hot path with no synchronization.
+/// Recording is one relaxed fetch-add, one acquire/release swap, and
+/// two release stores — no locks, no allocation — so it stays on in
+/// production and inside benches. A slot is claimed (sequence word
+/// swapped to [`CLAIMED`]), its payload written, then published
+/// (sequence word set); [`Self::dump`] re-reads the sequence word
+/// around the payload and drops entries it caught mid-write, so a torn
+/// or misattributed pair is never returned. A writer whose swap finds
+/// the slot already claimed drops its event instead of racing the
+/// owner. Under extreme same-slot contention a dump may therefore miss
+/// an event — the recorder trades that sliver of completeness for a
+/// wait-free hot path.
 #[derive(Debug)]
 pub struct FlightRecorder {
     head: AtomicU64,
     /// Per-slot published sequence number plus one; 0 means "never
-    /// written" or "write in progress".
+    /// written", [`CLAIMED`] means a writer owns the slot.
     seqs: Vec<AtomicU64>,
     /// Per-slot packed payload: kind (8 bits) | shard (16 bits,
     /// `NO_SHARD` sentinel) | detail (40 bits).
@@ -159,8 +166,9 @@ pub struct FlightRecorder {
 impl FlightRecorder {
     /// A recorder holding up to `capacity` most-recent events
     /// (`capacity` ≥ 1; enforced by config validation upstream, clamped
-    /// here for safety).
-    pub(crate) fn new(capacity: usize) -> FlightRecorder {
+    /// here for safety). Public so the model-checking harness in
+    /// `crates/mc` can drive a standalone ring.
+    pub fn new(capacity: usize) -> FlightRecorder {
         let cap = capacity.max(1);
         FlightRecorder {
             head: AtomicU64::new(0),
@@ -179,8 +187,19 @@ impl FlightRecorder {
         self.head.load(Ordering::Relaxed)
     }
 
-    /// Records one event; the hot-path entry point.
-    pub(crate) fn record(&self, kind: FlightEventKind, shard: Option<usize>, detail: u64) {
+    /// Records one event; the hot-path entry point. Returns the event's
+    /// sequence number (callers on the hot path ignore it; the
+    /// model-checking harness uses it to pin dumped payloads to the
+    /// exact `record` call that claimed each sequence).
+    ///
+    /// The slot claim is a `swap`, not a plain store: two writers can
+    /// race for one ring slot once the sequence space wraps, and with a
+    /// store-claim a delayed writer could publish its sequence number
+    /// over the other writer's payload — a mixed pair `dump` cannot
+    /// detect (found by the `crates/mc` interleaving harness). The loser
+    /// of the swap drops its event instead: under same-slot contention
+    /// the ring may miss an event, but never misattributes one.
+    pub fn record(&self, kind: FlightEventKind, shard: Option<usize>, detail: u64) -> u64 {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let idx = (seq % self.seqs.len() as u64) as usize;
         let shard_field = match shard {
@@ -190,10 +209,16 @@ impl FlightRecorder {
         let word =
             (u64::from(kind.code()) << 56) | (shard_field << DETAIL_BITS) | (detail & DETAIL_MASK);
         // Claim, write payload, publish — dump() rejects the slot while
-        // the sequence word is zero or changes across its payload read.
-        self.seqs[idx].store(0, Ordering::Release);
+        // the sequence word is zero/claimed or changes across its
+        // payload read.
+        if self.seqs[idx].swap(CLAIMED, Ordering::AcqRel) == CLAIMED {
+            // Another writer owns this slot mid-write; writing anyway
+            // could pair its sequence number with our payload.
+            return seq;
+        }
         self.words[idx].store(word, Ordering::Release);
         self.seqs[idx].store(seq + 1, Ordering::Release);
+        seq
     }
 
     /// Snapshots the surviving window, oldest first, without stopping
@@ -203,7 +228,7 @@ impl FlightRecorder {
         let mut events = Vec::with_capacity(self.seqs.len());
         for idx in 0..self.seqs.len() {
             let before = self.seqs[idx].load(Ordering::Acquire);
-            if before == 0 {
+            if before == 0 || before == CLAIMED {
                 continue;
             }
             let word = self.words[idx].load(Ordering::Acquire);

@@ -26,6 +26,7 @@
 
 use crate::config::ShardSpec;
 use crate::config::{EvictionPolicy, HistoryPolicy, ProtocolSpec};
+use crate::mcsync::{AtomicU64, Ordering};
 use crate::metrics::{AtomicCounters, EvictionCause, ShardMetrics};
 use crate::recorder::{FlightEventKind, FlightRecorder};
 use crate::store::StoreError;
@@ -38,7 +39,6 @@ use rsb_registers::{
     Safe, ThreadedError, WorkGroup,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -141,7 +141,7 @@ enum KeyState<P: RegisterProtocol + 'static> {
 /// cold-scans never contend with a running driver. The shard map lock is
 /// *not* needed to step a key.
 struct KeySlot<P: RegisterProtocol + 'static> {
-    state: parking_lot::Mutex<KeyState<P>>,
+    state: crate::mcsync::Mutex<KeyState<P>>,
     /// Shard tick of the key's most recent activity (submission or step
     /// batch) — what the idle sweep and the coldest-first order read.
     /// Written under the key lock, read lock-free by the governor.
@@ -159,7 +159,7 @@ struct KeySlot<P: RegisterProtocol + 'static> {
 impl<P: RegisterProtocol + 'static> KeySlot<P> {
     fn new(state: KeyState<P>) -> Self {
         KeySlot {
-            state: parking_lot::Mutex::new(state),
+            state: crate::mcsync::Mutex::new(state),
             last_active: AtomicU64::new(0),
             last_active_at: AtomicU64::new(0),
             cached_bits: AtomicU64::new(0),

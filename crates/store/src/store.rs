@@ -172,6 +172,14 @@ pub struct Store {
     drivers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("drivers", &self.drivers.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Spawns one pool driver. Its loop gives the home shard priority, then
 /// scans the other shards for ready keys to steal — draining *half* the
 /// first loaded victim's queue in one batched pass

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Repo lint: structural rules the compiler can't enforce per-crate.
+
+Three checks, all hard failures:
+
+1. `unsafe` appears only in the one audited file that is allowed to use
+   it (the GF(256) SIMD kernels). Everything else is `forbid(unsafe_code)`
+   territory -- a new unsafe block anywhere else must come with an edit
+   to this script, i.e. a reviewable decision.
+
+2. The wire-decode paths in `crates/store/src/net/frame.rs` stay total:
+   no `.unwrap()`, no `.expect(`, no direct indexing/slicing (use `.get()`
+   and surface `decode_err`). Untrusted bytes must never reach a panic.
+
+3. Every crate keeps its lint header: `#![forbid(unsafe_code)]`
+   (`#![deny(unsafe_code)]` for the SIMD crate, which opts back in for
+   one module) and `#![warn(missing_docs)]` in `src/lib.rs`.
+
+Usage: python3 scripts/static_audit.py  (from the repo root; exits 1 on
+any finding).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CRATES = REPO / "crates"
+
+# The only file allowed to contain unsafe code.
+UNSAFE_ALLOWED = CRATES / "coding" / "src" / "gf256" / "simd.rs"
+# The file whose decode paths must be total.
+DECODE_FILE = CRATES / "store" / "src" / "net" / "frame.rs"
+# Crates allowed to use deny(unsafe_code) instead of forbid.
+DENY_OK = {"coding"}
+
+UNSAFE_RE = re.compile(r"\bunsafe\b")
+# Lines where the token `unsafe` is lint plumbing, not code.
+UNSAFE_LINT_RE = re.compile(r"unsafe_code|unsafe_op_in_unsafe_fn")
+PANIC_RE = re.compile(r"\.unwrap\(\)|\.expect\(")
+# An index/slice expression: `[` directly after an identifier char, `)`,
+# `]`, or `?`. Array literals/types (`[u8; 4]`, `&[u8]`) don't match.
+INDEX_RE = re.compile(r"[\w)\]?]\[")
+
+
+def strip_comments(line: str) -> str:
+    """Drop `//` comments (good enough: no block comments in hot paths)."""
+    return line.split("//", 1)[0]
+
+
+def check_unsafe_confinement(findings: list[str]) -> None:
+    for path in sorted(CRATES.rglob("*.rs")):
+        if path == UNSAFE_ALLOWED or "target" in path.parts:
+            continue
+        for i, raw in enumerate(path.read_text().splitlines(), 1):
+            line = strip_comments(raw)
+            if UNSAFE_RE.search(line) and not UNSAFE_LINT_RE.search(line):
+                rel = path.relative_to(REPO)
+                findings.append(
+                    f"{rel}:{i}: `unsafe` outside the audited SIMD module: {raw.strip()}"
+                )
+
+
+def check_decode_totality(findings: list[str]) -> None:
+    rel = DECODE_FILE.relative_to(REPO)
+    for i, raw in enumerate(DECODE_FILE.read_text().splitlines(), 1):
+        line = strip_comments(raw)
+        if PANIC_RE.search(line):
+            findings.append(f"{rel}:{i}: panic path in wire decode: {raw.strip()}")
+        if INDEX_RE.search(line):
+            findings.append(
+                f"{rel}:{i}: direct indexing in wire decode (use .get()): {raw.strip()}"
+            )
+
+
+def check_lint_headers(findings: list[str]) -> None:
+    for lib in sorted(CRATES.glob("*/src/lib.rs")):
+        crate = lib.parent.parent.name
+        text = lib.read_text()
+        wanted = "#![deny(unsafe_code)]" if crate in DENY_OK else "#![forbid(unsafe_code)]"
+        if wanted not in text:
+            findings.append(f"crates/{crate}: lib.rs dropped `{wanted}`")
+        if "#![warn(missing_docs)]" not in text:
+            findings.append(f"crates/{crate}: lib.rs dropped `#![warn(missing_docs)]`")
+
+
+def main() -> int:
+    findings: list[str] = []
+    check_unsafe_confinement(findings)
+    check_decode_totality(findings)
+    check_lint_headers(findings)
+    if findings:
+        print(f"static audit: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    n_crates = len(list(CRATES.glob("*/src/lib.rs")))
+    print(f"static audit clean: {n_crates} crates, unsafe confined to "
+          f"{UNSAFE_ALLOWED.relative_to(REPO)}, decode paths total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
