@@ -1,0 +1,234 @@
+//! The allowlist annotation syntax and the per-file annotation index.
+//!
+//! A violation is suppressed by a comment of the form
+//!
+//! ```text
+//! // audit:allow(<rule>) — <justification>
+//! ```
+//!
+//! either trailing on the offending line or standing alone on the
+//! line(s) directly above it (attribute lines and further annotation
+//! comments in between are skipped, so an annotation can sit above a
+//! `#[...]`-decorated item). The justification is mandatory: an
+//! `audit:allow` with nothing after the rule is itself reported.
+//!
+//! `// SAFETY:` comments for the unsafe-confinement rule are indexed
+//! the same way: a SAFETY comment covers the first code line at or
+//! below it.
+
+use crate::lexer::Lexed;
+use crate::report::Rule;
+use std::collections::HashMap;
+
+/// One parsed `audit:allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The allowed rule.
+    pub rule: Rule,
+    /// The justification text after the rule (trimmed).
+    pub justification: String,
+    /// The line the comment itself is on.
+    pub comment_line: u32,
+}
+
+/// A malformed annotation (unknown rule or missing justification) —
+/// reported as a finding by the driver.
+#[derive(Debug, Clone)]
+pub struct BadAnnotation {
+    /// The line the comment is on.
+    pub line: u32,
+    /// Why it was rejected.
+    pub message: String,
+}
+
+/// Per-file annotation index: which code lines are covered by which
+/// allows, and which lines carry a SAFETY comment.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    /// Code line → allows covering it.
+    covered: HashMap<u32, Vec<Allow>>,
+    /// Code lines covered by a `SAFETY:` comment.
+    safety: Vec<u32>,
+    /// Malformed annotations.
+    pub bad: Vec<BadAnnotation>,
+}
+
+impl Annotations {
+    /// Whether `rule` is allowed at `line`; returns the justification.
+    #[must_use]
+    pub fn allow_for(&self, rule: Rule, line: u32) -> Option<&Allow> {
+        self.covered
+            .get(&line)
+            .and_then(|allows| allows.iter().find(|a| a.rule == rule))
+    }
+
+    /// Whether `line` is covered by a `SAFETY:` comment.
+    #[must_use]
+    pub fn has_safety(&self, line: u32) -> bool {
+        self.safety.binary_search(&line).is_ok()
+    }
+}
+
+/// Parses the `audit:allow(rule)` head of a comment, returning the rule
+/// id text and the remainder.
+fn split_allow(text: &str) -> Option<(&str, &str)> {
+    let start = text.find("audit:allow(")?;
+    let rest = &text[start + "audit:allow(".len()..];
+    let close = rest.find(')')?;
+    Some((rest[..close].trim(), &rest[close + 1..]))
+}
+
+/// Strips the separator between the rule and its justification: spaces,
+/// dashes (ASCII or em/en), and colons.
+fn strip_separator(s: &str) -> &str {
+    s.trim_start_matches([' ', '\t', '-', '—', '–', ':'])
+}
+
+/// Builds the annotation index for one lexed file.
+///
+/// Coverage: a comment on line `C` covers line `C` itself (trailing
+/// annotations) and, when no code shares its line, the first following
+/// line that has non-attribute code (skipping blank, comment-only, and
+/// attribute-only lines, up to a bounded distance).
+#[must_use]
+pub fn index(lexed: &Lexed) -> Annotations {
+    let mut out = Annotations::default();
+    let code_lines = lexed.code_lines();
+    let has_code = |line: u32| code_lines.binary_search(&line).is_ok();
+    // A comment's target line: itself if code shares the line, else the
+    // first code line below. Attribute-only, comment, and blank lines
+    // are skipped implicitly (they are not code lines).
+    let target_of = |comment_line: u32, span: u32| -> u32 {
+        let first = comment_line + span;
+        // Bounded walk: an annotation floating far above any code is
+        // almost certainly detached; 12 lines allows a long attribute
+        // stack plus doc comments.
+        if has_code(comment_line) {
+            return comment_line;
+        }
+        for l in first..first + 12 {
+            if l > lexed.lines {
+                break;
+            }
+            if has_code(l) {
+                return l;
+            }
+        }
+        comment_line
+    };
+    for comment in &lexed.comments {
+        let text = &comment.text;
+        // Doc comments (`///`, `//!`, `/** */`) are prose *about* the
+        // annotation syntax, not annotations — the analyzer's own docs
+        // would otherwise flag themselves.
+        if text.starts_with('/') || text.starts_with('!') || text.starts_with('*') {
+            continue;
+        }
+        if let Some((rule_id, rest)) = split_allow(text) {
+            let justification = strip_separator(rest).trim().to_string();
+            match Rule::from_id(rule_id) {
+                None => out.bad.push(BadAnnotation {
+                    line: comment.line,
+                    message: format!("audit:allow names unknown rule `{rule_id}`"),
+                }),
+                Some(_) if justification.is_empty() => out.bad.push(BadAnnotation {
+                    line: comment.line,
+                    message: format!(
+                        "audit:allow({rule_id}) has no justification — write \
+                         `// audit:allow({rule_id}) — <why this is sound>`"
+                    ),
+                }),
+                Some(rule) => {
+                    let target = target_of(comment.line, comment.span_lines);
+                    out.covered.entry(target).or_default().push(Allow {
+                        rule,
+                        justification,
+                        comment_line: comment.line,
+                    });
+                }
+            }
+        }
+        if text.contains("SAFETY:") || text.contains("SAFETY —") {
+            let target = target_of(comment.line, comment.span_lines);
+            out.safety.push(target);
+        }
+    }
+    out.safety.sort_unstable();
+    out.safety.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_and_standalone_coverage() {
+        let src = "\
+let a = x.unwrap(); // audit:allow(panic-path) — infallible by construction
+// audit:allow(atomics-relaxed) — statistic only
+let b = y.load(Ordering::Relaxed);
+";
+        let ann = index(&lex(src));
+        assert!(ann.allow_for(Rule::PanicPath, 1).is_some());
+        assert!(ann.allow_for(Rule::AtomicsRelaxed, 3).is_some());
+        assert!(ann.allow_for(Rule::AtomicsRelaxed, 1).is_none());
+    }
+
+    #[test]
+    fn annotation_skips_attributes() {
+        let src = "\
+// audit:allow(panic-path) — test-only helper
+#[inline]
+fn f() { x.unwrap(); }
+";
+        let ann = index(&lex(src));
+        assert!(ann.allow_for(Rule::PanicPath, 3).is_some());
+    }
+
+    #[test]
+    fn missing_justification_is_bad() {
+        let ann = index(&lex("// audit:allow(panic-path)\nlet a = 1;"));
+        assert_eq!(ann.bad.len(), 1);
+        assert!(ann.bad[0].message.contains("no justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_bad() {
+        let ann = index(&lex("// audit:allow(no-such-rule) — because\nlet a = 1;"));
+        assert_eq!(ann.bad.len(), 1);
+        assert!(ann.bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn safety_comments_cover_next_code_line() {
+        let src = "\
+// SAFETY: the pointer is valid for 16 bytes.
+unsafe { read(p) }
+let x = 1;
+";
+        let ann = index(&lex(src));
+        assert!(ann.has_safety(2));
+        assert!(!ann.has_safety(3));
+    }
+
+    #[test]
+    fn doc_comments_are_prose_not_annotations() {
+        let src = "\
+//! Suppress with `// audit:allow(made-up-rule)`.
+/// Also mentions audit:allow(panic-path) with no justification.
+fn f() { x.unwrap(); }
+";
+        let ann = index(&lex(src));
+        assert!(ann.bad.is_empty());
+        assert!(ann.allow_for(Rule::PanicPath, 3).is_none());
+    }
+
+    #[test]
+    fn allows_inside_strings_do_not_count() {
+        let src = "let s = \"// audit:allow(panic-path) — nope\";\nlet a = x.unwrap();";
+        let ann = index(&lex(src));
+        assert!(ann.allow_for(Rule::PanicPath, 2).is_none());
+    }
+}

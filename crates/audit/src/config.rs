@@ -1,0 +1,443 @@
+//! `audit.toml` — the analyzer's manifest — and the minimal TOML
+//! subset it is written in.
+//!
+//! The build environment vendors stub crates only, so there is no real
+//! TOML (or serde) implementation to lean on. The parser below covers
+//! exactly what the manifest needs: `[section]` and `[[array.of.tables]]`
+//! headers, `key = "string"`, `key = 123`, `key = true`, and
+//! (possibly multi-line) `key = ["a", "b"]` string arrays. Anything
+//! else is a hard error — the manifest is project infrastructure, not
+//! user input.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation error, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the manifest (0 for structural errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed TOML value (the subset the manifest uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TomlValue {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of strings.
+    StrArray(Vec<String>),
+}
+
+/// One `[section]` or one element of a `[[section]]` list: its key/value
+/// pairs in declaration order.
+pub type TomlTable = BTreeMap<String, TomlValue>;
+
+/// The parsed document: plain sections by name, array-of-table sections
+/// by name.
+#[derive(Debug, Default)]
+pub struct TomlDoc {
+    /// `[name]` sections.
+    pub tables: BTreeMap<String, TomlTable>,
+    /// `[[name]]` sections, in declaration order.
+    pub arrays: BTreeMap<String, Vec<TomlTable>>,
+}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(raw: &str, line_no: u32) -> Result<TomlValue, ConfigError> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err(err(line_no, "unterminated string"));
+        };
+        // The manifest needs no escapes beyond \" and \\.
+        let mut out = String::new();
+        let mut escaped = false;
+        for c in body.chars() {
+            if escaped {
+                out.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(TomlValue::Str(out));
+    }
+    if raw == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    raw.parse::<i64>()
+        .map(TomlValue::Int)
+        .map_err(|_| err(line_no, format!("unsupported value `{raw}`")))
+}
+
+/// Parses the supported TOML subset.
+///
+/// # Errors
+///
+/// Fails on any construct outside the subset (inline tables, floats,
+/// non-string arrays, dotted keys), with the offending line number.
+pub fn parse_toml(src: &str) -> Result<TomlDoc, ConfigError> {
+    let mut doc = TomlDoc::default();
+    // Where key/value pairs currently land.
+    enum Cursor {
+        None,
+        Table(String),
+        Array(String),
+    }
+    let mut cursor = Cursor::None;
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return Err(err(line_no, "malformed [[section]] header"));
+            };
+            let name = name.trim().to_string();
+            doc.arrays
+                .entry(name.clone())
+                .or_default()
+                .push(TomlTable::new());
+            cursor = Cursor::Array(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(line_no, "malformed [section] header"));
+            };
+            let name = name.trim().to_string();
+            doc.tables.entry(name.clone()).or_default();
+            cursor = Cursor::Table(name);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(
+                line_no,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let key = line[..eq].trim().to_string();
+        if key.is_empty() || key.contains('.') {
+            return Err(err(line_no, "unsupported key (empty or dotted)"));
+        }
+        let mut value_src = line[eq + 1..].trim().to_string();
+        // Multi-line arrays: keep consuming lines until the bracket
+        // closes (comments already stripped per line).
+        if value_src.starts_with('[') {
+            while !value_src.trim_end().ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err(line_no, "unterminated array"));
+                };
+                value_src.push(' ');
+                value_src.push_str(strip_comment(next).trim());
+            }
+        }
+        let value = if let Some(body) = value_src
+            .trim()
+            .strip_prefix('[')
+            .and_then(|v| v.strip_suffix(']'))
+        {
+            let mut items = Vec::new();
+            for item in split_array_items(body) {
+                match parse_scalar(&item, line_no)? {
+                    TomlValue::Str(s) => items.push(s),
+                    _ => return Err(err(line_no, "arrays may only contain strings")),
+                }
+            }
+            TomlValue::StrArray(items)
+        } else {
+            parse_scalar(&value_src, line_no)?
+        };
+        let table = match &cursor {
+            Cursor::None => return Err(err(line_no, "key/value before any [section]")),
+            Cursor::Table(name) => doc.tables.get_mut(name).expect("cursor points at a table"),
+            Cursor::Array(name) => doc
+                .arrays
+                .get_mut(name)
+                .and_then(|v| v.last_mut())
+                .expect("cursor points at an array element"),
+        };
+        if table.insert(key.clone(), value).is_some() {
+            return Err(err(line_no, format!("duplicate key `{key}`")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Splits a bracketless array body on commas outside quotes.
+fn split_array_items(body: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        if escaped {
+            current.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                current.push(c);
+                escaped = true;
+            }
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(current);
+    }
+    items
+        .into_iter()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// One level of the declared lock hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockLevel {
+    /// Numeric rank: locks must be acquired in strictly increasing rank.
+    pub rank: i64,
+    /// Human-readable level name (matches the runtime checker's table).
+    pub name: String,
+    /// Struct field names whose `.lock()`/`.try_lock()`/`.read()`/
+    /// `.write()` acquire this level.
+    pub fields: Vec<String>,
+}
+
+/// The analyzer's full configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    /// Path prefixes (repo-relative, `/`-separated) where panic paths
+    /// are forbidden.
+    pub no_panic_paths: Vec<String>,
+    /// Path prefixes where slice indexing is additionally forbidden.
+    pub no_index_paths: Vec<String>,
+    /// Files allowed to contain `unsafe` (each use still needs a
+    /// `// SAFETY:` comment).
+    pub unsafe_allowed: Vec<String>,
+    /// Crate names whose `lib.rs` may carry `#![deny(unsafe_code)]`
+    /// instead of `#![forbid(unsafe_code)]`.
+    pub deny_header_ok: Vec<String>,
+    /// The declared lock hierarchy, sorted by rank.
+    pub lock_levels: Vec<LockLevel>,
+}
+
+impl AuditConfig {
+    /// The lock level (rank and name) a field name maps to, if any.
+    #[must_use]
+    pub fn lock_level_of(&self, field: &str) -> Option<&LockLevel> {
+        self.lock_levels
+            .iter()
+            .find(|l| l.fields.iter().any(|f| f == field))
+    }
+
+    /// The level with the given name (what `tracked_lock` calls name via
+    /// their `ranks::` constant).
+    #[must_use]
+    pub fn lock_level_named(&self, name: &str) -> Option<&LockLevel> {
+        self.lock_levels.iter().find(|l| l.name == name)
+    }
+}
+
+fn take_str_array(table: &TomlTable, key: &str) -> Vec<String> {
+    match table.get(key) {
+        Some(TomlValue::StrArray(v)) => v.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Parses and validates `audit.toml`.
+///
+/// # Errors
+///
+/// Fails on TOML outside the supported subset, on lock levels missing
+/// required keys, on duplicate ranks, or on one field name mapped to
+/// two levels.
+pub fn parse_config(src: &str) -> Result<AuditConfig, ConfigError> {
+    let doc = parse_toml(src)?;
+    let mut config = AuditConfig::default();
+    if let Some(table) = doc.tables.get("no_panic") {
+        config.no_panic_paths = take_str_array(table, "paths");
+        config.no_index_paths = take_str_array(table, "index_paths");
+    }
+    if let Some(table) = doc.tables.get("unsafe_code") {
+        config.unsafe_allowed = take_str_array(table, "allowed");
+        config.deny_header_ok = take_str_array(table, "deny_header_ok");
+    }
+    if let Some(levels) = doc.arrays.get("lock_order.level") {
+        for table in levels {
+            let Some(TomlValue::Int(rank)) = table.get("rank") else {
+                return Err(err(0, "lock_order.level missing integer `rank`"));
+            };
+            let Some(TomlValue::Str(name)) = table.get("name") else {
+                return Err(err(0, "lock_order.level missing string `name`"));
+            };
+            let fields = take_str_array(table, "fields");
+            if fields.is_empty() {
+                return Err(err(0, format!("lock level `{name}` declares no fields")));
+            }
+            config.lock_levels.push(LockLevel {
+                rank: *rank,
+                name: name.clone(),
+                fields,
+            });
+        }
+    }
+    config.lock_levels.sort_by_key(|l| l.rank);
+    for pair in config.lock_levels.windows(2) {
+        if pair[0].rank == pair[1].rank {
+            return Err(err(
+                0,
+                format!(
+                    "lock levels `{}` and `{}` share rank {}",
+                    pair[0].name, pair[1].name, pair[0].rank
+                ),
+            ));
+        }
+    }
+    let mut seen_fields: BTreeMap<&str, &str> = BTreeMap::new();
+    for level in &config.lock_levels {
+        for field in &level.fields {
+            if let Some(other) = seen_fields.insert(field.as_str(), level.name.as_str()) {
+                return Err(err(
+                    0,
+                    format!(
+                        "field `{field}` mapped to both `{other}` and `{}`",
+                        level.name
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# top comment
+[no_panic]
+paths = [
+    "crates/store/src/net/",   # wire paths
+    "crates/store/src/recorder.rs",
+]
+index_paths = ["crates/store/src/net/frame.rs"]
+
+[unsafe_code]
+allowed = ["crates/coding/src/gf256/simd.rs"]
+deny_header_ok = ["coding"]
+
+[[lock_order.level]]
+rank = 0
+name = "shard_map"
+fields = ["map"]
+
+[[lock_order.level]]
+rank = 30
+name = "key_state"
+fields = ["state"]
+"#;
+
+    #[test]
+    fn parses_the_manifest_shape() {
+        let config = parse_config(SAMPLE).unwrap();
+        assert_eq!(config.no_panic_paths.len(), 2);
+        assert_eq!(config.no_index_paths, vec!["crates/store/src/net/frame.rs"]);
+        assert_eq!(
+            config.unsafe_allowed,
+            vec!["crates/coding/src/gf256/simd.rs"]
+        );
+        assert_eq!(config.lock_levels.len(), 2);
+        assert_eq!(config.lock_level_of("state").unwrap().rank, 30);
+        assert_eq!(config.lock_level_of("map").unwrap().name, "shard_map");
+        assert!(config.lock_level_of("unknown").is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_ranks() {
+        let src = "[[lock_order.level]]\nrank = 1\nname = \"a\"\nfields = [\"x\"]\n\
+                   [[lock_order.level]]\nrank = 1\nname = \"b\"\nfields = [\"y\"]\n";
+        assert!(parse_config(src).is_err());
+    }
+
+    #[test]
+    fn rejects_field_mapped_twice() {
+        let src = "[[lock_order.level]]\nrank = 1\nname = \"a\"\nfields = [\"x\"]\n\
+                   [[lock_order.level]]\nrank = 2\nname = \"b\"\nfields = [\"x\"]\n";
+        assert!(parse_config(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_values() {
+        assert!(parse_toml("[t]\nx = 1.5\n").is_err());
+        assert!(parse_toml("x = 1\n").is_err());
+        assert!(parse_toml("[t]\nx = { a = 1 }\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_strings_interact() {
+        let doc = parse_toml("[t]\nx = \"a # not a comment\" # real one\n").unwrap();
+        assert_eq!(
+            doc.tables["t"]["x"],
+            TomlValue::Str("a # not a comment".into())
+        );
+    }
+}

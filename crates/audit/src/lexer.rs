@@ -1,0 +1,520 @@
+//! A hand-rolled Rust tokenizer — just enough lexical structure for the
+//! audit rules, with no `syn` (the build environment vendors stub
+//! crates, so the analyzer cannot lean on a real parser).
+//!
+//! The lexer understands the parts of Rust where naive text matching
+//! goes wrong: line and (nested) block comments, string / raw-string /
+//! byte-string / char literals, lifetimes vs. char literals, raw
+//! identifiers, and attributes. Rules then work on the token stream —
+//! a `.unwrap()` inside a string literal or a doc comment is never a
+//! finding, and an `audit:allow` annotation inside a string never
+//! suppresses one.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers, with the
+    /// `r#` prefix stripped).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// A string, raw-string, or byte-string literal (content dropped).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A numeric literal.
+    Num,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// Identifier text (empty for non-identifier tokens).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Whether the token directly abuts the previous token (no
+    /// whitespace or comment between them) — how `foo[` (an index) is
+    /// told apart from `foo [` and from array types/literals.
+    pub glued: bool,
+    /// Whether the token sits inside an attribute (`#[...]` or
+    /// `#![...]`), where brackets and idents are metadata, not code.
+    pub in_attr: bool,
+}
+
+/// One comment (line or block), with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// Full comment text, delimiters stripped.
+    pub text: String,
+    /// Lines the comment spans (1 for line comments).
+    pub span_lines: u32,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Number of source lines.
+    pub lines: u32,
+}
+
+impl Lexed {
+    /// The set of lines that contain at least one non-attribute code
+    /// token, as a sorted vector for binary search.
+    #[must_use]
+    pub fn code_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self
+            .toks
+            .iter()
+            .filter(|t| !t.in_attr)
+            .map(|t| t.line)
+            .collect();
+        lines.dedup();
+        lines
+    }
+
+    /// The set of lines that contain any token at all (including
+    /// attribute tokens), sorted and deduplicated.
+    #[must_use]
+    pub fn token_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self.toks.iter().map(|t| t.line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one source file. Malformed input (unterminated literals)
+/// never panics: the lexer consumes to end of file and returns what it
+/// saw — the audit runs on code that already passed `rustc`, so this is
+/// belt-and-braces, not a correctness requirement.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let n = bytes.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut glued = false;
+    // Attribute tracking: depth of `[` nesting inside an attribute; 0
+    // when outside. Entered on `#[` / `#![`, left when the matching `]`
+    // closes.
+    let mut attr_depth: u32 = 0;
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: $line,
+                glued,
+                in_attr: attr_depth > 0,
+            });
+            glued = true;
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            glued = false;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            i += 2;
+            while i < n && bytes[i] != '\n' {
+                text.push(bytes[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+                span_lines: 1,
+            });
+            glued = false;
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                    text.push_str("/*");
+                    continue;
+                }
+                if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    continue;
+                }
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                text.push(bytes[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+                span_lines: line - start_line + 1,
+            });
+            glued = false;
+            continue;
+        }
+        // Raw strings and raw identifiers: r"..." / r#"..."# / r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            // Work out whether this starts a raw/byte literal.
+            let mut j = i;
+            let mut is_byte = false;
+            if bytes[j] == 'b' {
+                is_byte = true;
+                j += 1;
+            }
+            let mut raw = false;
+            if j < n && bytes[j] == 'r' {
+                raw = true;
+                j += 1;
+            } else if is_byte {
+                // b"..." or b'...' fall through to the quote handling
+                // below with the prefix consumed.
+            } else {
+                raw = false;
+            }
+            if raw || is_byte {
+                let mut hashes = 0usize;
+                while j < n && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && bytes[j] == '"' && (raw || (is_byte && hashes == 0)) {
+                    // Raw (or byte) string literal: scan to closing
+                    // quote + hashes.
+                    let start_line = line;
+                    j += 1;
+                    if raw {
+                        loop {
+                            if j >= n {
+                                break;
+                            }
+                            if bytes[j] == '\n' {
+                                line += 1;
+                                j += 1;
+                                continue;
+                            }
+                            if bytes[j] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && j + 1 + k < n && bytes[j + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    j += 1 + hashes;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    } else {
+                        // b"..." with escapes.
+                        while j < n {
+                            match bytes[j] {
+                                '\\' => j += 2,
+                                '"' => {
+                                    j += 1;
+                                    break;
+                                }
+                                '\n' => {
+                                    line += 1;
+                                    j += 1;
+                                }
+                                _ => j += 1,
+                            }
+                        }
+                    }
+                    i = j;
+                    push_tok!(TokKind::Str, String::new(), start_line);
+                    continue;
+                }
+                if raw && hashes > 0 && j < n && is_ident_start(bytes[j]) && !is_byte {
+                    // Raw identifier r#ident.
+                    let start_line = line;
+                    let mut text = String::new();
+                    while j < n && is_ident_continue(bytes[j]) {
+                        text.push(bytes[j]);
+                        j += 1;
+                    }
+                    i = j;
+                    push_tok!(TokKind::Ident, text, start_line);
+                    continue;
+                }
+                if is_byte && hashes == 0 && j < n && bytes[j] == '\'' {
+                    // Byte literal b'x'.
+                    let start_line = line;
+                    j += 1;
+                    while j < n {
+                        match bytes[j] {
+                            '\\' => j += 2,
+                            '\'' => {
+                                j += 1;
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    i = j;
+                    push_tok!(TokKind::Char, String::new(), start_line);
+                    continue;
+                }
+                // Not a raw form after all: fall through to plain ident
+                // handling for the leading r/b.
+            }
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && is_ident_continue(bytes[i]) {
+                text.push(bytes[i]);
+                i += 1;
+            }
+            push_tok!(TokKind::Ident, text, start_line);
+            continue;
+        }
+        // Numbers (we only need to not mistake them for anything else).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < n && (is_ident_continue(bytes[i]) || bytes[i] == '.') {
+                // Stop a `0..10` range from eating the second dot.
+                if bytes[i] == '.' && i + 1 < n && bytes[i + 1] == '.' {
+                    break;
+                }
+                i += 1;
+            }
+            push_tok!(TokKind::Num, String::new(), start_line);
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match bytes[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            push_tok!(TokKind::Str, String::new(), start_line);
+            continue;
+        }
+        // Lifetimes vs. char literals.
+        if c == '\'' {
+            let start_line = line;
+            // `'a`, `'static`, `'_` with no closing quote → lifetime.
+            if i + 1 < n && (is_ident_start(bytes[i + 1])) {
+                // Peek past the identifier; a closing quote makes it a
+                // char literal ('a' vs 'a).
+                let mut j = i + 1;
+                while j < n && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                if j < n && bytes[j] == '\'' && j == i + 2 {
+                    // 'x' — single-char literal.
+                    i = j + 1;
+                    push_tok!(TokKind::Char, String::new(), start_line);
+                    continue;
+                }
+                i = j;
+                push_tok!(TokKind::Lifetime, String::new(), start_line);
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\\', '{'.
+            i += 1;
+            while i < n {
+                match bytes[i] {
+                    '\\' => i += 2,
+                    '\'' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            push_tok!(TokKind::Char, String::new(), start_line);
+            continue;
+        }
+        // Attribute entry/exit bookkeeping, then plain punctuation.
+        if c == '#' {
+            // `#[` or `#![` opens an attribute.
+            let next = if i + 1 < n { bytes[i + 1] } else { ' ' };
+            let next2 = if i + 2 < n { bytes[i + 2] } else { ' ' };
+            if next == '[' || (next == '!' && next2 == '[') {
+                push_tok!(TokKind::Punct('#'), String::new(), line);
+                // The opening `#` belongs to the attribute too, so an
+                // attribute-only line is not a "code line".
+                if let Some(t) = out.toks.last_mut() {
+                    t.in_attr = true;
+                }
+                i += 1;
+                attr_depth = attr_depth.max(1);
+                continue;
+            }
+        }
+        if attr_depth > 0 {
+            if c == '[' {
+                attr_depth += 1;
+            } else if c == ']' {
+                attr_depth -= 1;
+                if attr_depth == 1 {
+                    // The `[` that entered level 1 was the attribute's
+                    // own bracket; this `]` closes it.
+                    attr_depth = 0;
+                    push_tok!(TokKind::Punct(']'), String::new(), line);
+                    // Re-mark: the closing bracket itself belongs to
+                    // the attribute.
+                    if let Some(t) = out.toks.last_mut() {
+                        t.in_attr = true;
+                    }
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        push_tok!(TokKind::Punct(c), String::new(), line);
+        i += 1;
+    }
+    out.lines = line;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let l = lex("let x = \"a.unwrap()\"; // b.unwrap()\n/* c.unwrap() */ y");
+        assert_eq!(idents(&l), vec!["let", "x", "y"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ x");
+        assert_eq!(idents(&l), vec!["x"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let l = lex("r#\"raw \"quote\" body\"# r#type b\"bytes\" b'x'");
+        assert_eq!(idents(&l), vec!["type"]);
+        let kinds: Vec<TokKind> = l.toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TokKind::Str, TokKind::Ident, TokKind::Str, TokKind::Char]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'q'; }");
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn glued_marks_adjacency() {
+        let l = lex("a[0] b [1]");
+        // `[` after `a` is glued; `[` after `b ` is not.
+        let brackets: Vec<bool> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('['))
+            .map(|t| t.glued)
+            .collect();
+        assert_eq!(brackets, vec![true, false]);
+    }
+
+    #[test]
+    fn attributes_are_marked() {
+        let l = lex("#[cfg(test)]\nmod tests {}");
+        let attr_idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.in_attr)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(attr_idents, vec!["cfg", "test"]);
+        let code_idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && !t.in_attr)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(code_idents, vec!["mod", "tests"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let l = lex("a\nb\n\"multi\nline\"\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 5]);
+    }
+}

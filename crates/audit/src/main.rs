@@ -1,0 +1,122 @@
+//! The `rsb-audit` command-line interface.
+//!
+//! ```text
+//! cargo run -p rsb-audit -- --workspace [--json report.json]
+//! cargo run -p rsb-audit -- crates/store/src/shard.rs
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/config/IO error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+const USAGE: &str = "\
+usage: rsb-audit [--workspace] [--root DIR] [--config PATH] [--json PATH] [FILE...]
+
+  --workspace    audit every crate under <root>/crates (default when no FILEs)
+  --root DIR     repository root (default: .)
+  --config PATH  manifest path (default: <root>/audit.toml)
+  --json PATH    write the machine-readable report to PATH ('-' for stdout)
+  FILE...        audit just these files (lint-header rule skipped)
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        config: None,
+        json: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if args.files.is_empty() {
+        args.workspace = true;
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("audit.toml"));
+    let config_src = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = rsb_audit::config::parse_config(&config_src).map_err(|e| e.to_string())?;
+
+    let report = if args.workspace {
+        rsb_audit::run_workspace_audit(&args.root, &config)
+    } else {
+        rsb_audit::run_files_audit(&args.root, &args.files, &config)
+    }
+    .map_err(|e| format!("audit failed: {e}"))?;
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "audit: {} files scanned, {} finding(s), {} suppression(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressions.len()
+    );
+
+    if let Some(json_path) = &args.json {
+        let json = report.to_json();
+        if json_path.as_os_str() == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(json_path, json)
+                .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        }
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("rsb-audit: {msg}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The atomics-ordering rules.
+//!
+//! Every `Ordering::Relaxed` must carry a justification annotation —
+//! relaxed loads/stores are correct only when the value genuinely
+//! synchronizes nothing (statistics counters, monotonic IDs), and that
+//! argument belongs next to the code. `Ordering::SeqCst` is suspicious
+//! by default: it usually papers over an unclear acquire/release
+//! protocol, so it needs a justification too (or a downgrade).
+
+use crate::lexer::TokKind;
+use crate::report::{Finding, Rule, Suppression};
+use crate::rules::{emit, FileCtx};
+
+/// Runs the rule over one file (test modules included — wrong orderings
+/// in tests mask real races).
+pub fn check(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, suppressions: &mut Vec<Suppression>) {
+    let toks = &ctx.lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_attr || tok.kind != TokKind::Ident || tok.text != "Ordering" {
+            continue;
+        }
+        // `Ordering :: Relaxed` — `::` lexes as two `:` puncts.
+        let Some(variant) = toks.get(i + 3) else {
+            continue;
+        };
+        let path_sep = toks
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct(':'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Punct(':'));
+        if !path_sep || variant.kind != TokKind::Ident {
+            continue;
+        }
+        match variant.text.as_str() {
+            "Relaxed" => emit(
+                ctx,
+                Rule::AtomicsRelaxed,
+                variant.line,
+                "`Ordering::Relaxed` without a justification — annotate why \
+                 this access synchronizes nothing, or strengthen it"
+                    .to_string(),
+                findings,
+                suppressions,
+            ),
+            "SeqCst" => emit(
+                ctx,
+                Rule::AtomicsSeqCst,
+                variant.line,
+                "`Ordering::SeqCst` is suspicious by default — justify why a \
+                 total order is required, or downgrade to acquire/release"
+                    .to_string(),
+                findings,
+                suppressions,
+            ),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations;
+    use crate::config::AuditConfig;
+    use crate::lexer::lex;
+    use crate::rules::test_spans;
+
+    fn run(src: &str) -> (Vec<Finding>, Vec<Suppression>) {
+        let config = AuditConfig::default();
+        let lexed = lex(src);
+        let ann = annotations::index(&lexed);
+        let ctx = FileCtx {
+            path: "crates/store/src/metrics.rs",
+            lexed: &lexed,
+            ann: &ann,
+            config: &config,
+            test_spans: test_spans(&lexed),
+        };
+        let mut findings = Vec::new();
+        let mut suppressions = Vec::new();
+        check(&ctx, &mut findings, &mut suppressions);
+        (findings, suppressions)
+    }
+
+    #[test]
+    fn flags_relaxed_and_seqcst() {
+        let src = "\
+fn f(a: &AtomicU64) {
+    a.load(Ordering::Relaxed);
+    a.store(1, Ordering::SeqCst);
+    a.fetch_add(1, Ordering::AcqRel);
+}
+";
+        let (findings, _) = run(src);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].rule, Rule::AtomicsRelaxed);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].rule, Rule::AtomicsSeqCst);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn acquire_release_pass_unannotated() {
+        let src = "fn f(a: &AtomicBool) { a.load(Ordering::Acquire); a.store(true, Ordering::Release); }\n";
+        let (findings, _) = run(src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn annotations_suppress() {
+        let src = "\
+// audit:allow(atomics-relaxed) — statistics counter, reader tolerates staleness
+let n = hits.load(Ordering::Relaxed);
+let m = total.load(Ordering::Relaxed);
+";
+        let (findings, suppressions) = run(src);
+        assert_eq!(suppressions.len(), 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_flagged() {
+        // `std::cmp::Ordering::Less` shares the type name; only the
+        // atomic variants trip the rule.
+        let (findings, _) = run("fn f() -> Ordering { Ordering::Less }\n");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn applies_inside_test_modules_too() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n  fn t(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n}\n";
+        let (findings, _) = run(src);
+        assert_eq!(findings.len(), 1);
+    }
+}

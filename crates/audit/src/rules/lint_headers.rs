@@ -1,0 +1,139 @@
+//! The lint-headers rule: every crate root must carry the workspace's
+//! mandatory lint attributes.
+//!
+//! Each `crates/*/src/lib.rs` (and `main.rs`-only crates' root) must
+//! declare `#![forbid(unsafe_code)]` — or `#![deny(unsafe_code)]` for
+//! the crates listed in `[unsafe_code] deny_header_ok` (the SIMD crate
+//! cannot `forbid` because its kernels opt in locally) — and
+//! `#![warn(missing_docs)]`. The check is attribute-token based, so a
+//! header mentioned in a doc comment does not satisfy it.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::report::{Finding, Rule};
+
+/// Whether the lexed file carries an inner attribute containing all the
+/// given identifiers (e.g. `forbid` + `unsafe_code`).
+fn has_inner_attr(lexed: &Lexed, idents: &[&str]) -> bool {
+    let toks = &lexed.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct('#') {
+            let mut seen = vec![false; idents.len()];
+            let mut j = i + 1;
+            while j < toks.len() && (toks[j].in_attr || toks[j].kind == TokKind::Punct('!')) {
+                if toks[j].kind == TokKind::Ident {
+                    for (k, want) in idents.iter().enumerate() {
+                        if toks[j].text == *want {
+                            seen[k] = true;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if seen.iter().all(|&s| s) {
+                return true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Checks one crate root. `crate_name` is the directory name under
+/// `crates/`; `path` is the repo-relative root path for diagnostics.
+pub fn check_crate_root(
+    crate_name: &str,
+    path: &str,
+    lexed: &Lexed,
+    deny_header_ok: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    let deny_ok = deny_header_ok.iter().any(|c| c == crate_name);
+    let has_forbid = has_inner_attr(lexed, &["forbid", "unsafe_code"]);
+    let has_deny = has_inner_attr(lexed, &["deny", "unsafe_code"]);
+    let ok = if deny_ok {
+        has_forbid || has_deny
+    } else {
+        has_forbid
+    };
+    if !ok {
+        let wanted = if deny_ok {
+            "#![deny(unsafe_code)]"
+        } else {
+            "#![forbid(unsafe_code)]"
+        };
+        findings.push(Finding {
+            rule: Rule::LintHeaders,
+            path: path.to_string(),
+            line: 1,
+            message: format!("crate root is missing `{wanted}`"),
+        });
+    }
+    if !has_inner_attr(lexed, &["warn", "missing_docs"])
+        && !has_inner_attr(lexed, &["deny", "missing_docs"])
+    {
+        findings.push(Finding {
+            rule: Rule::LintHeaders,
+            path: path.to_string(),
+            line: 1,
+            message: "crate root is missing `#![warn(missing_docs)]`".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(crate_name: &str, src: &str, deny_ok: &[&str]) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let deny: Vec<String> = deny_ok.iter().map(|s| (*s).to_string()).collect();
+        check_crate_root(
+            crate_name,
+            "crates/x/src/lib.rs",
+            &lex(src),
+            &deny,
+            &mut findings,
+        );
+        findings
+    }
+
+    #[test]
+    fn full_headers_pass() {
+        let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        assert!(run("x", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn missing_headers_are_both_reported() {
+        let findings = run("x", "pub fn f() {}\n", &[]);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("forbid"));
+        assert!(findings[1].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn deny_only_passes_for_exempt_crates() {
+        let src = "#![deny(unsafe_code)]\n#![warn(missing_docs)]\n";
+        assert!(run("coding", src, &["coding"]).is_empty());
+        let findings = run("store", src, &["coding"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("forbid"));
+    }
+
+    #[test]
+    fn header_in_doc_comment_does_not_count() {
+        let src = "//! says #![forbid(unsafe_code)] and #![warn(missing_docs)]\npub fn f() {}\n";
+        assert_eq!(run("x", src, &[]).len(), 2);
+    }
+
+    #[test]
+    fn combined_attribute_list_counts() {
+        // `#![warn(missing_docs, rust_2018_idioms)]` style.
+        let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs, rust_2018_idioms)]\n";
+        assert!(run("x", src, &[]).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! The unsafe-confinement rule.
+//!
+//! `unsafe` is confined to the files listed under `[unsafe_code]
+//! allowed` in `audit.toml` (the GFNI/SIMD kernels), and every `unsafe`
+//! there must sit under a `// SAFETY:` comment spelling out the
+//! invariant that makes it sound. Anywhere else, `unsafe` is a finding
+//! outright — the workspace lint headers (`#![forbid(unsafe_code)]`)
+//! back this up at compile time, the audit catches it at review time.
+
+use crate::lexer::TokKind;
+use crate::report::{Finding, Rule, Suppression};
+use crate::rules::{emit, FileCtx};
+
+/// Runs the rule over one file (test modules included).
+pub fn check(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, suppressions: &mut Vec<Suppression>) {
+    let allowed = ctx.matches_any(&ctx.config.unsafe_allowed);
+    for tok in &ctx.lexed.toks {
+        if tok.in_attr || tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        if !allowed {
+            emit(
+                ctx,
+                Rule::UnsafeConfinement,
+                tok.line,
+                "`unsafe` outside the audited SIMD kernels — move the code \
+                 behind the safe `gf256` API or extend [unsafe_code] allowed"
+                    .to_string(),
+                findings,
+                suppressions,
+            );
+        } else if !ctx.ann.has_safety(tok.line) {
+            emit(
+                ctx,
+                Rule::UnsafeConfinement,
+                tok.line,
+                "`unsafe` without a `// SAFETY:` comment — state the invariant \
+                 that makes this sound on the line(s) above"
+                    .to_string(),
+                findings,
+                suppressions,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations;
+    use crate::config::AuditConfig;
+    use crate::lexer::lex;
+    use crate::rules::test_spans;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let config = AuditConfig {
+            unsafe_allowed: vec!["crates/coding/src/gf256/simd.rs".into()],
+            ..AuditConfig::default()
+        };
+        let lexed = lex(src);
+        let ann = annotations::index(&lexed);
+        let ctx = FileCtx {
+            path,
+            lexed: &lexed,
+            ann: &ann,
+            config: &config,
+            test_spans: test_spans(&lexed),
+        };
+        let mut findings = Vec::new();
+        let mut suppressions = Vec::new();
+        check(&ctx, &mut findings, &mut suppressions);
+        findings
+    }
+
+    #[test]
+    fn unsafe_outside_allowed_files_is_flagged() {
+        let findings = run("crates/store/src/store.rs", "fn f() { unsafe { x() } }\n");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("outside"));
+    }
+
+    #[test]
+    fn unsafe_in_allowed_file_needs_safety_comment() {
+        let path = "crates/coding/src/gf256/simd.rs";
+        let bare = run(path, "fn f() { unsafe { x() } }\n");
+        assert_eq!(bare.len(), 1);
+        assert!(bare[0].message.contains("SAFETY"));
+        let commented = run(
+            path,
+            "// SAFETY: `x` is sound because the caller checked GFNI support.\nfn f() { unsafe { x() } }\n",
+        );
+        assert!(commented.is_empty());
+    }
+
+    #[test]
+    fn safety_above_attributes_covers_the_fn() {
+        let path = "crates/coding/src/gf256/simd.rs";
+        let src = "\
+// SAFETY: callers must have verified `gfni` support at runtime.
+#[target_feature(enable = \"gfni\")]
+unsafe fn kernel() {}
+";
+        assert!(run(path, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let findings = run(
+            "crates/store/src/store.rs",
+            "// unsafe in prose\nlet s = \"unsafe\";\n",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn lint_attr_mentioning_unsafe_is_ignored() {
+        // `#![forbid(unsafe_code)]` contains the ident `unsafe_code`,
+        // not `unsafe`; `#[allow(unsafe_op_in_unsafe_fn)]` likewise.
+        let findings = run(
+            "crates/store/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#[allow(unsafe_op_in_unsafe_fn)]\nfn f() {}\n",
+        );
+        assert!(findings.is_empty());
+    }
+}

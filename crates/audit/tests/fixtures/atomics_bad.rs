@@ -1,0 +1,16 @@
+//! Known-bad atomics-ordering fixture: an unjustified
+//! `Ordering::Relaxed` and an unjustified `Ordering::SeqCst`, each
+//! flagged at exactly the tagged line. Acquire/release orderings are
+//! never findings — they state a protocol on their own.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn unjustified(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed); //~ atomics-relaxed
+    counter.load(Ordering::SeqCst) //~ atomics-seqcst
+}
+
+fn protocol(flag: &AtomicU64) -> u64 {
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}

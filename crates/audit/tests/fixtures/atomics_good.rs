@@ -1,0 +1,14 @@
+//! Known-good atomics-ordering fixture: the same accesses as the bad
+//! twin, each justified. Must produce zero findings and one
+//! suppression per annotation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn justified(counter: &AtomicU64) -> u64 {
+    // audit:allow(atomics-relaxed) — fixture: pure statistics counter,
+    // nothing is published through it.
+    counter.fetch_add(1, Ordering::Relaxed);
+    // audit:allow(atomics-seqcst) — fixture: a documented total-order
+    // requirement (eventcount-style sleeper handshake).
+    counter.load(Ordering::SeqCst)
+}

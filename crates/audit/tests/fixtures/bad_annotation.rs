@@ -1,0 +1,12 @@
+//! Malformed-annotation fixture: `audit:allow` comments that name an
+//! unknown rule or omit the justification are findings themselves —
+//! suppressions must never rot silently.
+
+fn sloppy(input: Option<u32>) -> u32 {
+    // audit:allow(not-a-rule) — the rule name is wrong //~ bad-annotation
+    let a = input.unwrap_or(0);
+    //~v bad-annotation
+    // audit:allow(panic-path)
+    let b = input.unwrap_or(1);
+    a + b
+}

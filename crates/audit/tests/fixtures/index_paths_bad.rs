@@ -1,0 +1,21 @@
+//! Known-bad totality fixture for the wire-decode path. Audited under
+//! the `index_paths` entry (`crates/store/src/net/frame.rs`), where
+//! bare indexing is a finding on top of the panic-path rule. This file
+//! replicates exactly what `scripts/static_audit.py` used to catch on
+//! the decode path: `.unwrap()`, `.expect(`, and direct indexing.
+
+fn decode(buf: &[u8]) -> u32 {
+    let tag = buf[0]; //~ index-path
+    let len = buf.get(1..5).unwrap(); //~ panic-path
+    let body = buf.get(5..).expect("body present"); //~ panic-path
+    let last = body[body.len() - 1]; //~ index-path
+    u32::from(tag) + u32::from(last) + len.len() as u32
+}
+
+fn not_indexing(bytes: &[u8]) -> Vec<u8> {
+    // Array types and literals do not count as indexing.
+    let arr: [u8; 4] = [0, 1, 2, 3];
+    let mut out = Vec::from(arr);
+    out.extend_from_slice(bytes);
+    out
+}

@@ -1,0 +1,4 @@
+//! A crate root missing both mandatory lint headers — the lint-headers
+//! rule must report each one, anchored at line 1.
+
+pub fn noop() {}

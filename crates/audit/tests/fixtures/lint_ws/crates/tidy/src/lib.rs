@@ -1,0 +1,8 @@
+//! A crate root carrying both mandatory lint headers — must pass the
+//! lint-headers rule untouched.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Nothing to see here.
+pub fn noop() {}

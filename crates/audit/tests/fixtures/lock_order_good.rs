@@ -1,0 +1,29 @@
+//! Known-good lock-order fixture: nestings in strictly increasing rank
+//! (shard_map/0 → slot_table/20 → key_state/30, completion/40 after
+//! key_state via the wrapper), plus one deliberate inversion carrying
+//! an `audit:allow` justification. Zero findings, one suppression.
+
+fn ordered_raw(&self) {
+    let m = self.map.lock();
+    let s = self.slots.read();
+    let st = self.state.lock();
+    drop(st);
+    drop(s);
+    drop(m);
+}
+
+fn ordered_tracked(&self) {
+    let st = tracked_lock(ranks::KEY_STATE, "key_state", || self.state.lock());
+    let c = tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock());
+    drop(c);
+    drop(st);
+}
+
+fn annotated_inversion(&self) {
+    let q = self.ready.lock();
+    // audit:allow(lock-order) — fixture: a documented, deliberate
+    // inversion (the guard is release-before-reacquire in real code).
+    let st = self.state.lock();
+    drop(st);
+    drop(q);
+}

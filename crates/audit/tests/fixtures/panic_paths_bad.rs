@@ -1,0 +1,28 @@
+//! Known-bad panic-path fixture. Audited as if it lived under
+//! `crates/store/src/net/` (a `no_panic` prefix); every marker-tagged
+//! line must be flagged at exactly that line, and nothing else may be
+//! flagged.
+
+fn parse(input: Option<u32>) -> u32 {
+    let a = input.unwrap(); //~ panic-path
+    let b = input.expect("present"); //~ panic-path
+    if a > b {
+        panic!("a exceeds b"); //~ panic-path
+    }
+    match a {
+        0 => unreachable!(), //~ panic-path
+        1 => todo!(), //~ panic-path
+        2 => unimplemented!(), //~ panic-path
+        _ => a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_modules_are_exempt() {
+        // No finding here: panicking in tests is the normal idiom.
+        let _ = Some(1).unwrap();
+        assert!(true, "assertions in tests are fine");
+    }
+}

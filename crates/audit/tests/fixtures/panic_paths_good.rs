@@ -1,0 +1,20 @@
+//! Known-good panic-path fixture: the same constructs as the bad twin,
+//! each carrying an `audit:allow` justification. Audited under a
+//! `no_panic` prefix it must produce zero findings and one suppression
+//! per annotated line.
+
+fn parse(input: Option<u32>) -> u32 {
+    // audit:allow(panic-path) — fixture: `input` is checked by the caller.
+    let a = input.unwrap();
+    // audit:allow(panic-path) — fixture: same invariant as above.
+    let b = input.expect("present");
+    if a > b {
+        // audit:allow(panic-path) — fixture: documented impossibility.
+        panic!("a exceeds b");
+    }
+    match a {
+        // audit:allow(panic-path) — fixture: zero is filtered upstream.
+        0 => unreachable!(),
+        _ => a.saturating_add(b),
+    }
+}

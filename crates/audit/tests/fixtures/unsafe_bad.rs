@@ -1,0 +1,14 @@
+//! Known-bad unsafe-confinement fixture. Audited once as an ordinary
+//! store file (where any `unsafe` is a finding — the check
+//! `scripts/static_audit.py` used to do) and once as the allowed SIMD
+//! kernel file, where `unsafe` without a `// SAFETY:` comment is still
+//! a finding. The markers below describe the SIMD-scoped run; the
+//! ordinary-scoped run must flag both `unsafe` lines.
+
+fn kernel(bytes: &mut [u8]) {
+    unsafe { transmute_rows(bytes) } //~ unsafe-confinement
+
+    // SAFETY: fixture — the row pointer is derived from a live slice
+    // and the lanes stay within its bounds.
+    unsafe { gather_rows(bytes) }
+}

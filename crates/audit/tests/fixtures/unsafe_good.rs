@@ -1,0 +1,14 @@
+//! Known-good unsafe-confinement fixture: audited as the allowed SIMD
+//! kernel file, every `unsafe` sits under a `// SAFETY:` comment.
+//! Zero findings.
+
+fn kernel(bytes: &mut [u8]) {
+    // SAFETY: fixture — the intrinsic reads exactly one 16-byte lane
+    // and the caller guarantees `bytes.len() >= 16`.
+    unsafe { load_lane(bytes) }
+
+    // SAFETY: fixture — same bound as above, write side.
+    unsafe {
+        store_lane(bytes);
+    }
+}

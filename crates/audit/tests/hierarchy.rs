@@ -1,0 +1,52 @@
+//! Cross-checks the two declarations of the lock hierarchy: the
+//! `[[lock_order.level]]` manifest in `audit.toml` (what the static
+//! rule enforces) and `rsb_registers::lockorder::rank_table()` (what
+//! the runtime checker enforces). They must agree exactly, or the two
+//! checkers would silently drift apart.
+
+use rsb_audit::config::parse_config;
+use rsb_registers::lockorder::rank_table;
+
+fn manifest() -> rsb_audit::config::AuditConfig {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let src = std::fs::read_to_string(format!("{root}/audit.toml"))
+        .expect("repo-root audit.toml is readable");
+    parse_config(&src).expect("audit.toml parses")
+}
+
+#[test]
+fn audit_toml_and_rank_table_agree() {
+    let config = manifest();
+    let table = rank_table();
+    assert_eq!(
+        config.lock_levels.len(),
+        table.len(),
+        "audit.toml declares {} levels; lockorder::rank_table() has {}",
+        config.lock_levels.len(),
+        table.len()
+    );
+    for (level, &(rank, name)) in config.lock_levels.iter().zip(table) {
+        assert_eq!(
+            (level.rank, level.name.as_str()),
+            (rank, name),
+            "level mismatch between audit.toml and lockorder::rank_table()"
+        );
+    }
+}
+
+#[test]
+fn rank_constants_spell_level_names() {
+    // The static rule resolves `tracked_lock(ranks::X, …)` by
+    // lowercasing the constant name, so every level name must be the
+    // lowercase of a valid Rust identifier (no hyphens, no spaces).
+    for level in manifest().lock_levels {
+        assert!(
+            level
+                .name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "level name `{}` cannot round-trip through a `ranks::` constant",
+            level.name
+        );
+    }
+}

@@ -91,6 +91,8 @@ fn run_scraped<T: Transport>(
     std::thread::scope(|s| {
         let sampler = s.spawn(|| {
             let mut series = Vec::new();
+            // audit:allow(atomics-relaxed) — sampler stop flag; the scope join
+            // publishes the series, the flag only ends the loop.
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(50));
                 if let Ok(m) = scrape.stats() {
@@ -103,6 +105,7 @@ fn run_scraped<T: Transport>(
             series
         });
         let report = run();
+        // audit:allow(atomics-relaxed) — same stop flag; see above.
         stop.store(true, Ordering::Relaxed);
         (report, sampler.join().expect("sampler thread"))
     })

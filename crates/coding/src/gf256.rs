@@ -391,9 +391,13 @@ fn detect_kernel() -> Kernel {
 /// the `RSB_GF256_KERNEL` environment variable) and cached in an atomic, so
 /// the per-call cost is one relaxed load.
 pub fn active_kernel() -> Kernel {
+    // audit:allow(atomics-relaxed) — a pure value cache: every thread
+    // that races the unresolved state re-runs detection and stores the
+    // same answer; kernels are stateless fns, nothing is guarded.
     match ACTIVE_KERNEL.load(Ordering::Relaxed) {
         KERNEL_UNRESOLVED => {
             let k = detect_kernel();
+            // audit:allow(atomics-relaxed) — see the load above.
             ACTIVE_KERNEL.store(k.as_u8(), Ordering::Relaxed);
             k
         }
@@ -410,12 +414,14 @@ pub fn force_kernel(kernel: Kernel) -> bool {
     if !kernel_available(kernel) {
         return false;
     }
+    // audit:allow(atomics-relaxed) — test/bench hook; see `active_kernel`.
     ACTIVE_KERNEL.store(kernel.as_u8(), Ordering::Relaxed);
     true
 }
 
 /// Clears any forced kernel; the next [`active_kernel`] call re-detects.
 pub fn reset_kernel() {
+    // audit:allow(atomics-relaxed) — test/bench hook; see `active_kernel`.
     ACTIVE_KERNEL.store(KERNEL_UNRESOLVED, Ordering::Relaxed);
 }
 

@@ -44,6 +44,7 @@ pub mod abd;
 pub mod adaptive;
 pub mod coded;
 pub mod common;
+pub mod lockorder;
 pub mod protocol;
 pub mod safe;
 pub mod threaded;

@@ -48,6 +48,7 @@
 //! # }
 //! ```
 
+use crate::lockorder::{ranks, tracked_lock, Tracked};
 use crate::protocol::RegisterProtocol;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 // Under the `mc` feature the ReadyQueue's lock comes from the
@@ -94,7 +95,7 @@ impl std::error::Error for ThreadedError {}
 /// store's scalability comes from.
 #[derive(Debug)]
 pub struct DriverCore<T> {
-    state: Mutex<T>,
+    core_state: Mutex<T>,
     progress: Condvar,
     stop: AtomicBool,
 }
@@ -103,15 +104,16 @@ impl<T> DriverCore<T> {
     /// Creates a core around the guarded state.
     pub fn new(state: T) -> Self {
         DriverCore {
-            state: Mutex::new(state),
+            core_state: Mutex::new(state),
             progress: Condvar::new(),
             stop: AtomicBool::new(false),
         }
     }
 
-    /// Locks the guarded state.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.state.lock()
+    /// Locks the guarded state (through the lock-hierarchy checker; see
+    /// [`crate::lockorder`]).
+    pub fn lock(&self) -> Tracked<MutexGuard<'_, T>> {
+        tracked_lock(ranks::DRIVER_CORE, "driver_core", || self.core_state.lock())
     }
 
     /// Wakes the driver (and anyone else parked on the progress condvar).
@@ -121,8 +123,8 @@ impl<T> DriverCore<T> {
 
     /// Parks on the progress condvar with the guard relinquished, until
     /// notified.
-    pub fn wait(&self, guard: &mut MutexGuard<'_, T>) {
-        self.progress.wait(guard);
+    pub fn wait(&self, guard: &mut Tracked<MutexGuard<'_, T>>) {
+        self.progress.wait(guard.raw_mut());
     }
 
     /// Requests the driver to stop, and wakes it.
@@ -132,7 +134,7 @@ impl<T> DriverCore<T> {
         // check-stop-then-wait sequence (the driver holds the lock from
         // its check until the wait releases it), so an untimed wait can
         // never miss the stop signal.
-        let guard = self.state.lock();
+        let guard = tracked_lock(ranks::DRIVER_CORE, "driver_core", || self.core_state.lock());
         drop(guard);
         self.progress.notify_all();
     }
@@ -169,7 +171,7 @@ enum SlotState {
 /// [`finish`]: ReadyQueue::finish
 #[derive(Debug, Default)]
 pub struct ReadyQueue {
-    inner: ready_sync::Mutex<ReadyInner>,
+    ready: ready_sync::Mutex<ReadyInner>,
 }
 
 #[derive(Debug, Default)]
@@ -186,7 +188,7 @@ impl ReadyQueue {
 
     /// Registers a new slot (one per key), returning its token.
     pub fn register_slot(&self) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::READY_QUEUE, "ready_queue", || self.ready.lock());
         inner.states.push(SlotState::Idle);
         inner.states.len() - 1
     }
@@ -195,7 +197,7 @@ impl ReadyQueue {
     /// was newly enqueued (the caller should wake a driver); `false` when
     /// it was already queued or a running driver will re-enqueue it.
     pub fn enqueue(&self, slot: usize) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::READY_QUEUE, "ready_queue", || self.ready.lock());
         match inner.states[slot] {
             SlotState::Idle => {
                 inner.states[slot] = SlotState::Queued;
@@ -213,7 +215,7 @@ impl ReadyQueue {
     /// Pops the next ready slot, transferring ownership to the caller
     /// until [`ReadyQueue::finish`].
     pub fn pop(&self) -> Option<usize> {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::READY_QUEUE, "ready_queue", || self.ready.lock());
         let slot = inner.queue.pop_front()?;
         debug_assert_eq!(inner.states[slot], SlotState::Queued);
         inner.states[slot] = SlotState::Running;
@@ -226,7 +228,7 @@ impl ReadyQueue {
     /// face of stealing: a thief drains `ceil(len/2)` of the victim's
     /// backlog in one pass instead of re-acquiring the queue lock per key.
     pub fn pop_half(&self) -> Vec<usize> {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::READY_QUEUE, "ready_queue", || self.ready.lock());
         let take = inner.queue.len().div_ceil(2);
         let mut slots = Vec::with_capacity(take);
         for _ in 0..take {
@@ -244,7 +246,7 @@ impl ReadyQueue {
     /// enabled events; the slot is re-enqueued when `more` holds or work
     /// arrived while it ran. Returns `true` if it was re-enqueued.
     pub fn finish(&self, slot: usize, more: bool) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::READY_QUEUE, "ready_queue", || self.ready.lock());
         let requeue = more || inner.states[slot] == SlotState::RunningDirty;
         if requeue {
             inner.states[slot] = SlotState::Queued;
@@ -257,12 +259,16 @@ impl ReadyQueue {
 
     /// Queued slots right now.
     pub fn len(&self) -> usize {
-        self.inner.lock().queue.len()
+        tracked_lock(ranks::READY_QUEUE, "ready_queue", || self.ready.lock())
+            .queue
+            .len()
     }
 
     /// Whether no slot is queued.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().queue.is_empty()
+        tracked_lock(ranks::READY_QUEUE, "ready_queue", || self.ready.lock())
+            .queue
+            .is_empty()
     }
 }
 
@@ -320,11 +326,16 @@ impl WorkGroup {
         // queue lock) before the sleepers load — without it, StoreLoad
         // reordering could let both the notifier miss the sleeper and
         // the parker miss the enqueue.
+        // audit:allow(atomics-seqcst) — the eventcount protocol needs the
+        // StoreLoad barrier this fence provides (see the comment above);
+        // acquire/release cannot order a prior store against a later load.
         std::sync::atomic::fence(Ordering::SeqCst);
+        // audit:allow(atomics-seqcst) — part of the same single total order
+        // as the parkers' announcements; see `WorkGroup::notify`'s docs.
         if self.sleepers.load(Ordering::SeqCst) == 0 {
             return;
         }
-        let guard = self.mu.lock();
+        let guard = tracked_lock(ranks::WORKGROUP, "workgroup", || self.mu.lock());
         drop(guard);
         if self.broadcast {
             self.cv.notify_all();
@@ -339,15 +350,23 @@ impl WorkGroup {
     /// again under the group lock (so a notify issued between the check
     /// and the wait cannot be missed).
     pub fn park_unless(&self, has_work: impl Fn() -> bool) {
+        // audit:allow(atomics-seqcst) — the park announcement must be
+        // totally ordered against the notifier's fast-path load, or a
+        // sleeper and an enqueue could both go unobserved (lost wakeup);
+        // see `WorkGroup::notify`.
         self.sleepers.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.mu.lock();
+        let mut guard = tracked_lock(ranks::WORKGROUP, "workgroup", || self.mu.lock());
         if self.is_stopped() || has_work() {
             drop(guard);
+            // audit:allow(atomics-seqcst) — symmetric with the announcement
+            // above; keeps the sleeper count in the same total order.
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
         }
-        self.cv.wait(&mut guard);
+        self.cv.wait(guard.raw_mut());
         drop(guard);
+        // audit:allow(atomics-seqcst) — symmetric with the announcement
+        // above; keeps the sleeper count in the same total order.
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -357,22 +376,30 @@ impl WorkGroup {
     /// will ever notify them. Same lost-wakeup-free protocol; the timeout
     /// only adds an upper bound on how long the park lasts.
     pub fn park_timeout_unless(&self, timeout: std::time::Duration, has_work: impl Fn() -> bool) {
+        // audit:allow(atomics-seqcst) — the park announcement must be
+        // totally ordered against the notifier's fast-path load, or a
+        // sleeper and an enqueue could both go unobserved (lost wakeup);
+        // see `WorkGroup::notify`.
         self.sleepers.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.mu.lock();
+        let mut guard = tracked_lock(ranks::WORKGROUP, "workgroup", || self.mu.lock());
         if self.is_stopped() || has_work() {
             drop(guard);
+            // audit:allow(atomics-seqcst) — symmetric with the announcement
+            // above; keeps the sleeper count in the same total order.
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
         }
-        let _ = self.cv.wait_for(&mut guard, timeout);
+        let _ = self.cv.wait_for(guard.raw_mut(), timeout);
         drop(guard);
+        // audit:allow(atomics-seqcst) — symmetric with the announcement
+        // above; keeps the sleeper count in the same total order.
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Requests the pool to stop and wakes every parked driver.
     pub fn request_stop(&self) {
         self.stop.store(true, Ordering::Release);
-        let guard = self.mu.lock();
+        let guard = tracked_lock(ranks::WORKGROUP, "workgroup", || self.mu.lock());
         drop(guard);
         self.cv.notify_all();
     }
@@ -431,6 +458,9 @@ where
             let mut state = core.lock();
             on_stop(&mut state);
         })
+        // audit:allow(panic-path) — thread spawn fails only when the OS is
+        // out of resources at startup; there is no driver to hand back, so
+        // aborting is the only honest outcome.
         .expect("spawning a driver thread")
 }
 
@@ -465,7 +495,7 @@ impl CompletionSlot {
     /// A second fill is ignored (first outcome wins).
     pub fn fill(&self, outcome: OpOutcome) {
         let waker = {
-            let mut inner = self.inner.lock();
+            let mut inner = tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock());
             if inner.result.is_some() {
                 return;
             }
@@ -480,23 +510,25 @@ impl CompletionSlot {
 
     /// The outcome, if already filled.
     pub fn try_outcome(&self) -> Option<OpOutcome> {
-        self.inner.lock().result.clone()
+        tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock())
+            .result
+            .clone()
     }
 
     /// Blocks until the slot is filled.
     pub fn wait(&self) -> OpOutcome {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock());
         loop {
             if let Some(outcome) = inner.result.clone() {
                 return outcome;
             }
-            self.done.wait(&mut inner);
+            self.done.wait(inner.raw_mut());
         }
     }
 
     /// Future-style poll: ready with the outcome, or registers the waker.
     pub fn poll_outcome(&self, cx: &mut Context<'_>) -> Poll<OpOutcome> {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock());
         if let Some(outcome) = inner.result.clone() {
             Poll::Ready(outcome)
         } else {
@@ -539,6 +571,9 @@ impl<P: RegisterProtocol + 'static> RegisterCell<P> {
             let Some(ev) = self.sim.first_enabled_event() else {
                 break;
             };
+            // audit:allow(panic-path) — `ev` came from `first_enabled_event`
+            // one line up with no intervening mutation, so `step` accepting it
+            // is an invariant of the simulator, not a runtime condition.
             self.sim.step(ev).expect("enabled event applies");
             stepped += 1;
         }
@@ -730,6 +765,9 @@ impl<P: RegisterProtocol + 'static> ClientHandle<P> {
     pub fn read(&self) -> Result<Value, ThreadedError> {
         match self.run_op(OpRequest::Read)? {
             OpResult::Read(v) => Ok(v),
+            // audit:allow(panic-path) — the driver answers a `Read` request
+            // with a `Read` result by construction; a write ack here is a
+            // protocol-machinery bug worth crashing on.
             OpResult::Write => unreachable!("read returned a write ack"),
         }
     }
@@ -851,7 +889,9 @@ mod tests {
         struct Flag(std::sync::atomic::AtomicBool);
         impl Wake for Flag {
             fn wake(self: Arc<Self>) {
-                self.0.store(true, Ordering::SeqCst);
+                // audit:allow(atomics-relaxed) — the filler thread is joined
+                // before the flag is read; the join is the sync point.
+                self.0.store(true, Ordering::Relaxed);
             }
         }
 
@@ -867,7 +907,8 @@ mod tests {
         };
         assert_eq!(slot.wait(), Ok(OpResult::Write));
         filler.join().unwrap();
-        assert!(flag.0.load(Ordering::SeqCst), "waker fired on fill");
+        // audit:allow(atomics-relaxed) — see the store in `wake`.
+        assert!(flag.0.load(Ordering::Relaxed), "waker fired on fill");
         assert_eq!(slot.poll_outcome(&mut cx), Poll::Ready(Ok(OpResult::Write)));
         // First outcome wins.
         slot.fill(Err(ThreadedError::ShutDown));

@@ -452,13 +452,18 @@ pub fn run_load_scraped<T: Transport>(
     std::thread::scope(|s| {
         let sampler = s.spawn(|| {
             let mut series = Vec::new();
+            // audit:allow(atomics-relaxed) — sampler stop flag: publication of
+            // the collected series is ordered by the thread join, not the flag;
+            // relaxed staleness only costs one extra sample slice.
             while !stop.load(Ordering::Relaxed) {
                 // Sleep in short slices so the sampler notices the end
                 // of the run promptly even with a long interval.
                 let deadline = Instant::now() + interval;
+                // audit:allow(atomics-relaxed) — same stop flag; see above.
                 while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(1));
                 }
+                // audit:allow(atomics-relaxed) — same stop flag; see above.
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -472,6 +477,8 @@ pub fn run_load_scraped<T: Transport>(
             series
         });
         let report = run_load(client, spec);
+        // audit:allow(atomics-relaxed) — same stop flag; the scope join
+        // below is the synchronization point.
         stop.store(true, Ordering::Relaxed);
         let series = sampler.join().expect("sampler thread");
         (report, series)

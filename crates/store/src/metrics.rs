@@ -70,6 +70,21 @@ fn hist_representative_ns(bucket: usize) -> f64 {
     ((4 + sub) as f64 + 0.5) * (1u64 << (exp - 2)) as f64
 }
 
+/// Bumps one statistics counter.
+fn bump(counter: &AtomicU64, n: u64) {
+    // audit:allow(atomics-relaxed) — pure statistics: counters guard no
+    // data, and snapshots are racy by design (each field is read
+    // independently while writers keep going).
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Reads one statistics counter for a (racy) snapshot.
+fn peek(counter: &AtomicU64) -> u64 {
+    // audit:allow(atomics-relaxed) — see `bump`: nothing is published
+    // through these counters, staleness only skews a report.
+    counter.load(Ordering::Relaxed)
+}
+
 /// Lock-free log-linear latency histogram (nanoseconds).
 pub(crate) struct AtomicHistogram {
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -91,16 +106,12 @@ impl std::fmt::Debug for AtomicHistogram {
 
 impl AtomicHistogram {
     pub(crate) fn record(&self, ns: u64) {
-        self.buckets[hist_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        bump(&self.buckets[hist_bucket(ns)], 1);
     }
 
     pub(crate) fn snapshot(&self) -> LatencyHistogram {
         LatencyHistogram {
-            counts: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
+            counts: self.buckets.iter().map(peek).collect(),
         }
     }
 }
@@ -239,54 +250,53 @@ pub(crate) struct AtomicCounters {
 
 impl AtomicCounters {
     pub(crate) fn note_read_submitted(&self) {
-        self.reads_submitted.fetch_add(1, Ordering::Relaxed);
+        bump(&self.reads_submitted, 1);
     }
 
     pub(crate) fn note_write_submitted(&self, payload_bytes: u64) {
-        self.writes_submitted.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written
-            .fetch_add(payload_bytes, Ordering::Relaxed);
+        bump(&self.writes_submitted, 1);
+        bump(&self.bytes_written, payload_bytes);
     }
 
     pub(crate) fn note_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        bump(&self.rejected, 1);
     }
 
     pub(crate) fn note_completion(&self, result: &OpResult) {
         match result {
             OpResult::Read(v) => {
-                self.reads_completed.fetch_add(1, Ordering::Relaxed);
-                self.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+                bump(&self.reads_completed, 1);
+                bump(&self.bytes_read, v.len() as u64);
             }
             OpResult::Write => {
-                self.writes_completed.fetch_add(1, Ordering::Relaxed);
+                bump(&self.writes_completed, 1);
             }
         }
     }
 
     pub(crate) fn note_steal(&self) {
-        self.steals.fetch_add(1, Ordering::Relaxed);
+        bump(&self.steals, 1);
     }
 
     pub(crate) fn note_stolen(&self) {
-        self.stolen.fetch_add(1, Ordering::Relaxed);
+        bump(&self.stolen, 1);
     }
 
     /// Records one batch steal against the *victim* shard: a thief
     /// drained multiple ready keys from its queue in one pass. Per-key
     /// steal/stolen counters are bumped separately as each key runs.
     pub(crate) fn note_stolen_batch(&self) {
-        self.stolen_batches.fetch_add(1, Ordering::Relaxed);
+        bump(&self.stolen_batches, 1);
     }
 
     pub(crate) fn note_truncated(&self, records: u64) {
         if records > 0 {
-            self.truncated_records.fetch_add(records, Ordering::Relaxed);
+            bump(&self.truncated_records, records);
         }
     }
 
     pub(crate) fn note_rematerialized(&self) {
-        self.rematerialized.fetch_add(1, Ordering::Relaxed);
+        bump(&self.rematerialized, 1);
     }
 
     pub(crate) fn note_eviction(&self, cause: EvictionCause) {
@@ -295,7 +305,7 @@ impl AtomicCounters {
             EvictionCause::Idle => &self.evicted_idle,
             EvictionCause::Occupancy => &self.evicted_occupancy,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        bump(counter, 1);
     }
 
     /// Records a completed read's end-to-end latency, bucketed by whether
@@ -355,21 +365,21 @@ impl AtomicCounters {
 
     pub(crate) fn snapshot(&self) -> OpCounters {
         OpCounters {
-            reads_submitted: self.reads_submitted.load(Ordering::Relaxed),
-            writes_submitted: self.writes_submitted.load(Ordering::Relaxed),
-            reads_completed: self.reads_completed.load(Ordering::Relaxed),
-            writes_completed: self.writes_completed.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            stolen: self.stolen.load(Ordering::Relaxed),
-            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
-            truncated_records: self.truncated_records.load(Ordering::Relaxed),
-            rematerialized: self.rematerialized.load(Ordering::Relaxed),
-            evicted_manual: self.evicted_manual.load(Ordering::Relaxed),
-            evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
-            evicted_occupancy: self.evicted_occupancy.load(Ordering::Relaxed),
+            reads_submitted: peek(&self.reads_submitted),
+            writes_submitted: peek(&self.writes_submitted),
+            reads_completed: peek(&self.reads_completed),
+            writes_completed: peek(&self.writes_completed),
+            bytes_read: peek(&self.bytes_read),
+            bytes_written: peek(&self.bytes_written),
+            rejected: peek(&self.rejected),
+            steals: peek(&self.steals),
+            stolen: peek(&self.stolen),
+            stolen_batches: peek(&self.stolen_batches),
+            truncated_records: peek(&self.truncated_records),
+            rematerialized: peek(&self.rematerialized),
+            evicted_manual: peek(&self.evicted_manual),
+            evicted_idle: peek(&self.evicted_idle),
+            evicted_occupancy: peek(&self.evicted_occupancy),
         }
     }
 }

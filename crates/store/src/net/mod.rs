@@ -30,6 +30,7 @@ use crate::metrics::StoreMetrics;
 use crate::store::{BatchOp, StoreError, StoreInner};
 use rsb_coding::Value;
 use rsb_fpsm::{OpRequest, OpResult};
+use rsb_registers::lockorder::{ranks, tracked_lock};
 use rsb_registers::CompletionSlot;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
@@ -122,7 +123,7 @@ impl<T: Clone> NetCell<T> {
     /// Fills the cell (first outcome wins), waking waiters and wakers.
     pub(crate) fn fill(&self, value: T) {
         let waker = {
-            let mut inner = self.inner.lock();
+            let mut inner = tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock());
             if inner.result.is_some() {
                 return;
             }
@@ -138,13 +139,13 @@ impl<T: Clone> NetCell<T> {
     /// Blocks until filled, or until `timeout` elapses (`None` = forever).
     /// Returns `None` on timeout.
     pub(crate) fn wait(&self, timeout: Option<Duration>) -> Option<T> {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock());
         match timeout {
             None => loop {
                 if let Some(v) = inner.result.clone() {
                     return Some(v);
                 }
-                self.done.wait(&mut inner);
+                self.done.wait(inner.raw_mut());
             },
             Some(limit) => {
                 let deadline = std::time::Instant::now() + limit;
@@ -156,7 +157,7 @@ impl<T: Clone> NetCell<T> {
                     if now >= deadline {
                         return None;
                     }
-                    let _ = self.done.wait_for(&mut inner, deadline - now);
+                    let _ = self.done.wait_for(inner.raw_mut(), deadline - now);
                 }
             }
         }
@@ -164,7 +165,7 @@ impl<T: Clone> NetCell<T> {
 
     /// Future-style poll: ready with the value, or registers the waker.
     pub(crate) fn poll(&self, cx: &mut Context<'_>) -> Poll<T> {
-        let mut inner = self.inner.lock();
+        let mut inner = tracked_lock(ranks::COMPLETION, "completion", || self.inner.lock());
         if let Some(v) = inner.result.clone() {
             Poll::Ready(v)
         } else {
@@ -233,6 +234,9 @@ impl OpTicket {
             TicketInner::Net { cell, .. } => cell.poll(cx),
             TicketInner::Failed(err) => Poll::Ready(Err(err
                 .take()
+                // audit:allow(panic-path) — standard future contract: the error is
+                // taken exactly once when `Ready` is returned; polling again after
+                // completion is a caller bug.
                 .expect("operation future polled after completion"))),
         }
     }
@@ -246,6 +250,8 @@ impl OpTicket {
             TicketInner::Net { cell, timeout } => {
                 cell.wait(timeout).unwrap_or(Err(StoreError::Timeout))
             }
+            // audit:allow(panic-path) — `Failed` tickets are built with
+            // `Some(err)` and consumed by value here, so the error is present.
             TicketInner::Failed(mut err) => Err(err.take().expect("freshly constructed")),
         }
     }
@@ -334,6 +340,9 @@ impl Transport for Loopback {
         }
         tickets
             .into_iter()
+            // audit:allow(panic-path) — the loops above assign every index of
+            // `tickets` exactly once (hit, miss, and failed arms all write), so
+            // no slot is `None`.
             .map(|t| t.expect("every batched operation resolved"))
             .collect()
     }

@@ -22,6 +22,7 @@ use crate::config::ListenSpec;
 use crate::recorder::FlightEventKind;
 use crate::store::{BatchOp, Store, StoreError};
 use rsb_fpsm::{OpRequest, OpResult};
+use rsb_registers::lockorder::{ranks, tracked_lock};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -163,23 +164,35 @@ impl StoreServer {
     }
 
     fn stop(&self) {
-        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+        // Release publishes the stop to the accept loop's acquire load;
+        // the returned prior value (idempotence) needs only RMW
+        // atomicity. Nothing here requires a total order across other
+        // atomics, so SeqCst (the former ordering) was overkill.
+        if self.shared.stopping.swap(true, Ordering::AcqRel) {
             return;
         }
         // Unblock the accept loop: it re-checks the stop flag per
         // iteration, so one throwaway local connection gets it to exit.
         let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.accept.lock().take() {
+        if let Some(h) =
+            tracked_lock(ranks::ACCEPT_HANDLE, "accept_handle", || self.accept.lock()).take()
+        {
             let _ = h.join();
         }
         // Halting the store fails every in-flight driver slot with
         // ShutDown; the pumps flush those results as error frames.
         self.store.halt();
         // Sever live sockets so readers blocked mid-read return.
-        for (_, conn) in self.shared.conns.lock().drain() {
+        for (_, conn) in
+            tracked_lock(ranks::CONN_TABLE, "conn_table", || self.shared.conns.lock()).drain()
+        {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
-        let handles: Vec<_> = self.shared.handles.lock().drain(..).collect();
+        let handles: Vec<_> = tracked_lock(ranks::CONN_HANDLES, "conn_handles", || {
+            self.shared.handles.lock()
+        })
+        .drain(..)
+        .collect();
         for h in handles {
             let _ = h.join();
         }
@@ -203,12 +216,18 @@ fn accept_loop(
         let Ok((stream, _)) = listener.accept() else {
             continue;
         };
-        if shared.stopping.load(Ordering::SeqCst) {
+        // Acquire pairs with the stopper's release swap: once the
+        // stopper's throwaway connection lands here, this load observes
+        // the flag (the accept syscall round-trip long outlasts store
+        // visibility) and the loop exits before spawning more handlers.
+        if shared.stopping.load(Ordering::Acquire) {
             return;
         }
         // `backlog` bounds live connections: over it, answer the
         // client's pending hello with a rejection and close.
-        if shared.conns.lock().len() >= spec.backlog {
+        if tracked_lock(ranks::CONN_TABLE, "conn_table", || shared.conns.lock()).len()
+            >= spec.backlog
+        {
             loopback
                 .inner
                 .recorder
@@ -228,11 +247,14 @@ fn accept_loop(
         if spec.nodelay {
             let _ = stream.set_nodelay(true);
         }
+        // audit:allow(atomics-relaxed) — ID allocation; single-threaded
+        // accept loop, and uniqueness needs only RMW atomicity.
         let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
         let Ok(registered) = stream.try_clone() else {
             continue;
         };
-        shared.conns.lock().insert(conn_id, registered);
+        tracked_lock(ranks::CONN_TABLE, "conn_table", || shared.conns.lock())
+            .insert(conn_id, registered);
         let handle = {
             let loopback = loopback.clone();
             let shared = Arc::clone(shared);
@@ -240,13 +262,18 @@ fn accept_loop(
                 .name(format!("store-conn-{conn_id}"))
                 .spawn(move || {
                     connection(&stream, &loopback);
-                    shared.conns.lock().remove(&conn_id);
+                    tracked_lock(ranks::CONN_TABLE, "conn_table", || shared.conns.lock())
+                        .remove(&conn_id);
                 })
         };
         match handle {
-            Ok(h) => shared.handles.lock().push(h),
+            Ok(h) => tracked_lock(ranks::CONN_HANDLES, "conn_handles", || {
+                shared.handles.lock()
+            })
+            .push(h),
             Err(_) => {
-                shared.conns.lock().remove(&conn_id);
+                tracked_lock(ranks::CONN_TABLE, "conn_table", || shared.conns.lock())
+                    .remove(&conn_id);
             }
         }
     }
@@ -487,6 +514,9 @@ fn pump_loop(stream: &TcpStream, rx: &Receiver<ConnMsg>, loopback: &Loopback) {
                 let mut results = Vec::with_capacity(slots.len());
                 let mut stamps = Vec::with_capacity(slots.len());
                 for (_, stamp, result) in slots {
+                    // audit:allow(panic-path) — `done` stays `true` only when every
+                    // slot polled `Ready` this pass (pending slots clear it), so each
+                    // `result` was filled before the batch is drained.
                     results.push(result.expect("all batch slots resolved"));
                     stamps.push(stamp);
                 }

@@ -18,6 +18,7 @@ use super::{value_from_wire, KeyMeta, NetCell, OpCell, OpTicket, Transport};
 use crate::metrics::StoreMetrics;
 use crate::store::{BatchOp, StoreError};
 use rsb_fpsm::{OpRequest, OpResult};
+use rsb_registers::lockorder::{ranks, tracked_lock};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -47,13 +48,14 @@ impl Shared {
     /// Marks the connection dead and fails every pending completion.
     fn fail_all(&self, err: &StoreError) {
         {
-            let mut dead = self.dead.lock();
+            let mut dead = tracked_lock(ranks::NET_DEAD, "net_dead", || self.dead.lock());
             if dead.is_none() {
                 *dead = Some(err.clone());
             }
         }
         let drained: Vec<Pending> = {
-            let mut pending = self.pending.lock();
+            let mut pending =
+                tracked_lock(ranks::NET_PENDING, "net_pending", || self.pending.lock());
             pending.drain().map(|(_, p)| p).collect()
         };
         for p in drained {
@@ -88,7 +90,12 @@ pub struct TcpTransport {
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
-            .field("peer", &self.writer.lock().peer_addr().ok())
+            .field(
+                "peer",
+                &tracked_lock(ranks::NET_WRITER, "net_writer", || self.writer.lock())
+                    .peer_addr()
+                    .ok(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -169,22 +176,30 @@ impl TcpTransport {
 
     /// The connection's terminal error, if it has died.
     pub fn connection_error(&self) -> Option<StoreError> {
-        self.shared.dead.lock().clone()
+        tracked_lock(ranks::NET_DEAD, "net_dead", || self.shared.dead.lock()).clone()
     }
 
     /// Registers a pending entry and writes its request frame; on a
     /// write failure the entry is withdrawn and the error returned.
     fn send(&self, id: u64, entry: Pending, frame: &Frame) -> Result<(), StoreError> {
-        if let Some(err) = self.shared.dead.lock().clone() {
+        if let Some(err) =
+            tracked_lock(ranks::NET_DEAD, "net_dead", || self.shared.dead.lock()).clone()
+        {
             return Err(err);
         }
-        self.shared.pending.lock().insert(id, entry);
+        tracked_lock(ranks::NET_PENDING, "net_pending", || {
+            self.shared.pending.lock()
+        })
+        .insert(id, entry);
         let result = {
-            let mut w = self.writer.lock();
+            let mut w = tracked_lock(ranks::NET_WRITER, "net_writer", || self.writer.lock());
             write_frame(&mut *w, frame)
         };
         if let Err(e) = result {
-            self.shared.pending.lock().remove(&id);
+            tracked_lock(ranks::NET_PENDING, "net_pending", || {
+                self.shared.pending.lock()
+            })
+            .remove(&id);
             // A failed write means the socket is gone for everyone.
             self.shared.fail_all(&e);
             return Err(e);
@@ -193,6 +208,8 @@ impl TcpTransport {
     }
 
     fn next_id(&self) -> u64 {
+        // audit:allow(atomics-relaxed) — ID allocation: uniqueness comes
+        // from the atomic RMW; no data is published through the counter.
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 }
@@ -272,6 +289,9 @@ impl Transport for TcpTransport {
         }
         tickets
             .into_iter()
+            // audit:allow(panic-path) — every chunk either registers a cell
+            // (success arm) or marks its indices failed (error arm), so each
+            // `tickets` slot is assigned exactly once.
             .map(|t| t.expect("every batched operation got a ticket"))
             .collect()
     }
@@ -306,8 +326,10 @@ impl Drop for TcpTransport {
     fn drop(&mut self) {
         // Closing the socket makes the reader's blocking read return,
         // which fails anything still pending and exits the thread.
-        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
-        if let Some(h) = self.reader.lock().take() {
+        let _ = tracked_lock(ranks::NET_WRITER, "net_writer", || self.writer.lock())
+            .shutdown(std::net::Shutdown::Both);
+        if let Some(h) = tracked_lock(ranks::NET_READER, "net_reader", || self.reader.lock()).take()
+        {
             let _ = h.join();
         }
     }
@@ -331,7 +353,11 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                         value_len,
                         protocol,
                     } => {
-                        match shared.pending.lock().remove(&id) {
+                        match tracked_lock(ranks::NET_PENDING, "net_pending", || {
+                            shared.pending.lock()
+                        })
+                        .remove(&id)
+                        {
                             Some(Pending::Meta(cell)) => cell.fill(Ok(KeyMeta {
                                 value_len: value_len as usize,
                                 protocol,
@@ -354,7 +380,11 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                         continue;
                     }
                     Frame::BatchResp { id, results } => {
-                        match shared.pending.lock().remove(&id) {
+                        match tracked_lock(ranks::NET_PENDING, "net_pending", || {
+                            shared.pending.lock()
+                        })
+                        .remove(&id)
+                        {
                             Some(Pending::Batch(cells)) => {
                                 if cells.len() == results.len() {
                                     for (cell, result) in cells.iter().zip(results) {
@@ -394,7 +424,11 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                         continue;
                     }
                     Frame::StatsResp { id, metrics } => {
-                        match shared.pending.lock().remove(&id) {
+                        match tracked_lock(ranks::NET_PENDING, "net_pending", || {
+                            shared.pending.lock()
+                        })
+                        .remove(&id)
+                        {
                             Some(Pending::Stats(cell)) => cell.fill(Ok(metrics)),
                             Some(Pending::Op(cell)) => cell.fill(Err(StoreError::Decode(
                                 "stats response to an operation request".into(),
@@ -423,7 +457,9 @@ fn read_loop(stream: TcpStream, shared: &Shared) {
                         return;
                     }
                 };
-                match shared.pending.lock().remove(&id) {
+                match tracked_lock(ranks::NET_PENDING, "net_pending", || shared.pending.lock())
+                    .remove(&id)
+                {
                     Some(Pending::Op(cell)) => cell.fill(outcome),
                     Some(Pending::Batch(cells)) => {
                         // An `ErrorResp` on a batch id is a legitimate

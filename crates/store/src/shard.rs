@@ -34,6 +34,7 @@ use rsb_coding::Value;
 use rsb_fpsm::{
     ClientId, OpId, OpRecord, OpRequest, OpResult, SimSnapshot, Simulation, StorageCost,
 };
+use rsb_registers::lockorder::{ranks, tracked_lock, tracked_try};
 use rsb_registers::{
     Abd, AbdAtomic, Adaptive, Coded, CompletionSlot, ReadyQueue, RegisterCell, RegisterProtocol,
     Safe, ThreadedError, WorkGroup,
@@ -324,6 +325,8 @@ where
 
     /// Advances the shard clock and returns the new tick.
     fn tick(&self) -> u64 {
+        // audit:allow(atomics-relaxed) — the tick clock is advisory (idle-age
+        // comparisons); it orders nothing and skew only shifts eviction timing.
         self.ticks.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -336,10 +339,15 @@ where
             KeyState::Live(kc) => kc.cell.sim.storage_cost().total(),
             KeyState::Evicted(_) | KeyState::Vacant => 0,
         };
+        // audit:allow(atomics-relaxed) — written under the key lock (the lock
+        // orders it); lock-free readers (governor screens) tolerate staleness.
         let prev = slot.cached_bits.swap(bits, Ordering::Relaxed);
         if bits >= prev {
+            // audit:allow(atomics-relaxed) — occupancy aggregate feeding an
+            // advisory trigger threshold; no data is published through it.
             self.live_bits.fetch_add(bits - prev, Ordering::Relaxed);
         } else {
+            // audit:allow(atomics-relaxed) — see the fetch_add above.
             self.live_bits.fetch_sub(prev - bits, Ordering::Relaxed);
         }
     }
@@ -349,7 +357,7 @@ where
     /// compacted (under a truncating history policy) and snapshotted.
     /// Returns whether the key was evicted.
     fn try_evict(&self, slot: &KeySlot<P>, cause: EvictionCause) -> bool {
-        let mut state = slot.state.lock();
+        let mut state = tracked_lock(ranks::KEY_STATE, "key_state", || slot.state.lock());
         let KeyState::Live(kc) = &mut *state else {
             return false;
         };
@@ -386,7 +394,7 @@ where
     /// A snapshot of the slot table (cheap `Arc` clones), so sweeps
     /// never hold the table lock across key locks.
     fn slot_table(&self) -> Vec<Arc<KeySlot<P>>> {
-        self.slots.read().clone()
+        tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.read()).clone()
     }
 
     /// Resolves a key to its slot token with the map lock already held,
@@ -397,7 +405,7 @@ where
             return t;
         }
         let token = self.ready.register_slot();
-        let mut slots = self.slots.write();
+        let mut slots = tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.write());
         debug_assert_eq!(token, slots.len());
         slots.push(Arc::new(KeySlot::new(KeyState::Live(KeyCell::new(
             self.proto.new_sim(),
@@ -511,9 +519,12 @@ where
     /// wall-clock twin only when aging is enabled (keeping the extra
     /// clock read off the default hot path). Call under the key lock.
     fn touch(&self, slot: &KeySlot<P>) {
+        // audit:allow(atomics-relaxed) — activity stamps are read by the
+        // governor for aging decisions only; a stale read delays one sweep.
         slot.last_active.store(self.tick(), Ordering::Relaxed);
         if self.idle_wall_clock.is_some() {
             slot.last_active_at
+                // audit:allow(atomics-relaxed) — same as the tick stamp above.
                 .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
         }
     }
@@ -527,10 +538,11 @@ where
     /// events can appear while the key lock is held, so the drain
     /// terminates (the backlog is bounded by in-flight ops).
     fn run_token(&self, token: usize) {
-        let key_slot = Arc::clone(&self.slots.read()[token]);
+        let key_slot =
+            Arc::clone(&tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.read())[token]);
         let mut more = false;
         {
-            let mut state = key_slot.state.lock();
+            let mut state = tracked_lock(ranks::KEY_STATE, "key_state", || key_slot.state.lock());
             if let KeyState::Live(kc) = &mut *state {
                 // Everything in flight on this key leaves its queue-wait
                 // phase now (batch-granular execute-start stamp; the
@@ -582,10 +594,14 @@ where
         // first-touch slot creation) — never across simulation work, so
         // a driver's step batch on one key cannot stall other keys'
         // submissions behind this lock.
-        let token = self.place_locked(&mut self.map.lock(), key);
-        let key_slot = Arc::clone(&self.slots.read()[token]);
+        let token = self.place_locked(
+            &mut tracked_lock(ranks::SHARD_MAP, "shard_map", || self.map.lock()),
+            key,
+        );
+        let key_slot =
+            Arc::clone(&tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.read())[token]);
         let slot = {
-            let mut state = key_slot.state.lock();
+            let mut state = tracked_lock(ranks::KEY_STATE, "key_state", || key_slot.state.lock());
             let rematerialized = self.materialize(&mut state);
             let KeyState::Live(kc) = &mut *state else {
                 unreachable!("rematerialized above");
@@ -629,7 +645,7 @@ where
         let mut tokens = Vec::with_capacity(n);
         let mut reqs: Vec<Option<OpRequest>> = Vec::with_capacity(n);
         {
-            let mut index = self.map.lock();
+            let mut index = tracked_lock(ranks::SHARD_MAP, "shard_map", || self.map.lock());
             for (key, req) in ops {
                 tokens.push(self.place_locked(&mut index, &key));
                 reqs.push(Some(req));
@@ -646,8 +662,10 @@ where
                 continue;
             }
             let token = tokens[i];
-            let key_slot = Arc::clone(&self.slots.read()[token]);
-            let mut state = key_slot.state.lock();
+            let key_slot = Arc::clone(
+                &tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.read())[token],
+            );
+            let mut state = tracked_lock(ranks::KEY_STATE, "key_state", || key_slot.state.lock());
             let mut rematerialized = self.materialize(&mut state);
             let KeyState::Live(kc) = &mut *state else {
                 unreachable!("rematerialized above");
@@ -737,8 +755,8 @@ where
         // landed before this sweep's key-lock acquisition (failed here)
         // or its submitter observes the stop and cleans up itself.
         let done = Instant::now();
-        for slot in self.slots.read().iter() {
-            let mut state = slot.state.lock();
+        for slot in tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.read()).iter() {
+            let mut state = tracked_lock(ranks::KEY_STATE, "key_state", || slot.state.lock());
             if let KeyState::Live(kc) = &mut *state {
                 // Flush results that are ready, then fail what remains so
                 // no client blocks on a dead shard.
@@ -762,8 +780,12 @@ where
     fn wants_governing(&self) -> bool {
         match self.eviction {
             EvictionPolicy::OccupancyAbove { bits, .. } => {
+                // audit:allow(atomics-relaxed) — advisory trigger: a stale read
+                // delays (or briefly duplicates) one governor pass, never corrupts.
                 self.live_bits.load(Ordering::Relaxed) > bits
+                    // audit:allow(atomics-relaxed) — same trigger; see above.
                     && self.ticks.load(Ordering::Relaxed)
+                        // audit:allow(atomics-relaxed) — same trigger; see above.
                         >= self.govern_backoff.load(Ordering::Relaxed)
             }
             EvictionPolicy::Manual | EvictionPolicy::IdleAfter(_) => false,
@@ -774,7 +796,8 @@ where
         // One sweeper per shard at a time: a second driver skips instead
         // of duplicating the cold-scan (the trigger stays armed, so
         // nothing is lost).
-        let Some(_sweep) = self.govern_lock.try_lock() else {
+        let Some(_sweep) = tracked_try(ranks::GOVERN, "govern", || self.govern_lock.try_lock())
+        else {
             return 0;
         };
         match self.eviction {
@@ -783,6 +806,9 @@ where
                 if !idle {
                     return 0;
                 }
+                // audit:allow(atomics-relaxed) — aging snapshot; skew shifts which
+                // sweep reclaims a key, not whether it is safe to reclaim (the
+                // authoritative quiescence check runs under the key lock).
                 let now = self.ticks.load(Ordering::Relaxed);
                 // Wall-clock aging (when configured): a key is also
                 // sweep-eligible once untouched for the configured
@@ -801,13 +827,17 @@ where
                 self.slot_table()
                     .iter()
                     .filter(|slot| {
+                        // audit:allow(atomics-relaxed) — lock-free screen only; try_evict
+                        // re-checks everything under the key lock.
                         if slot.cached_bits.load(Ordering::Relaxed) == 0 {
                             return false;
                         }
                         let tick_aged = now
+                            // audit:allow(atomics-relaxed) — aging comparison; see `now` above.
                             .saturating_sub(slot.last_active.load(Ordering::Relaxed))
                             >= threshold;
                         let wall_aged = wall.is_some_and(|(now_ms, age_ms)| {
+                            // audit:allow(atomics-relaxed) — aging comparison; see `now` above.
                             now_ms.saturating_sub(slot.last_active_at.load(Ordering::Relaxed))
                                 >= age_ms
                         });
@@ -819,6 +849,8 @@ where
                 bits,
                 low_watermark,
             } => {
+                // audit:allow(atomics-relaxed) — advisory trigger re-check; see
+                // `wants_governing`.
                 if self.live_bits.load(Ordering::Relaxed) <= bits {
                     return 0;
                 }
@@ -833,12 +865,17 @@ where
                 let mut cold: Vec<(u64, usize)> = table
                     .iter()
                     .enumerate()
+                    // audit:allow(atomics-relaxed) — lock-free screen; try_evict
+                    // re-checks under the key lock.
                     .filter(|(_, slot)| slot.cached_bits.load(Ordering::Relaxed) > 0)
+                    // audit:allow(atomics-relaxed) — coldest-first ordering hint only.
                     .map(|(i, slot)| (slot.last_active.load(Ordering::Relaxed), i))
                     .collect();
                 cold.sort_unstable();
                 let mut evicted = 0;
                 for (attempts, (_, i)) in cold.into_iter().enumerate() {
+                    // audit:allow(atomics-relaxed) — watermark check is advisory; an
+                    // extra or missed attempt is corrected next pass.
                     if self.live_bits.load(Ordering::Relaxed) <= low_watermark
                         || attempts >= GOVERN_ATTEMPTS_PER_PASS
                     {
@@ -852,10 +889,11 @@ where
                     // Armed but stuck (everything cold enough to matter
                     // is busy): back off so the still-armed trigger does
                     // not re-pay this scan on every driver iteration.
-                    self.govern_backoff.store(
-                        self.ticks.load(Ordering::Relaxed) + GOVERN_FUTILE_BACKOFF_TICKS,
-                        Ordering::Relaxed,
-                    );
+                    // audit:allow(atomics-relaxed) — backoff arming is
+                    // advisory; see `wants_governing`.
+                    let until = self.ticks.load(Ordering::Relaxed) + GOVERN_FUTILE_BACKOFF_TICKS;
+                    // audit:allow(atomics-relaxed) — see above.
+                    self.govern_backoff.store(until, Ordering::Relaxed);
                 }
                 evicted
             }
@@ -863,14 +901,14 @@ where
     }
 
     fn metrics(&self) -> ShardMetrics {
-        let slots = self.slots.read();
+        let slots = tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.read());
         let mut occupancy = StorageCost::default();
         let mut peak = 0u64;
         let mut live_records = 0u64;
         let mut evicted_keys = 0usize;
         let mut snapshot_bits = 0u64;
         for slot in slots.iter() {
-            let state = slot.state.lock();
+            let state = tracked_lock(ranks::KEY_STATE, "key_state", || slot.state.lock());
             match &*state {
                 KeyState::Live(kc) => {
                     let cost = kc.cell.sim.storage_cost();
@@ -904,6 +942,7 @@ where
             evicted_keys,
             snapshot_bits,
             ready_keys: self.ready.len(),
+            // audit:allow(atomics-relaxed) — metrics snapshot; racy by design.
             governed_bits: self.live_bits.load(Ordering::Relaxed),
             read_hit_latency: self.counters.read_hit_histogram(),
             read_remat_latency: self.counters.read_remat_histogram(),
@@ -927,9 +966,10 @@ where
     }
 
     fn key_records(&self, key: &str) -> Option<Vec<OpRecord>> {
-        let token = *self.map.lock().get(key)?;
-        let key_slot = Arc::clone(&self.slots.read()[token]);
-        let state = key_slot.state.lock();
+        let token = *tracked_lock(ranks::SHARD_MAP, "shard_map", || self.map.lock()).get(key)?;
+        let key_slot =
+            Arc::clone(&tracked_lock(ranks::SLOT_TABLE, "slot_table", || self.slots.read())[token]);
+        let state = tracked_lock(ranks::KEY_STATE, "key_state", || key_slot.state.lock());
         Some(match &*state {
             KeyState::Live(kc) => kc.cell.sim.full_history(),
             KeyState::Evicted(snap) => snap.records().to_vec(),
@@ -938,7 +978,10 @@ where
     }
 
     fn keys(&self) -> Vec<String> {
-        self.map.lock().keys().cloned().collect()
+        tracked_lock(ranks::SHARD_MAP, "shard_map", || self.map.lock())
+            .keys()
+            .cloned()
+            .collect()
     }
 
     fn protocol_name(&self) -> &'static str {

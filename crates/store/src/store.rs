@@ -9,6 +9,7 @@ use crate::recorder::FlightRecorder;
 use crate::shard::{self, ShardEngine};
 use rsb_coding::Value;
 use rsb_fpsm::{OpRecord, OpRequest};
+use rsb_registers::lockorder::{ranks, tracked_lock};
 use rsb_registers::{ThreadedError, WorkGroup};
 use std::sync::Arc;
 
@@ -175,7 +176,10 @@ pub struct Store {
 impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Store")
-            .field("drivers", &self.drivers.lock().len())
+            .field(
+                "drivers",
+                &tracked_lock(ranks::DRIVER_POOL, "driver_pool", || self.drivers.lock()).len(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -438,7 +442,10 @@ impl Store {
 
     fn stop_drivers(&self) {
         self.group.request_stop();
-        let handles: Vec<_> = self.drivers.lock().drain(..).collect();
+        let handles: Vec<_> =
+            tracked_lock(ranks::DRIVER_POOL, "driver_pool", || self.drivers.lock())
+                .drain(..)
+                .collect();
         for h in handles {
             let _ = h.join();
         }
